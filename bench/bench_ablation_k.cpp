@@ -1,0 +1,55 @@
+// bench_ablation_k — the paper's central tradeoff knob, swept: "the more
+// constraints, the stronger the proof of authorship, but the higher the
+// overhead on the solution quality" (§I).
+//
+// Sweeps K (temporal edges per local watermark) and the watermark count,
+// reporting proof strength (log10 P_c) against latency overhead on a
+// resource-constrained datapath schedule and cycle overhead on the VLIW.
+#include <cstdio>
+
+#include "dfglib/synth.h"
+#include "table.h"
+#include "wm/protocol.h"
+
+using namespace lwm;
+
+int main() {
+  std::printf("== Ablation: K (edges per watermark) vs proof strength and "
+              "overhead ==\n\n");
+
+  const crypto::Signature author("author", "ablation-k-key");
+  const cdfg::Graph g = dfglib::make_dsp_design("ablate_k", 16, 260, 4343);
+  std::printf("design: %zu ops, critical path %d\n\n", g.operation_count(),
+              cdfg::critical_path_length(g));
+
+  bench::Table t({"K", "watermarks", "edges", "log10 Pc",
+                  "latency OH (2 ALU/1 MUL)", "VLIW cycle OH"});
+  for (const int k : {2, 3, 4, 8, 12}) {  // k=1 cannot draw an edge (needs a later partner in T'')
+    wm::SchedProtocolConfig cfg;
+    cfg.wm.domain.tau = 6;
+    cfg.wm.k = k;
+    cfg.wm.epsilon = 0.3;
+    cfg.watermark_count = 4;
+    cfg.resources = sched::ResourceSet::datapath(2, 1);
+    const wm::SchedProtocolResult r = wm::run_sched_protocol(g, author, cfg);
+
+    const wm::VliwProtocolResult v = wm::run_vliw_protocol(
+        g, author, cfg.wm, cfg.watermark_count, vliw::Machine::paper_machine());
+
+    int edges = 0;
+    for (const auto& m : r.marks) edges += static_cast<int>(m.constraints.size());
+    t.add_row({bench::fmt_int(k),
+               bench::fmt_int(static_cast<long long>(r.marks.size())),
+               bench::fmt_int(edges), bench::fmt("%.2f", r.pc.log10_pc),
+               bench::fmt("%.2f%%", 100 * r.latency_overhead()),
+               bench::fmt("%.2f%%", 100 * v.cycle_overhead())});
+  }
+  t.print();
+
+  std::printf("\nshape checks:\n");
+  std::printf("  * log10 Pc falls (proof strengthens) monotonically with "
+              "total edges\n");
+  std::printf("  * overhead grows slowly — the laxity filter keeps the "
+              "constraints off the critical path\n");
+  return 0;
+}

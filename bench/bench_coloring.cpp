@@ -1,0 +1,87 @@
+// bench_coloring — the paper's §III pedagogical instantiation, measured:
+// local watermarks in graph-coloring solutions (ghost edges in random
+// subgraphs, the Qu–Potkonjak encoding), both on random graphs and on a
+// real register-interference instance.
+//
+// The known tradeoff this bench demonstrates: each ghost edge carries
+// only log10(k/(k-1)) decades of proof (a random k-coloring already
+// separates most pairs), so coloring watermarks need *many* edges —
+// wholly unlike the scheduling protocol, where a single before-order
+// edge carries ~0.3-0.5 decades.
+#include <cstdio>
+
+#include "dfglib/synth.h"
+#include "regbind/interference.h"
+#include "sched/list_sched.h"
+#include "table.h"
+#include "wm/color_constraints.h"
+
+using namespace lwm;
+
+int main() {
+  std::printf("== Graph-coloring local watermarks (paper SIII example) ==\n\n");
+
+  const crypto::Signature author("author", "coloring-bench-key");
+
+  // --- random graphs: proof vs color overhead ---------------------------------
+  std::printf("random graphs (n=120):\n");
+  bench::Table t({"density", "base colors", "marks", "ghost edges",
+                  "wm colors", "log10 Pc", "detected"});
+  for (const double density : {0.05, 0.1, 0.2, 0.4}) {
+    const color::UGraph g = color::UGraph::random(120, density, 6001);
+    const color::Coloring base = color::dsatur_coloring(g);
+
+    wm::ColorWmOptions opts;
+    opts.radius = 2;
+    opts.pairs = 8;
+    opts.min_pairs = 3;
+    const auto marks = wm::plan_color_watermarks(g, author, 4, opts);
+    int edges = 0;
+    for (const auto& m : marks) edges += static_cast<int>(m.ghost_edges.size());
+    const color::Coloring marked =
+        color::dsatur_coloring(g, wm::to_color_constraints(marks));
+    int detected = 0;
+    for (const auto& m : marks) {
+      detected += wm::detect_color_watermark(g, marked, author, m).detected();
+    }
+    t.add_row({bench::fmt("%.2f", density), bench::fmt_int(base.colors_used),
+               bench::fmt_int(static_cast<long long>(marks.size())),
+               bench::fmt_int(edges), bench::fmt_int(marked.colors_used),
+               bench::fmt("%.2f", wm::log10_color_pc(marked, marks)),
+               bench::fmt_int(detected) + "/" +
+                   bench::fmt_int(static_cast<long long>(marks.size()))});
+  }
+  t.print();
+
+  // --- a real instance: register interference ---------------------------------
+  std::printf("\nregister-interference instance (coloring = register "
+              "allocation):\n");
+  const cdfg::Graph design = dfglib::make_dsp_design("color_core", 16, 240, 6002);
+  const sched::Schedule s = sched::list_schedule(design);
+  const auto lifetimes = regbind::compute_lifetimes(design, s);
+  const auto ig = regbind::build_interference_graph(lifetimes);
+  const color::Coloring base = color::dsatur_coloring(ig.graph);
+
+  wm::ColorWmOptions opts;
+  opts.radius = 2;
+  opts.pairs = 6;
+  opts.min_pairs = 2;
+  const auto marks = wm::plan_color_watermarks(ig.graph, author, 4, opts);
+  const color::Coloring marked =
+      color::dsatur_coloring(ig.graph, wm::to_color_constraints(marks));
+  int detected = 0;
+  for (const auto& m : marks) {
+    detected += wm::detect_color_watermark(ig.graph, marked, author, m).detected();
+  }
+  std::printf("variables %d, interference edges %zu; registers %d -> %d "
+              "with %zu marks; log10 Pc %.2f; detected %d/%zu\n",
+              ig.graph.vertex_count(), ig.graph.edge_count(), base.colors_used,
+              marked.colors_used, marks.size(),
+              wm::log10_color_pc(marked, marks), detected, marks.size());
+
+  std::printf("\nshape checks:\n");
+  std::printf("  * per-edge proof is weak (log10 (k-1)/k) but compounds over "
+              "many ghost edges\n");
+  std::printf("  * color/register overhead stays within a couple of colors\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// bench_embed_detect — the paper's §I motivation measured: watermark
+// detection when the protected design is (a) shipped whole, (b) cut into
+// partitions, and (c) embedded into a larger system — the scenarios where
+// global watermarking techniques fail and local watermarks are claimed
+// to survive.
+#include <chrono>
+#include <cstdio>
+
+#include "cdfg/subgraph.h"
+#include "dfglib/synth.h"
+#include "sched/list_sched.h"
+#include "table.h"
+#include "wm/detector.h"
+#include "wm/sched_constraints.h"
+
+using namespace lwm;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  int detected = 0;
+  int total = 0;
+  double scan_ms = 0.0;
+};
+
+template <typename F>
+Scenario run(const std::string& name, int total, F&& detect_one) {
+  Scenario s;
+  s.name = name;
+  s.total = total;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < total; ++i) {
+    s.detected += detect_one(i) ? 1 : 0;
+  }
+  s.scan_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Detection under cut-and-embed (paper SI requirements) ==\n\n");
+
+  const crypto::Signature author("author", "embed-detect-key");
+  cdfg::Graph core = dfglib::make_dsp_design("core", 16, 300, 4545);
+  wm::SchedWmOptions opts;
+  opts.domain.tau = 5;
+  opts.k = 3;
+  opts.epsilon = 0.3;
+  const auto marks = wm::embed_local_watermarks(core, author, 6, opts);
+  std::printf("core: %zu ops; embedded %zu local watermarks (%zu edges "
+              "total)\n\n",
+              core.operation_count(), marks.size(), [&] {
+                std::size_t e = 0;
+                for (const auto& m : marks) e += m.constraints.size();
+                return e;
+              }());
+  std::vector<wm::SchedRecord> records;
+  for (const auto& m : marks) records.push_back(wm::SchedRecord::from(m, core));
+  const sched::Schedule schedule = sched::list_schedule(core);
+  core.strip_temporal_edges();
+
+  std::vector<Scenario> rows;
+
+  // (a) whole design.
+  rows.push_back(run("whole design", static_cast<int>(marks.size()), [&](int i) {
+    return wm::detect_sched_watermark(core, schedule, author, records[i])
+        .detected();
+  }));
+
+  // (b) partition: cut each watermark's neighborhood out and detect there.
+  rows.push_back(run("cut partition (cone radius 8)",
+                     static_cast<int>(marks.size()), [&](int i) {
+    const auto cone = cdfg::fanin_cone(core, marks[i].root, 8);
+    std::vector<cdfg::NodeId> keep;
+    for (const auto& c : cone) keep.push_back(c.node);
+    const cdfg::Partition part = cdfg::extract_partition(core, keep);
+    sched::Schedule cut(part.graph);
+    for (const cdfg::NodeId n : keep) {
+      const cdfg::NodeId pn = part.map.at(n);
+      if (cdfg::is_executable(part.graph.node(pn).kind)) {
+        cut.set_start(pn, schedule.start_of(n));
+      }
+    }
+    return wm::detect_sched_watermark(part.graph, cut, author, records[i])
+        .detected();
+  }));
+
+  // (c) embedded into a 3x larger host.
+  cdfg::Graph host = dfglib::make_dsp_design("host", 20, 900, 4546);
+  const cdfg::NodeMap map = cdfg::embed_graph(host, core, "stolen_");
+  sched::Schedule host_sched = sched::list_schedule(host);
+  for (const cdfg::NodeId n : core.node_ids()) {
+    if (schedule.is_scheduled(n)) {
+      host_sched.set_start(map.at(n), schedule.start_of(n) + 3);
+    }
+  }
+  rows.push_back(run("embedded in 3x host", static_cast<int>(marks.size()),
+                     [&](int i) {
+    return wm::detect_sched_watermark(host, host_sched, author, records[i])
+        .detected();
+  }));
+
+  // (d) control: a foreign signature scanning the whole design.
+  const crypto::Signature stranger("eve", "some-other-key");
+  rows.push_back(run("foreign signature (control)",
+                     static_cast<int>(marks.size()), [&](int i) {
+    return wm::detect_sched_watermark(core, schedule, stranger, records[i])
+        .detected();
+  }));
+
+  bench::Table t({"scenario", "detected", "scan time"});
+  for (const Scenario& s : rows) {
+    t.add_row({s.name,
+               bench::fmt_int(s.detected) + "/" + bench::fmt_int(s.total),
+               bench::fmt("%.1f ms", s.scan_ms)});
+  }
+  t.print();
+
+  std::printf("\nshape checks:\n");
+  std::printf("  * whole-design and embedded detection find every mark\n");
+  std::printf("  * partition detection finds every mark whose locality "
+              "survived the cut\n");
+  std::printf("  * the foreign signature finds nothing\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// bench_micro — google-benchmark microbenchmarks of the substrates.
+//
+// Not a paper table: this is the engineering-throughput companion that
+// shows the library scales to the Table I/II problem sizes with headroom
+// (scheduling, matching, carving, detection scans, RC4).
+#include <benchmark/benchmark.h>
+
+#include "cdfg/analysis.h"
+#include "crypto/signature.h"
+#include "dfglib/mediabench.h"
+#include "dfglib/synth.h"
+#include "sched/enumerate.h"
+#include "sched/force_directed.h"
+#include "sched/list_sched.h"
+#include "tmatch/cover.h"
+#include "vliw/vliw_sched.h"
+#include "wm/detector.h"
+#include "wm/sched_constraints.h"
+
+using namespace lwm;
+
+namespace {
+
+cdfg::Graph dag(int n) {
+  return dfglib::make_layered_dag("bm" + std::to_string(n), n, 10, {}, 99);
+}
+
+void BM_ListSchedule(benchmark::State& state) {
+  const cdfg::Graph g = dag(static_cast<int>(state.range(0)));
+  sched::ListScheduleOptions opts;
+  opts.resources = sched::ResourceSet::vliw4();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::list_schedule(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(g.operation_count()));
+}
+BENCHMARK(BM_ListSchedule)->Arg(200)->Arg(800)->Arg(1755);
+
+void BM_ForceDirected(benchmark::State& state) {
+  const cdfg::Graph g =
+      dfglib::make_dsp_design("bm_fds", 12, static_cast<int>(state.range(0)), 7);
+  sched::FdsOptions opts;
+  opts.latency = 18;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::force_directed_schedule(g, opts));
+  }
+}
+BENCHMARK(BM_ForceDirected)->Arg(40)->Arg(120);
+
+void BM_VliwPack(benchmark::State& state) {
+  const cdfg::Graph g = dfglib::make_mediabench_app({"PGP", 1755});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vliw::vliw_schedule(g, vliw::Machine::paper_machine()));
+  }
+  state.SetItemsProcessed(state.iterations() * 1755);
+}
+BENCHMARK(BM_VliwPack);
+
+void BM_Timing(benchmark::State& state) {
+  const cdfg::Graph g = dag(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdfg::compute_timing(g));
+  }
+}
+BENCHMARK(BM_Timing)->Arg(800)->Arg(1755);
+
+void BM_DomainCarve(benchmark::State& state) {
+  const cdfg::Graph g = dag(800);
+  const crypto::Signature sig("author", "bm-key");
+  crypto::Bitstream roots = sig.stream("roots");
+  const cdfg::NodeId root = wm::pick_root(g, roots);
+  wm::DomainKey key;
+  key.tau = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wm::select_domain(g, root, sig, key));
+  }
+}
+BENCHMARK(BM_DomainCarve);
+
+void BM_DetectionScan(benchmark::State& state) {
+  cdfg::Graph g = dfglib::make_dsp_design("bm_det", 14, 300, 11);
+  const crypto::Signature sig("author", "bm-key");
+  wm::SchedWmOptions opts;
+  opts.domain.tau = 5;
+  opts.k = 3;
+  opts.epsilon = 0.3;
+  const auto marks = wm::embed_local_watermarks(g, sig, 1, opts);
+  const sched::Schedule s = sched::list_schedule(g);
+  g.strip_temporal_edges();
+  if (marks.empty()) {
+    state.SkipWithError("no watermark embedded");
+    return;
+  }
+  const wm::SchedRecord rec = wm::SchedRecord::from(marks.front(), g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wm::detect_sched_watermark(g, s, sig, rec));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(g.operation_count()));
+}
+BENCHMARK(BM_DetectionScan);
+
+void BM_EnumerateSchedules(benchmark::State& state) {
+  const cdfg::Graph g = dfglib::make_dsp_design("bm_enum", 8, 24, 13);
+  sched::EnumerationOptions opts;
+  opts.latency = 10;
+  opts.limit = 5'000'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::count_schedules(g, {}, {}, opts));
+  }
+}
+BENCHMARK(BM_EnumerateSchedules);
+
+void BM_TemplateCover(benchmark::State& state) {
+  const cdfg::Graph g = dfglib::make_dsp_design(
+      "bm_cover", 20, static_cast<int>(state.range(0)), 15);
+  const tmatch::TemplateLibrary lib = tmatch::TemplateLibrary::standard();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmatch::greedy_cover(g, lib));
+  }
+}
+BENCHMARK(BM_TemplateCover)->Arg(100)->Arg(354)->Arg(1082);
+
+void BM_Rc4Keystream(benchmark::State& state) {
+  const std::vector<std::uint8_t> key = {'b', 'm', '-', 'k', 'e', 'y'};
+  for (auto _ : state) {
+    crypto::Rc4 rc4(key);
+    benchmark::DoNotOptimize(rc4.keystream(4096));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Rc4Keystream);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// bench_regbind — the third synthesis task: local watermarking of
+// register binding (an extension built with the paper's generic recipe;
+// the paper's §III presents local watermarking as applicable to any
+// combinatorial synthesis step, and scheduling fixes the variable
+// lifetimes that binding consumes).
+//
+// Sweeps the number of hidden register-sharing pairs and reports proof
+// strength against register-count overhead over the LEFT-EDGE optimum.
+#include <cstdio>
+
+#include "dfglib/synth.h"
+#include "sched/list_sched.h"
+#include "table.h"
+#include "wm/reg_constraints.h"
+
+using namespace lwm;
+
+int main() {
+  std::printf("== Register-binding watermarks: proof vs register overhead ==\n\n");
+
+  const crypto::Signature author("author", "regbind-bench-key");
+  const cdfg::Graph g = dfglib::make_dsp_design("regbind_bench", 16, 260, 4747);
+  const sched::Schedule s = sched::list_schedule(g);
+  const auto lifetimes = regbind::compute_lifetimes(g, s);
+  const auto free_binding = regbind::left_edge_binding(lifetimes);
+  if (!free_binding) {
+    std::printf("FAILED: unconstrained binding\n");
+    return 1;
+  }
+  std::printf("design: %zu ops, %zu variables, max-live %d, "
+              "LEFT-EDGE registers %d\n\n",
+              g.operation_count(), lifetimes.size(),
+              regbind::max_live(lifetimes), free_binding->register_count);
+
+  bench::Table t({"watermarks", "share pairs", "log10 Pc", "registers",
+                  "register OH", "detected"});
+  for (const int count : {1, 2, 4, 8}) {
+    wm::RegWmOptions opts;
+    opts.domain.tau = 5;
+    opts.m = 3;
+    const auto marks =
+        wm::plan_reg_watermarks(g, lifetimes, author, count, opts);
+    int pairs = 0;
+    for (const auto& m : marks) pairs += static_cast<int>(m.constraints.size());
+    const auto binding = regbind::left_edge_binding(
+        lifetimes, wm::to_binding_constraints(marks));
+    if (!binding) {
+      t.add_row({bench::fmt_int(count), bench::fmt_int(pairs), "-", "-",
+                 "infeasible", "-"});
+      continue;
+    }
+    int detected = 0;
+    for (const auto& m : marks) {
+      detected += wm::detect_reg_watermark(g, lifetimes, *binding, author,
+                                           wm::RegRecord::from(m, g))
+                      .detected();
+    }
+    const double pc = wm::log10_reg_pc(g, lifetimes, marks);
+    t.add_row({bench::fmt_int(static_cast<long long>(marks.size())),
+               bench::fmt_int(pairs), bench::fmt("%.2f", pc),
+               bench::fmt_int(binding->register_count),
+               bench::fmt("%.1f%%",
+                          100.0 * (binding->register_count -
+                                   free_binding->register_count) /
+                              free_binding->register_count),
+               bench::fmt_int(detected) + "/" +
+                   bench::fmt_int(static_cast<long long>(marks.size()))});
+  }
+  t.print();
+
+  std::printf("\nshape checks:\n");
+  std::printf("  * proof strengthens with the number of hidden pairs\n");
+  std::printf("  * register overhead stays within a few registers of the "
+              "LEFT-EDGE optimum\n");
+  return 0;
+}

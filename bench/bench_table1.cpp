@@ -1,0 +1,125 @@
+// bench_table1 — reproduces the paper's Table I: local watermarking of
+// operation scheduling on the (reconstructed) MediaBench applications.
+//
+// Protocol (paper §V): each application's compiled trace is watermarked
+// with local temporal constraints, realized as unit operations, until
+// ~2% (resp. ~5%) of the operations are constrained; constraints use
+// K = 0.2 * tau edges per locality.  Reported per cell:
+//   * log10 P_c — coincidence probability (window model over ASAP/ALAP
+//     windows; the paper's Poisson-window approximation);
+//   * Perf. OH — extra cycles on the 4-issue VLIW (4 ALU / 2 branch /
+//     2 memory) from the inserted unit operations.
+// The paper's absolute P_c exponents come from IMPACT-compiled traces
+// whose window structure we cannot reconstruct; the shape to check is
+// (a) P_c falls exponentially with the constrained fraction — the 5%
+// column's exponent is ~2.5x the 2% column's — and (b) overhead stays
+// in low single-digit percent, higher at 5% than at 2%.
+#include <cstdio>
+#include <string>
+
+#include "dfglib/mediabench.h"
+#include "table.h"
+#include "wm/protocol.h"
+
+using namespace lwm;
+
+namespace {
+
+struct Cell {
+  double log10_pc = 0.0;
+  double log10_pc_sampled = 0.0;
+  bool sampled_floor = false;  ///< zero hits: the sampled value is a bound
+  double overhead = 0.0;
+  int edges = 0;
+};
+
+Cell run_cell(const cdfg::Graph& g, double fraction) {
+  const crypto::Signature author("author", "table1-watermark-key");
+  const int n = static_cast<int>(g.operation_count());
+
+  // tau = 10 * alpha * N percent of the nodes (paper's parameterization):
+  // fraction = 0.02 or 0.05 of N constrained; each temporal edge
+  // constrains ~2 nodes, so target edges = fraction * N / 2.
+  const int target_edges = std::max(1, static_cast<int>(fraction * n / 2.0));
+  wm::SchedWmOptions opts;
+  opts.domain.tau = 8;
+  opts.k = 5;  // K = 0.2 * tau-ish edges per locality
+  opts.epsilon = 0.3;
+
+  const vliw::Machine machine = vliw::Machine::paper_machine();
+  const int baseline =
+      vliw::vliw_schedule(g, machine, cdfg::EdgeFilter::specification()).cycles;
+
+  // Embed localities until the edge budget is met.
+  cdfg::Graph marked = g;
+  const auto marks =
+      wm::embed_watermarks_until_edges(marked, author, target_edges, opts);
+  Cell cell;
+  cell.log10_pc = wm::sched_pc_window_model(marked, marks).log10_pc;
+  // Monte-Carlo over uniformly random feasible schedules: the number to
+  // quote in a dispute (no independence assumption).
+  const wm::PcEstimate sampled =
+      wm::sched_pc_sampled(marked, marks, 4000, 0x71);
+  cell.log10_pc_sampled = sampled.log10_pc;
+  cell.sampled_floor = sampled.degenerate;
+  for (const auto& m : marks) {
+    cell.edges += static_cast<int>(m.constraints.size());
+  }
+  (void)wm::materialize_with_unit_ops(marked, marks);
+  const int cycles =
+      vliw::vliw_schedule(marked, machine, cdfg::EdgeFilter::all()).cycles;
+  cell.overhead =
+      baseline == 0 ? 0.0 : static_cast<double>(cycles - baseline) / baseline;
+  return cell;
+}
+
+// The paper's published cells for side-by-side comparison.
+struct PaperRow {
+  int pc2, pc5;          // 10^pc exponents
+  double oh2, oh5;       // percent
+};
+constexpr PaperRow kPaper[] = {
+    {-26, -53, 0.5, 1.5}, {-27, -67, 0.7, 1.7},  {-39, -91, 0.6, 2.4},
+    {-27, -73, 0.2, 1.1}, {-89, -283, 0.1, 0.5}, {-34, -87, 0.3, 1.4},
+    {-65, -212, 0.0, 0.2}, {-58, -185, 0.2, 0.4},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Table I: local watermarking applied to operation "
+              "scheduling (MediaBench on 4-issue VLIW) ==\n");
+  std::printf("(paper columns reprinted for comparison; ours measured on "
+              "synthetic trace reconstructions)\n\n");
+
+  bench::Table t({"Application", "Ops",
+                  "edges 2%", "paper log10Pc 2%", "ours 2%", "sampled 2%",
+                  "paper OH 2%", "ours OH 2%",
+                  "edges 5%", "paper log10Pc 5%", "ours 5%", "sampled 5%",
+                  "paper OH 5%", "ours OH 5%"});
+
+  const auto& apps = dfglib::mediabench_table();
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& app = apps[i];
+    const cdfg::Graph g = dfglib::make_mediabench_app(app);
+    const Cell c2 = run_cell(g, 0.02);
+    const Cell c5 = run_cell(g, 0.05);
+    const PaperRow& p = kPaper[i];
+    t.add_row({app.name, bench::fmt_int(app.operations),
+               bench::fmt_int(c2.edges),
+               bench::fmt_int(p.pc2), bench::fmt("%.1f", c2.log10_pc),
+               (c2.sampled_floor ? "<" : "") + bench::fmt("%.1f", c2.log10_pc_sampled),
+               bench::fmt("%.1f%%", p.oh2), bench::fmt("%.2f%%", 100 * c2.overhead),
+               bench::fmt_int(c5.edges),
+               bench::fmt_int(p.pc5), bench::fmt("%.1f", c5.log10_pc),
+               (c5.sampled_floor ? "<" : "") + bench::fmt("%.1f", c5.log10_pc_sampled),
+               bench::fmt("%.1f%%", p.oh5), bench::fmt("%.2f%%", 100 * c5.overhead)});
+  }
+  t.print();
+
+  std::printf("\nshape checks:\n");
+  std::printf("  * ours log10Pc(5%%) / log10Pc(2%%) should be ~2.5 "
+              "(paper's columns average ~2.8)\n");
+  std::printf("  * ours overhead should rise from the 2%% to the 5%% column\n");
+  return 0;
+}

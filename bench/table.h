@@ -1,0 +1,64 @@
+// table.h — tiny fixed-width table printer shared by the bench binaries.
+//
+// Every bench prints (a) the paper's published numbers where they exist
+// and (b) our measured numbers side by side, so EXPERIMENTS.md can quote
+// the output verbatim.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lwm::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+    auto rule = [&] {
+      std::string line = "+";
+      for (const std::size_t w : width) line += std::string(w + 2, '-') + "+";
+      std::printf("%s\n", line.c_str());
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
+      std::string line = "|";
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string();
+        line += " " + v + std::string(width[c] - v.size(), ' ') + " |";
+      }
+      std::printf("%s\n", line.c_str());
+    };
+    rule();
+    emit(headers_);
+    rule();
+    for (const auto& row : rows_) emit(row);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+inline std::string fmt_int(long long v) { return std::to_string(v); }
+
+}  // namespace lwm::bench

@@ -1,0 +1,77 @@
+// register_binding_demo — the third protocol: hiding the signature in
+// the register binding.
+//
+// After scheduling, variable lifetimes are fixed; binding compatible
+// variables into shared registers is the next synthesis step, and the
+// signature can force specific compatible pairs together.  This example
+// runs the whole pipeline: schedule -> lifetimes -> watermark pairs ->
+// constrained LEFT-EDGE binding -> detection (including the forged-claim
+// scenario: detection re-derives the pair selection from the claimant's
+// signature, so a thief holding only the *record* cannot pass it off as
+// their own).
+#include <cstdio>
+
+#include "dfglib/synth.h"
+#include "sched/list_sched.h"
+#include "wm/reg_constraints.h"
+
+int main() {
+  using namespace lwm;
+
+  const cdfg::Graph design = dfglib::make_dsp_design("audio_codec", 16, 220, 555);
+  const crypto::Signature owner("owner", "register-owner-key");
+  const crypto::Signature thief("thief", "someone-elses-key");
+
+  // 1. Schedule, derive lifetimes, bind unconstrained (the baseline).
+  const sched::Schedule schedule = sched::list_schedule(design);
+  const auto lifetimes = regbind::compute_lifetimes(design, schedule);
+  const auto baseline = regbind::left_edge_binding(lifetimes);
+  std::printf("design: %zu ops -> %zu variables, max-live %d\n",
+              design.operation_count(), lifetimes.size(),
+              regbind::max_live(lifetimes));
+  std::printf("baseline LEFT-EDGE binding: %d registers\n\n",
+              baseline->register_count);
+
+  // 2. Watermark: signature-chosen compatible pairs must share registers.
+  wm::RegWmOptions opts;
+  opts.domain.tau = 6;
+  opts.m = 4;
+  opts.min_pairs = 2;
+  const auto marks = wm::plan_reg_watermarks(design, lifetimes, owner, 4, opts);
+  int pairs = 0;
+  for (const auto& m : marks) pairs += static_cast<int>(m.constraints.size());
+  std::printf("embedded %zu local watermarks (%d hidden share pairs)\n",
+              marks.size(), pairs);
+  for (const auto& m : marks) {
+    for (const auto& c : m.constraints) {
+      std::printf("  %s and %s share one register\n",
+                  design.node(c.u).name.c_str(), design.node(c.v).name.c_str());
+    }
+  }
+
+  // 3. Bind with the hidden constraints.
+  const auto binding = regbind::left_edge_binding(
+      lifetimes, wm::to_binding_constraints(marks));
+  std::printf("\nwatermarked binding: %d registers (overhead %+d)\n",
+              binding->register_count,
+              binding->register_count - baseline->register_count);
+  std::printf("coincidence probability: 10^%.2f\n",
+              wm::log10_reg_pc(design, lifetimes, marks));
+
+  // 4. Detection, honest and forged.
+  int owner_found = 0;
+  int thief_found = 0;
+  for (const auto& m : marks) {
+    const wm::RegRecord rec = wm::RegRecord::from(m, design);
+    owner_found += wm::detect_reg_watermark(design, lifetimes, *binding,
+                                            owner, rec)
+                       .detected();
+    thief_found += wm::detect_reg_watermark(design, lifetimes, *binding,
+                                            thief, rec)
+                       .detected();
+  }
+  std::printf("\nowner detects %d/%zu marks; a thief replaying the stolen "
+              "records detects %d/%zu\n",
+              owner_found, marks.size(), thief_found, marks.size());
+  return owner_found == static_cast<int>(marks.size()) && thief_found == 0 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// template_matching_demo — the second protocol family: watermarking a
+// template-matching (module mapping) solution.
+//
+// Walks the full Fig. 5 pipeline on a DSP design: enumerate matchings,
+// let the signature enforce Z of them via pseudo-primary-output (PPO)
+// promotion, cover the design, allocate hardware modules under a
+// control-step budget, and compare against the unwatermarked flow.
+#include <cmath>
+#include <cstdio>
+
+#include "cdfg/analysis.h"
+#include "dfglib/synth.h"
+#include "tmatch/cover.h"
+#include "wm/detector.h"
+#include "wm/pc.h"
+#include "wm/tm_constraints.h"
+
+int main() {
+  using namespace lwm;
+
+  const cdfg::Graph design = dfglib::make_dsp_design("video_filter", 14, 120, 7007);
+  const tmatch::TemplateLibrary lib = tmatch::TemplateLibrary::standard();
+  const crypto::Signature author("studio", "studio-signing-key");
+
+  const int cp = cdfg::critical_path_length(design);
+  std::printf("design: %zu ops, critical path %d, library of %d templates\n",
+              design.operation_count(), cp, lib.size());
+
+  const auto all = tmatch::enumerate_matches(design, lib);
+  std::printf("matchings available: %zu\n\n", all.size());
+
+  // Plan the watermark: Z enforced matchings under a 1.5x budget.
+  wm::TmWmOptions opts;
+  opts.z = 4;
+  opts.epsilon = 0.25;
+  opts.budget = cp + cp / 2;
+  const auto wm = wm::plan_tm_watermark(design, lib, author, opts);
+  if (!wm) {
+    std::printf("no enforceable matchings on this design\n");
+    return 1;
+  }
+  std::printf("enforced matchings (isolated via %zu PPOs):\n", wm->ppos.size());
+  for (const auto& m : wm->enforced) {
+    std::printf("  %s\n", tmatch::describe(design, lib, m).c_str());
+  }
+
+  // Cover + allocate, with and without the watermark.
+  const tmatch::Cover base = tmatch::greedy_cover(design, lib);
+  const tmatch::Cover marked =
+      tmatch::greedy_cover(design, lib, wm::cover_options(*wm));
+  const tmatch::MappedDesign base_mapped = tmatch::build_mapped_design(design, base);
+  const tmatch::MappedDesign marked_mapped =
+      tmatch::build_mapped_design(design, marked);
+  const auto base_alloc = tmatch::allocate_modules(base_mapped, lib, opts.budget);
+  const auto marked_alloc =
+      tmatch::allocate_modules(marked_mapped, lib, opts.budget);
+
+  std::printf("\n                 unmarked   watermarked\n");
+  std::printf("cover matches   %8d   %11d\n", base.match_count(),
+              marked.match_count());
+  std::printf("module instances%8d   %11d\n", base_alloc.total(),
+              marked_alloc.total());
+  std::printf("module area     %8.1f   %11.1f\n", base_alloc.total_area(lib),
+              marked_alloc.total_area(lib));
+  std::printf("schedule length %8d   %11d  (budget %d)\n", base_alloc.latency,
+              marked_alloc.latency, opts.budget);
+
+  const wm::PcEstimate pc = wm::tm_pc(design, lib, *wm);
+  std::printf("\ncoincidence probability: P_c = 10^%.2f\n", pc.log10_pc);
+
+  // Detection re-plans with the signature and looks for the matchings.
+  const auto report = wm::detect_tm_watermark(design, marked, lib, author, opts);
+  std::printf("detection on the watermarked cover: %d/%d matchings found -> %s\n",
+              report.found, report.total,
+              report.detected() ? "AUTHORSHIP ESTABLISHED" : "not found");
+  return report.detected() ? 0 : 1;
+}

@@ -1,0 +1,180 @@
+#include "cdfg/analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace lwm::cdfg {
+
+std::vector<NodeId> topo_order(const Graph& g, EdgeFilter filter) {
+  const std::size_t cap = g.node_capacity();
+  std::vector<int> indegree(cap, 0);
+  const std::vector<NodeId> nodes = g.node_ids();
+  for (NodeId n : nodes) {
+    for (EdgeId e : g.fanin(n)) {
+      if (filter.accepts(g.edge(e).kind)) ++indegree[n.value];
+    }
+  }
+  std::deque<NodeId> ready;
+  for (NodeId n : nodes) {
+    if (indegree[n.value] == 0) ready.push_back(n);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes.size());
+  while (!ready.empty()) {
+    const NodeId n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (EdgeId e : g.fanout(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      if (--indegree[ed.dst.value] == 0) ready.push_back(ed.dst);
+    }
+  }
+  if (order.size() != nodes.size()) {
+    throw std::runtime_error("topo_order: precedence relation is cyclic in '" +
+                             g.name() + "'");
+  }
+  return order;
+}
+
+TimingInfo compute_timing(const Graph& g, int latency, EdgeFilter filter) {
+  const std::size_t cap = g.node_capacity();
+  TimingInfo t;
+  t.asap.assign(cap, -1);
+  t.alap.assign(cap, -1);
+
+  const std::vector<NodeId> order = topo_order(g, filter);
+
+  // ASAP: forward longest path.
+  int cp = 0;
+  for (NodeId n : order) {
+    int start = 0;
+    for (EdgeId e : g.fanin(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      const NodeId p = ed.src;
+      start = std::max(start, t.asap[p.value] + g.node(p).delay);
+    }
+    t.asap[n.value] = start;
+    cp = std::max(cp, start + g.node(n).delay);
+  }
+  t.critical_path = cp;
+
+  if (latency < 0) {
+    latency = cp;
+  } else if (latency < cp) {
+    throw std::invalid_argument(
+        "compute_timing: latency " + std::to_string(latency) +
+        " below critical path " + std::to_string(cp) + " in '" + g.name() + "'");
+  }
+  t.latency = latency;
+
+  // ALAP: backward longest path against the latency bound.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    int latest = latency - g.node(n).delay;
+    for (EdgeId e : g.fanout(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      latest = std::min(latest, t.alap[ed.dst.value] - g.node(n).delay);
+    }
+    t.alap[n.value] = latest;
+  }
+  return t;
+}
+
+int critical_path_length(const Graph& g, EdgeFilter filter) {
+  return compute_timing(g, -1, filter).critical_path;
+}
+
+std::vector<ConeNode> fanin_cone(const Graph& g, NodeId root, int max_distance,
+                                 EdgeFilter filter) {
+  if (!g.is_live(root)) {
+    throw std::out_of_range("fanin_cone: dead root node");
+  }
+  std::vector<int> dist(g.node_capacity(), -1);
+  std::deque<NodeId> queue;
+  dist[root.value] = 0;
+  queue.push_back(root);
+  std::vector<ConeNode> cone;
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    cone.push_back(ConeNode{n, dist[n.value]});
+    if (max_distance >= 0 && dist[n.value] >= max_distance) continue;
+    for (EdgeId e : g.fanin(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      if (dist[ed.src.value] < 0) {
+        dist[ed.src.value] = dist[n.value] + 1;
+        queue.push_back(ed.src);
+      }
+    }
+  }
+  // BFS already yields nondecreasing distance; make (distance, id) exact.
+  std::sort(cone.begin(), cone.end(), [](const ConeNode& a, const ConeNode& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.node < b.node;
+  });
+  return cone;
+}
+
+int cone_cardinality(const Graph& g, NodeId n, int x, EdgeFilter filter) {
+  const auto cone = fanin_cone(g, n, x, filter);
+  return static_cast<int>(cone.size()) - 1;  // exclude n itself
+}
+
+long long cone_functional_sum(const Graph& g, NodeId n, int x, EdgeFilter filter) {
+  long long sum = 0;
+  for (const ConeNode& c : fanin_cone(g, n, x, filter)) {
+    sum += functional_id(g.node(c.node).kind);
+  }
+  return sum;
+}
+
+std::vector<int> levels_from(const Graph& g, NodeId root, EdgeFilter filter) {
+  if (!g.is_live(root)) {
+    throw std::out_of_range("levels_from: dead root node");
+  }
+  // Longest path over fan-in edges from root: process nodes in reverse
+  // topological order (fan-in direction follows edges backwards, so a
+  // node's level depends on its fan-out side nodes' levels).
+  std::vector<int> level(g.node_capacity(), -1);
+  level[root.value] = 0;
+  const std::vector<NodeId> order = topo_order(g, filter);
+  // Walk from sinks toward sources: reverse topological order guarantees
+  // that when we visit n, every consumer of n is finalized.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    for (EdgeId e : g.fanout(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      if (level[ed.dst.value] >= 0) {
+        level[n.value] = std::max(level[n.value], level[ed.dst.value] + 1);
+      }
+    }
+  }
+  return level;
+}
+
+bool reaches(const Graph& g, NodeId src, NodeId dst, EdgeFilter filter) {
+  if (!g.is_live(src) || !g.is_live(dst)) return false;
+  if (src == dst) return true;
+  std::vector<bool> seen(g.node_capacity(), false);
+  std::deque<NodeId> queue{src};
+  seen[src.value] = true;
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g.fanout(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind) || seen[ed.dst.value]) continue;
+      if (ed.dst == dst) return true;
+      seen[ed.dst.value] = true;
+      queue.push_back(ed.dst);
+    }
+  }
+  return false;
+}
+
+}  // namespace lwm::cdfg

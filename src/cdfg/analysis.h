@@ -1,0 +1,121 @@
+// analysis.h — structural & timing analysis over CDFGs.
+//
+// Provides the primitives the watermarking protocols are built from:
+//   * topological order over the precedence relation;
+//   * ASAP / ALAP control steps and the critical path length C;
+//   * laxity(n): length of the longest source-to-sink path through n;
+//   * fan-in cones with bounded distance (the K_i(x) and phi(n_i, x)
+//     metrics of ordering criteria C2/C3, and the fanin-tree domain T_o).
+//
+// Control steps are 0-based: an executable operation scheduled at step s
+// occupies steps [s, s + delay).  Pseudo-operations (inputs, outputs,
+// constants) have zero delay and float at the schedule boundaries.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/graph.h"
+
+namespace lwm::cdfg {
+
+/// Which edge kinds participate in an analysis.  Watermark *selection*
+/// works on the original specification (data + control only), while
+/// scheduling and verification must also honor temporal edges.
+struct EdgeFilter {
+  bool data = true;
+  bool control = true;
+  bool temporal = true;
+
+  [[nodiscard]] bool accepts(EdgeKind k) const noexcept {
+    switch (k) {
+      case EdgeKind::kData:
+        return data;
+      case EdgeKind::kControl:
+        return control;
+      case EdgeKind::kTemporal:
+        return temporal;
+    }
+    return false;
+  }
+
+  /// All edge kinds (the default; used when scheduling a watermarked spec).
+  static constexpr EdgeFilter all() { return {true, true, true}; }
+  /// Original specification only — temporal (watermark) edges ignored.
+  static constexpr EdgeFilter specification() { return {true, true, false}; }
+};
+
+/// Live nodes in a topological order of the precedence relation restricted
+/// to `filter`.  Throws std::runtime_error if the restriction is cyclic.
+[[nodiscard]] std::vector<NodeId> topo_order(const Graph& g,
+                                             EdgeFilter filter = EdgeFilter::all());
+
+/// ASAP/ALAP windows plus derived quantities.  Vectors are indexed by
+/// NodeId::value; entries for dead ids are -1.
+struct TimingInfo {
+  std::vector<int> asap;  ///< earliest start step of each node
+  std::vector<int> alap;  ///< latest start step within `latency`
+  int critical_path = 0;  ///< C: minimum schedule length (delay-weighted)
+  int latency = 0;        ///< bound used for ALAP (>= critical_path)
+
+  /// slack = alap - asap (scheduling freedom in steps).
+  [[nodiscard]] int slack(NodeId n) const { return alap[n.value] - asap[n.value]; }
+
+  /// Longest source-to-sink path through n, in control steps — the
+  /// paper's laxity(n).  Equals asap + (latency - alap); a critical node
+  /// has laxity == latency (== C when latency == C).
+  [[nodiscard]] int laxity(NodeId n) const {
+    return asap[n.value] + latency - alap[n.value];
+  }
+
+  /// True when two nodes' [asap, alap] windows overlap — the protocol's
+  /// "overlapping scheduling period" requirement for watermark edges.
+  [[nodiscard]] bool windows_overlap(NodeId a, NodeId b) const {
+    return asap[a.value] <= alap[b.value] && asap[b.value] <= alap[a.value];
+  }
+};
+
+/// Computes ASAP, ALAP and the critical path under `filter`.
+/// `latency` < 0 means "use the critical path length" (zero-slack ALAP on
+/// critical nodes); otherwise it must be >= the critical path.
+[[nodiscard]] TimingInfo compute_timing(const Graph& g, int latency = -1,
+                                        EdgeFilter filter = EdgeFilter::all());
+
+/// Critical path length C in control steps (delay-weighted longest
+/// source-to-sink path over executable nodes).
+[[nodiscard]] int critical_path_length(const Graph& g,
+                                       EdgeFilter filter = EdgeFilter::all());
+
+/// Transitive fan-in cone of `root` truncated at `max_distance` edges
+/// (BFS over fan-in edges; distance = minimum edge count from `root`).
+/// `max_distance < 0` means unbounded.  The result includes `root` at
+/// distance 0 and is ordered by (distance, NodeId).
+struct ConeNode {
+  NodeId node;
+  int distance = 0;
+};
+[[nodiscard]] std::vector<ConeNode> fanin_cone(const Graph& g, NodeId root,
+                                               int max_distance = -1,
+                                               EdgeFilter filter = EdgeFilter::specification());
+
+/// K_i(x): number of nodes (excluding n_i itself) in the transitive
+/// fan-in tree of n_i within distance x — ordering criterion C2.
+[[nodiscard]] int cone_cardinality(const Graph& g, NodeId n, int x,
+                                   EdgeFilter filter = EdgeFilter::specification());
+
+/// phi(n_i, x): sum of functional ids f(n_a) over the fan-in tree of n_i
+/// within distance x (n_i included) — ordering criterion C3.
+[[nodiscard]] long long cone_functional_sum(const Graph& g, NodeId n, int x,
+                                            EdgeFilter filter = EdgeFilter::specification());
+
+/// Longest path (in edges) from `root` to each node reachable through
+/// fan-in edges — the level L_i of ordering criterion C1 ("the longest
+/// path in the CDFG from n_o to n_i").  Unreachable nodes get -1.
+/// Indexed by NodeId::value.
+[[nodiscard]] std::vector<int> levels_from(const Graph& g, NodeId root,
+                                           EdgeFilter filter = EdgeFilter::specification());
+
+/// True if `dst` is reachable from `src` over edges accepted by `filter`.
+[[nodiscard]] bool reaches(const Graph& g, NodeId src, NodeId dst,
+                           EdgeFilter filter = EdgeFilter::all());
+
+}  // namespace lwm::cdfg

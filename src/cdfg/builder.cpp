@@ -1,0 +1,2 @@
+// builder.cpp — Builder is header-only; this TU anchors the target.
+#include "cdfg/builder.h"

@@ -1,0 +1,79 @@
+// builder.h — fluent construction helper for CDFGs.
+//
+// The benchmark generators in dfglib build graphs with thousands of nodes;
+// the builder keeps that code close to the dataflow equations it encodes:
+//
+//   Builder b("biquad");
+//   auto x  = b.input("x");
+//   auto d1 = b.input("d1");
+//   auto t  = b.add(x, b.mul(d1, b.constant("a1")));
+//   b.output("y", t);
+//   Graph g = std::move(b).build();
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "cdfg/graph.h"
+
+namespace lwm::cdfg {
+
+class Builder {
+ public:
+  Builder() = default;
+  explicit Builder(std::string name) : g_(std::move(name)) {}
+
+  /// Adds a primary input node.
+  NodeId input(std::string name = {}) { return g_.add_node(OpKind::kInput, std::move(name)); }
+
+  /// Adds a constant node.
+  NodeId constant(std::string name = {}) { return g_.add_node(OpKind::kConst, std::move(name)); }
+
+  /// Adds a primary output fed by `src`.
+  NodeId output(std::string name, NodeId src) {
+    const NodeId o = g_.add_node(OpKind::kOutput, std::move(name));
+    g_.add_edge(src, o);
+    return o;
+  }
+
+  /// Adds an operation with the given data inputs (in order).
+  NodeId op(OpKind kind, std::string name, std::initializer_list<NodeId> ins) {
+    const NodeId n = g_.add_node(kind, std::move(name));
+    for (NodeId i : ins) g_.add_edge(i, n);
+    return n;
+  }
+  NodeId op(OpKind kind, std::initializer_list<NodeId> ins) {
+    return op(kind, {}, ins);
+  }
+
+  // Shorthand for the common two-input arithmetic ops.
+  NodeId add(NodeId a, NodeId b, std::string name = {}) {
+    return op(OpKind::kAdd, std::move(name), {a, b});
+  }
+  NodeId sub(NodeId a, NodeId b, std::string name = {}) {
+    return op(OpKind::kSub, std::move(name), {a, b});
+  }
+  NodeId mul(NodeId a, NodeId b, std::string name = {}) {
+    return op(OpKind::kMul, std::move(name), {a, b});
+  }
+  NodeId shift(NodeId a, std::string name = {}) {
+    return op(OpKind::kShift, std::move(name), {a});
+  }
+
+  /// Adds a control edge (sequencing without a value).
+  EdgeId control(NodeId before, NodeId after) {
+    return g_.add_edge(before, after, EdgeKind::kControl);
+  }
+
+  /// Access to the graph under construction (e.g. for ad-hoc edges).
+  Graph& graph() noexcept { return g_; }
+
+  /// Finalizes; the builder is left empty.
+  Graph build() && { return std::move(g_); }
+
+ private:
+  Graph g_;
+};
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,53 @@
+#include "cdfg/dot.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "cdfg/analysis.h"
+
+namespace lwm::cdfg {
+
+void write_dot(const Graph& g, std::ostream& os, const DotOptions& opts) {
+  os << "digraph \"" << (g.name().empty() ? "cdfg" : g.name()) << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n";
+  for (NodeId n : g.node_ids()) {
+    const Node& node = g.node(n);
+    os << "  n" << n.value << " [label=\"" << node.name;
+    if (opts.timing != nullptr) {
+      os << "\\n[" << opts.timing->asap[n.value] << ","
+         << opts.timing->alap[n.value] << "]";
+    }
+    os << "\"";
+    if (is_source(node.kind)) {
+      os << ", shape=invtriangle";
+    } else if (is_sink(node.kind)) {
+      os << ", shape=triangle";
+    } else if (node.kind == OpKind::kMul || node.kind == OpKind::kDiv) {
+      os << ", shape=box";
+    }
+    if (opts.highlight.count(n) != 0) {
+      os << ", style=filled, fillcolor=lightgoldenrod";
+    }
+    os << "];\n";
+  }
+  for (EdgeId e : g.edge_ids()) {
+    const Edge& ed = g.edge(e);
+    if (ed.kind == EdgeKind::kTemporal && !opts.show_temporal) continue;
+    os << "  n" << ed.src.value << " -> n" << ed.dst.value;
+    if (ed.kind == EdgeKind::kTemporal) {
+      os << " [style=dashed, color=red]";
+    } else if (ed.kind == EdgeKind::kControl) {
+      os << " [style=dotted]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Graph& g, const DotOptions& opts) {
+  std::ostringstream os;
+  write_dot(g, os, opts);
+  return os.str();
+}
+
+}  // namespace lwm::cdfg

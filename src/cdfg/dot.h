@@ -1,0 +1,27 @@
+// dot.h — Graphviz export for debugging and documentation figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+
+#include "cdfg/graph.h"
+
+namespace lwm::cdfg {
+
+/// Rendering options for to_dot().
+struct DotOptions {
+  /// Nodes to highlight (e.g. a watermark locality); drawn filled.
+  std::unordered_set<NodeId> highlight;
+  /// Include temporal edges (dashed red) — useful to visualize the
+  /// watermark constraints before they are stripped.
+  bool show_temporal = true;
+  /// Annotate nodes with "asap/alap" windows when non-null.
+  const struct TimingInfo* timing = nullptr;
+};
+
+void write_dot(const Graph& g, std::ostream& os, const DotOptions& opts = {});
+
+[[nodiscard]] std::string to_dot(const Graph& g, const DotOptions& opts = {});
+
+}  // namespace lwm::cdfg

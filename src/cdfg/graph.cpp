@@ -1,0 +1,184 @@
+#include "cdfg/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lwm::cdfg {
+
+std::string_view edge_kind_name(EdgeKind k) noexcept {
+  switch (k) {
+    case EdgeKind::kData:
+      return "data";
+    case EdgeKind::kControl:
+      return "control";
+    case EdgeKind::kTemporal:
+      return "temporal";
+  }
+  return "?";
+}
+
+NodeId Graph::add_node(OpKind kind, std::string name, int delay) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  if (name.empty()) {
+    name = std::string(op_name(kind)) + std::to_string(id.value);
+  }
+  if (delay < 0) {
+    delay = default_delay(kind);
+  }
+  nodes_.push_back(Node{kind, std::move(name), delay});
+  node_live_.push_back(true);
+  fanin_.emplace_back();
+  fanout_.emplace_back();
+  ++live_nodes_;
+  return id;
+}
+
+EdgeId Graph::add_edge(NodeId src, NodeId dst, EdgeKind kind) {
+  check_live(src);
+  check_live(dst);
+  if (src == dst) {
+    throw std::invalid_argument("Graph::add_edge: self-loop on node '" +
+                                nodes_[src.value].name + "'");
+  }
+  const EdgeId id{static_cast<std::uint32_t>(edges_.size())};
+  edges_.push_back(Edge{src, dst, kind});
+  edge_live_.push_back(true);
+  fanout_[src.value].push_back(id);
+  fanin_[dst.value].push_back(id);
+  ++live_edges_;
+  return id;
+}
+
+void Graph::remove_edge(EdgeId e) {
+  check_live(e);
+  const Edge& ed = edges_[e.value];
+  auto erase_from = [e](std::vector<EdgeId>& v) {
+    v.erase(std::remove(v.begin(), v.end(), e), v.end());
+  };
+  erase_from(fanout_[ed.src.value]);
+  erase_from(fanin_[ed.dst.value]);
+  edge_live_[e.value] = false;
+  --live_edges_;
+}
+
+void Graph::remove_node(NodeId n) {
+  check_live(n);
+  // Copy: remove_edge mutates the adjacency lists we iterate.
+  const std::vector<EdgeId> in = fanin_[n.value];
+  const std::vector<EdgeId> out = fanout_[n.value];
+  for (EdgeId e : in) remove_edge(e);
+  for (EdgeId e : out) remove_edge(e);
+  node_live_[n.value] = false;
+  --live_nodes_;
+}
+
+void Graph::rename_node(NodeId n, std::string name) {
+  check_live(n);
+  nodes_[n.value].name = std::move(name);
+}
+
+int Graph::strip_temporal_edges() {
+  int removed = 0;
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    const EdgeId e{i};
+    if (edge_live_[i] && edges_[i].kind == EdgeKind::kTemporal) {
+      remove_edge(e);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+bool Graph::is_live(NodeId n) const noexcept {
+  return n.valid() && n.value < nodes_.size() && node_live_[n.value];
+}
+
+bool Graph::is_live(EdgeId e) const noexcept {
+  return e.valid() && e.value < edges_.size() && edge_live_[e.value];
+}
+
+const Node& Graph::node(NodeId n) const {
+  check_live(n);
+  return nodes_[n.value];
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  check_live(e);
+  return edges_[e.value];
+}
+
+std::span<const EdgeId> Graph::fanin(NodeId n) const {
+  check_live(n);
+  return fanin_[n.value];
+}
+
+std::span<const EdgeId> Graph::fanout(NodeId n) const {
+  check_live(n);
+  return fanout_[n.value];
+}
+
+std::vector<NodeId> Graph::node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(live_nodes_);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (node_live_[i]) out.push_back(NodeId{i});
+  }
+  return out;
+}
+
+std::vector<EdgeId> Graph::edge_ids() const {
+  std::vector<EdgeId> out;
+  out.reserve(live_edges_);
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    if (edge_live_[i]) out.push_back(EdgeId{i});
+  }
+  return out;
+}
+
+std::vector<EdgeId> Graph::edges_of_kind(EdgeKind k) const {
+  std::vector<EdgeId> out;
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    if (edge_live_[i] && edges_[i].kind == k) out.push_back(EdgeId{i});
+  }
+  return out;
+}
+
+NodeId Graph::find(std::string_view name) const noexcept {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (node_live_[i] && nodes_[i].name == name) return NodeId{i};
+  }
+  return NodeId{};
+}
+
+std::size_t Graph::operation_count() const {
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (node_live_[i] && is_executable(nodes_[i].kind)) ++n;
+  }
+  return n;
+}
+
+bool Graph::has_edge(NodeId src, NodeId dst, EdgeKind kind) const {
+  if (!is_live(src) || !is_live(dst)) return false;
+  for (EdgeId e : fanout_[src.value]) {
+    const Edge& ed = edges_[e.value];
+    if (ed.dst == dst && ed.kind == kind) return true;
+  }
+  return false;
+}
+
+void Graph::check_live(NodeId n) const {
+  if (!is_live(n)) {
+    throw std::out_of_range("Graph: dead or out-of-range NodeId " +
+                            std::to_string(n.value));
+  }
+}
+
+void Graph::check_live(EdgeId e) const {
+  if (!is_live(e)) {
+    throw std::out_of_range("Graph: dead or out-of-range EdgeId " +
+                            std::to_string(e.value));
+  }
+}
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,189 @@
+// graph.h — the control/data-flow graph (CDFG) at the heart of the library.
+//
+// Syntax follows the paper's CDFG format: a flow graph with nodes, data
+// edges, and control edges; semantics are homogeneous SDF.  In addition to
+// data and control edges the graph supports *temporal* edges — the extra
+// precedence constraints ("standard nomenclature for behavioral
+// descriptions, e.g. HYPER") that the watermarking protocol augments and
+// later strips from the specification.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdfg/op.h"
+
+namespace lwm::cdfg {
+
+/// Strongly typed node handle.  Indexes are stable for the lifetime of the
+/// graph (removal uses tombstones, never reindexing), so NodeIds may be
+/// stored across mutations.
+struct NodeId {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value != std::numeric_limits<std::uint32_t>::max();
+  }
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// Strongly typed edge handle; same stability guarantees as NodeId.
+struct EdgeId {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr EdgeId() = default;
+  constexpr explicit EdgeId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value != std::numeric_limits<std::uint32_t>::max();
+  }
+  friend constexpr auto operator<=>(EdgeId, EdgeId) = default;
+};
+
+/// Edge flavor.  All three impose precedence on a legal schedule; they
+/// differ in provenance: data edges carry values, control edges sequence
+/// operations for control-flow reasons, temporal edges exist only to
+/// encode watermark constraints (and are stripped after synthesis).
+enum class EdgeKind : std::uint8_t { kData, kControl, kTemporal };
+
+std::string_view edge_kind_name(EdgeKind k) noexcept;
+
+/// A CDFG operation node.
+struct Node {
+  OpKind kind = OpKind::kAdd;
+  std::string name;  ///< human-readable label (unique per graph)
+  int delay = 1;     ///< latency in control steps
+};
+
+/// A directed edge between two nodes.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+  EdgeKind kind = EdgeKind::kData;
+};
+
+/// Mutable CDFG.
+///
+/// Invariants (checked by validate.h):
+///   * the precedence relation over live edges is acyclic;
+///   * node names are unique;
+///   * source/sink pseudo-ops have no fan-in / fan-out respectively.
+///
+/// Fan-in edge lists preserve insertion order — the watermarking domain-
+/// identification step depends on a deterministic, reproducible ordering
+/// of each node's inputs.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction -----------------------------------------------------
+
+  /// Adds a node.  If `name` is empty a unique "<op><index>" label is
+  /// generated.  If `delay` is negative the op's default latency is used.
+  NodeId add_node(OpKind kind, std::string name = {}, int delay = -1);
+
+  /// Adds a directed edge.  Both endpoints must be live and distinct.
+  /// Duplicate parallel edges are allowed (commutative two-input ops may
+  /// read the same value twice).
+  EdgeId add_edge(NodeId src, NodeId dst, EdgeKind kind = EdgeKind::kData);
+
+  /// Tombstones an edge.  Handles to other edges remain valid.
+  void remove_edge(EdgeId e);
+
+  /// Tombstones a node and every edge incident to it.
+  void remove_node(NodeId n);
+
+  /// Renames a live node.  The new name must stay unique (checked by
+  /// validate(), not here).  Detection never reads names — this exists
+  /// so tests can model a renaming adversary and tools can relabel.
+  void rename_node(NodeId n, std::string name);
+
+  /// Removes every temporal edge — the post-synthesis "strip the
+  /// watermark constraints from the optimized specification" step.
+  /// Returns the number of edges removed.
+  int strip_temporal_edges();
+
+  // ---- queries ------------------------------------------------------------
+
+  [[nodiscard]] bool is_live(NodeId n) const noexcept;
+  [[nodiscard]] bool is_live(EdgeId e) const noexcept;
+
+  /// Live node/edge counts (tombstoned entries excluded).
+  [[nodiscard]] std::size_t node_count() const noexcept { return live_nodes_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return live_edges_; }
+
+  /// Upper bound on NodeId::value + 1 (array-sizing helper).
+  [[nodiscard]] std::size_t node_capacity() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_capacity() const noexcept { return edges_.size(); }
+
+  /// Node/edge payloads.  Precondition: handle is live.
+  [[nodiscard]] const Node& node(NodeId n) const;
+  [[nodiscard]] const Edge& edge(EdgeId e) const;
+
+  /// Edges into / out of `n`, in insertion order; tombstoned edges are
+  /// excluded (the lists are maintained eagerly on removal).
+  [[nodiscard]] std::span<const EdgeId> fanin(NodeId n) const;
+  [[nodiscard]] std::span<const EdgeId> fanout(NodeId n) const;
+
+  /// All live node ids in ascending id order.
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+
+  /// All live edge ids in ascending id order.
+  [[nodiscard]] std::vector<EdgeId> edge_ids() const;
+
+  /// Live edges of one kind.
+  [[nodiscard]] std::vector<EdgeId> edges_of_kind(EdgeKind k) const;
+
+  /// Looks a node up by its unique name; invalid NodeId if absent.
+  [[nodiscard]] NodeId find(std::string_view name) const noexcept;
+
+  /// Count of live executable nodes (the paper's "number of operations N";
+  /// inputs/outputs/constants excluded).
+  [[nodiscard]] std::size_t operation_count() const;
+
+  /// True if an edge src->dst of the given kind is present (live).
+  [[nodiscard]] bool has_edge(NodeId src, NodeId dst, EdgeKind kind) const;
+
+ private:
+  void check_live(NodeId n) const;
+  void check_live(EdgeId e) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<bool> node_live_;
+  std::vector<bool> edge_live_;
+  std::vector<std::vector<EdgeId>> fanin_;
+  std::vector<std::vector<EdgeId>> fanout_;
+  std::size_t live_nodes_ = 0;
+  std::size_t live_edges_ = 0;
+};
+
+}  // namespace lwm::cdfg
+
+template <>
+struct std::hash<lwm::cdfg::NodeId> {
+  std::size_t operator()(lwm::cdfg::NodeId n) const noexcept {
+    return std::hash<std::uint32_t>{}(n.value);
+  }
+};
+
+template <>
+struct std::hash<lwm::cdfg::EdgeId> {
+  std::size_t operator()(lwm::cdfg::EdgeId e) const noexcept {
+    return std::hash<std::uint32_t>{}(e.value);
+  }
+};

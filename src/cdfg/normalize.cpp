@@ -1,0 +1,42 @@
+#include "cdfg/normalize.h"
+
+#include <vector>
+
+namespace lwm::cdfg {
+
+int normalize_unit_ops(Graph& g) {
+  int collapsed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId n : g.node_ids()) {
+      if (g.node(n).kind != OpKind::kUnit) continue;
+      // A transparent unit op forwards exactly one data value.
+      NodeId producer;
+      int data_inputs = 0;
+      for (EdgeId e : g.fanin(n)) {
+        const Edge& ed = g.edge(e);
+        if (ed.kind == EdgeKind::kData) {
+          ++data_inputs;
+          producer = ed.src;
+        }
+      }
+      if (data_inputs != 1) continue;
+      // Re-feed the consumers, preserving edge kinds.
+      std::vector<std::pair<NodeId, EdgeKind>> consumers;
+      for (EdgeId e : g.fanout(n)) {
+        const Edge& ed = g.edge(e);
+        consumers.emplace_back(ed.dst, ed.kind);
+      }
+      g.remove_node(n);
+      for (const auto& [dst, kind] : consumers) {
+        g.add_edge(producer, dst, kind);
+      }
+      ++collapsed;
+      changed = true;
+    }
+  }
+  return collapsed;
+}
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,26 @@
+// normalize.h — canonicalization applied to suspect designs before
+// watermark detection.
+//
+// A cheap obfuscation against locality-based detection is to splice
+// functionally transparent operations (unit ops: "additions with
+// variables assigned to zero") into the dataflow — the carve then walks
+// a deformed cone and the structural gate rejects the locality.  The
+// counter-defense is equally cheap: unit operations are *detectably*
+// transparent, so the detector collapses them before carving.  An
+// attacker is left with semantic decoys (real operations), which cost
+// real hardware and latency in their own product — the "alter the design
+// substantially" price the paper argues makes tampering uneconomical.
+#pragma once
+
+#include "cdfg/graph.h"
+
+namespace lwm::cdfg {
+
+/// Collapses every kUnit node that forwards a single data input: its
+/// consumers are re-fed from its producer and the node is removed.
+/// Node ids of surviving nodes are untouched (schedules indexed by
+/// NodeId stay valid).  Returns the number of nodes collapsed; iterates
+/// until a fixed point (chained unit ops collapse fully).
+int normalize_unit_ops(Graph& g);
+
+}  // namespace lwm::cdfg

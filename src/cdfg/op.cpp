@@ -1,0 +1,69 @@
+#include "cdfg/op.h"
+
+#include <array>
+
+namespace lwm::cdfg {
+
+namespace {
+
+struct OpInfo {
+  std::string_view name;
+  UnitClass unit;
+  int delay;
+};
+
+constexpr std::array<OpInfo, kNumOpKinds> kOpTable = {{
+    {"input", UnitClass::kNone, 0},    // kInput
+    {"output", UnitClass::kNone, 0},   // kOutput
+    {"const", UnitClass::kNone, 0},    // kConst
+    {"add", UnitClass::kAlu, 1},       // kAdd
+    {"sub", UnitClass::kAlu, 1},       // kSub
+    {"mul", UnitClass::kMul, 1},       // kMul
+    {"div", UnitClass::kMul, 1},       // kDiv
+    {"shift", UnitClass::kAlu, 1},     // kShift
+    {"and", UnitClass::kAlu, 1},       // kAnd
+    {"or", UnitClass::kAlu, 1},        // kOr
+    {"xor", UnitClass::kAlu, 1},       // kXor
+    {"not", UnitClass::kAlu, 1},       // kNot
+    {"cmp", UnitClass::kAlu, 1},       // kCmp
+    {"mux", UnitClass::kAlu, 1},       // kMux
+    {"load", UnitClass::kMem, 1},      // kLoad
+    {"store", UnitClass::kMem, 1},     // kStore
+    {"branch", UnitClass::kBranch, 1}, // kBranch
+    {"unit", UnitClass::kAlu, 1},      // kUnit
+}};
+
+}  // namespace
+
+UnitClass unit_class(OpKind k) noexcept {
+  return kOpTable[static_cast<int>(k)].unit;
+}
+
+bool is_executable(OpKind k) noexcept {
+  return unit_class(k) != UnitClass::kNone;
+}
+
+bool is_source(OpKind k) noexcept {
+  return k == OpKind::kInput || k == OpKind::kConst;
+}
+
+bool is_sink(OpKind k) noexcept { return k == OpKind::kOutput; }
+
+std::string_view op_name(OpKind k) noexcept {
+  return kOpTable[static_cast<int>(k)].name;
+}
+
+std::optional<OpKind> op_from_name(std::string_view name) noexcept {
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    if (kOpTable[static_cast<std::size_t>(i)].name == name) {
+      return static_cast<OpKind>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+int default_delay(OpKind k) noexcept {
+  return kOpTable[static_cast<int>(k)].delay;
+}
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,111 @@
+#include "cdfg/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lwm::cdfg {
+
+void write_text(const Graph& g, std::ostream& os) {
+  os << "cdfg " << (g.name().empty() ? "unnamed" : g.name()) << "\n";
+  for (NodeId n : g.node_ids()) {
+    const Node& node = g.node(n);
+    os << "node " << node.name << " " << op_name(node.kind);
+    if (node.delay != default_delay(node.kind)) {
+      os << " " << node.delay;
+    }
+    os << "\n";
+  }
+  for (EdgeId e : g.edge_ids()) {
+    const Edge& ed = g.edge(e);
+    os << "edge " << g.node(ed.src).name << " " << g.node(ed.dst).name;
+    if (ed.kind != EdgeKind::kData) {
+      os << " " << edge_kind_name(ed.kind);
+    }
+    os << "\n";
+  }
+}
+
+std::string to_text(const Graph& g) {
+  std::ostringstream os;
+  write_text(g, os);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("cdfg parse error at line " + std::to_string(line) +
+                           ": " + what);
+}
+
+}  // namespace
+
+Graph read_text(std::istream& is) {
+  Graph g;
+  std::unordered_map<std::string, NodeId> by_name;
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok[0] == '#') continue;
+    if (tok == "cdfg") {
+      std::string name;
+      if (!(ls >> name)) fail(lineno, "missing graph name");
+      g.set_name(name);
+      saw_header = true;
+    } else if (tok == "node") {
+      std::string name, op;
+      if (!(ls >> name >> op)) fail(lineno, "node needs <name> <op>");
+      const auto kind = op_from_name(op);
+      if (!kind) fail(lineno, "unknown op '" + op + "'");
+      if (by_name.count(name) != 0) fail(lineno, "duplicate node '" + name + "'");
+      int delay = -1;
+      ls >> delay;  // optional
+      by_name.emplace(name, g.add_node(*kind, name, delay));
+    } else if (tok == "edge") {
+      std::string src, dst;
+      if (!(ls >> src >> dst)) fail(lineno, "edge needs <src> <dst>");
+      const auto si = by_name.find(src);
+      const auto di = by_name.find(dst);
+      if (si == by_name.end()) fail(lineno, "unknown node '" + src + "'");
+      if (di == by_name.end()) fail(lineno, "unknown node '" + dst + "'");
+      std::string kind_name;
+      EdgeKind kind = EdgeKind::kData;
+      if (ls >> kind_name) {
+        if (kind_name == "data") {
+          kind = EdgeKind::kData;
+        } else if (kind_name == "control") {
+          kind = EdgeKind::kControl;
+        } else if (kind_name == "temporal") {
+          kind = EdgeKind::kTemporal;
+        } else {
+          fail(lineno, "unknown edge kind '" + kind_name + "'");
+        }
+      }
+      try {
+        g.add_edge(si->second, di->second, kind);
+      } catch (const std::invalid_argument& e) {
+        fail(lineno, e.what());
+      }
+    } else {
+      fail(lineno, "unknown directive '" + tok + "'");
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error("cdfg parse error: missing 'cdfg <name>' header");
+  }
+  return g;
+}
+
+Graph from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,36 @@
+// serialize.h — plain-text CDFG interchange format.
+//
+// A line-oriented format suitable for versioning benchmark graphs and for
+// shipping suspect designs to the watermark detector:
+//
+//   cdfg <name>
+//   node <name> <op> [delay]
+//   edge <src-name> <dst-name> [data|control|temporal]
+//   # comment
+//
+// Nodes must be declared before use; names may not contain whitespace.
+// Round-trips exactly: write(read(s)) == s up to comments/blank lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cdfg/graph.h"
+
+namespace lwm::cdfg {
+
+/// Writes `g` in the text format.  Edges are emitted in id order, so the
+/// output is deterministic for a given construction sequence.
+void write_text(const Graph& g, std::ostream& os);
+
+/// Serializes to a string.
+[[nodiscard]] std::string to_text(const Graph& g);
+
+/// Parses the text format.  Throws std::runtime_error with a line number
+/// on any syntax error, unknown op, duplicate node, or unknown endpoint.
+[[nodiscard]] Graph read_text(std::istream& is);
+
+/// Parses from a string.
+[[nodiscard]] Graph from_text(const std::string& text);
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,59 @@
+#include "cdfg/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace lwm::cdfg {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.values = g.node_count();
+  s.edges = g.edge_count();
+  s.operations = g.operation_count();
+
+  const TimingInfo timing = compute_timing(g, -1, EdgeFilter::specification());
+  s.critical_path = timing.critical_path;
+  s.avg_parallelism =
+      timing.critical_path == 0
+          ? 0.0
+          : static_cast<double>(s.operations) / timing.critical_path;
+
+  std::vector<int> slacks;
+  std::size_t slack_rich = 0;
+  const double bound = timing.critical_path * 0.75;
+  for (NodeId n : g.node_ids()) {
+    const Node& node = g.node(n);
+    ++s.kind_histogram[static_cast<std::size_t>(node.kind)];
+    if (!is_executable(node.kind)) continue;
+    slacks.push_back(timing.slack(n));
+    if (timing.laxity(n) <= bound) ++slack_rich;
+  }
+  if (!slacks.empty()) {
+    std::sort(slacks.begin(), slacks.end());
+    s.slack_min = slacks.front();
+    s.slack_median = slacks[slacks.size() / 2];
+    s.slack_max = slacks.back();
+    s.slack_rich_fraction =
+        static_cast<double>(slack_rich) / static_cast<double>(slacks.size());
+  }
+  return s;
+}
+
+std::string GraphStats::to_string() const {
+  std::string out;
+  out += "ops=" + std::to_string(operations);
+  out += " edges=" + std::to_string(edges);
+  out += " cp=" + std::to_string(critical_path);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " ilp=%.2f", avg_parallelism);
+  out += buf;
+  out += " slack[min/med/max]=" + std::to_string(slack_min) + "/" +
+         std::to_string(slack_median) + "/" + std::to_string(slack_max);
+  std::snprintf(buf, sizeof(buf), " slack-rich=%.0f%%",
+                100.0 * slack_rich_fraction);
+  out += buf;
+  return out;
+}
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,37 @@
+// stats.h — descriptive statistics over a CDFG (reporting/diagnostics).
+//
+// Benches and examples report these profiles so readers can judge how
+// close the reconstructed designs sit to the paper's workloads: op-kind
+// histogram, depth/parallelism profile, and the slack distribution the
+// watermark candidate pools are drawn from.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "cdfg/analysis.h"
+#include "cdfg/graph.h"
+
+namespace lwm::cdfg {
+
+struct GraphStats {
+  std::size_t operations = 0;
+  std::size_t values = 0;  ///< nodes incl. pseudo-ops
+  std::size_t edges = 0;
+  int critical_path = 0;
+  double avg_parallelism = 0.0;  ///< operations / critical path
+  std::array<std::size_t, kNumOpKinds> kind_histogram{};
+  /// Slack distribution quartiles (ALAP - ASAP at critical-path latency).
+  int slack_min = 0;
+  int slack_median = 0;
+  int slack_max = 0;
+  /// Fraction of operations with laxity <= (1 - eps) * C for eps = 0.25 —
+  /// the default watermark candidate pool share.
+  double slack_rich_fraction = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] GraphStats compute_stats(const Graph& g);
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,89 @@
+#include "cdfg/subgraph.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lwm::cdfg {
+
+Partition extract_partition(const Graph& g, std::span<const NodeId> keep,
+                            bool keep_temporal) {
+  Partition part;
+  part.graph.set_name(g.name() + "_part");
+  std::unordered_set<NodeId> keep_set(keep.begin(), keep.end());
+
+  for (NodeId n : keep) {
+    if (!g.is_live(n)) {
+      throw std::out_of_range("extract_partition: dead node in keep set");
+    }
+    const Node& node = g.node(n);
+    part.map.forward[n] = part.graph.add_node(node.kind, node.name, node.delay);
+  }
+
+  int fresh_in = 0;
+  int fresh_out = 0;
+  for (EdgeId e : g.edge_ids()) {
+    const Edge& ed = g.edge(e);
+    const bool src_in = keep_set.count(ed.src) != 0;
+    const bool dst_in = keep_set.count(ed.dst) != 0;
+    if (ed.kind == EdgeKind::kTemporal && !keep_temporal) continue;
+    if (src_in && dst_in) {
+      part.graph.add_edge(part.map.at(ed.src), part.map.at(ed.dst), ed.kind);
+    } else if (dst_in && ed.kind == EdgeKind::kData) {
+      // Severed fan-in: the value now arrives from outside the core.
+      const NodeId in = part.graph.add_node(
+          OpKind::kInput, "cut_in" + std::to_string(fresh_in++));
+      part.graph.add_edge(in, part.map.at(ed.dst), EdgeKind::kData);
+    } else if (src_in && ed.kind == EdgeKind::kData) {
+      // Severed fan-out: the value leaves the core.
+      const NodeId out = part.graph.add_node(
+          OpKind::kOutput, "cut_out" + std::to_string(fresh_out++));
+      part.graph.add_edge(part.map.at(ed.src), out, EdgeKind::kData);
+    }
+    // Severed control/temporal edges simply disappear with the context.
+  }
+  return part;
+}
+
+NodeMap embed_graph(Graph& host, const Graph& core, const std::string& prefix) {
+  NodeMap map;
+  for (NodeId n : core.node_ids()) {
+    const Node& node = core.node(n);
+    map.forward[n] = host.add_node(node.kind, prefix + node.name, node.delay);
+  }
+  for (EdgeId e : core.edge_ids()) {
+    const Edge& ed = core.edge(e);
+    host.add_edge(map.at(ed.src), map.at(ed.dst), ed.kind);
+  }
+  return map;
+}
+
+void rewire_input(Graph& g, NodeId input, NodeId src) {
+  if (g.node(input).kind != OpKind::kInput) {
+    throw std::invalid_argument("rewire_input: node is not a primary input");
+  }
+  // Collect consumers first: removing the node mutates adjacency.
+  std::vector<std::pair<NodeId, EdgeKind>> consumers;
+  for (EdgeId e : g.fanout(input)) {
+    const Edge& ed = g.edge(e);
+    consumers.emplace_back(ed.dst, ed.kind);
+  }
+  g.remove_node(input);
+  for (const auto& [dst, kind] : consumers) {
+    g.add_edge(src, dst, kind);
+  }
+}
+
+void rewire_output(Graph& g, NodeId output, NodeId dst) {
+  if (g.node(output).kind != OpKind::kOutput) {
+    throw std::invalid_argument("rewire_output: node is not a primary output");
+  }
+  const std::span<const EdgeId> in = g.fanin(output);
+  if (in.size() != 1) {
+    throw std::invalid_argument("rewire_output: output must have one producer");
+  }
+  const NodeId producer = g.edge(in.front()).src;
+  g.remove_node(output);
+  g.add_edge(producer, dst, EdgeKind::kData);
+}
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,65 @@
+#include "cdfg/validate.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "cdfg/analysis.h"
+
+namespace lwm::cdfg {
+
+std::vector<Violation> validate(const Graph& g) {
+  std::vector<Violation> out;
+
+  try {
+    (void)topo_order(g, EdgeFilter::all());
+  } catch (const std::runtime_error&) {
+    out.push_back({"precedence relation contains a cycle"});
+  }
+
+  std::unordered_set<std::string> names;
+  for (NodeId n : g.node_ids()) {
+    const Node& node = g.node(n);
+    if (!names.insert(node.name).second) {
+      out.push_back({"duplicate node name '" + node.name + "'"});
+    }
+    const std::size_t nin = g.fanin(n).size();
+    const std::size_t nout = g.fanout(n).size();
+    if (is_source(node.kind) && nin != 0) {
+      out.push_back({"source node '" + node.name + "' has fan-in"});
+    }
+    if (is_sink(node.kind)) {
+      if (nout != 0) {
+        out.push_back({"output node '" + node.name + "' has fan-out"});
+      }
+      if (nin != 1) {
+        out.push_back({"output node '" + node.name + "' must have exactly one input"});
+      }
+    }
+    if (is_executable(node.kind)) {
+      if (nin == 0) {
+        out.push_back({"operation '" + node.name + "' has no inputs"});
+      }
+      const bool may_dangle =
+          node.kind == OpKind::kStore || node.kind == OpKind::kBranch;
+      if (nout == 0 && !may_dangle) {
+        out.push_back({"operation '" + node.name + "' has no consumers"});
+      }
+    }
+    if (node.delay < 0) {
+      out.push_back({"node '" + node.name + "' has negative delay"});
+    }
+  }
+  return out;
+}
+
+void validate_or_throw(const Graph& g) {
+  const auto violations = validate(g);
+  if (violations.empty()) return;
+  std::string msg = "CDFG '" + g.name() + "' invalid:";
+  for (const Violation& v : violations) {
+    msg += "\n  - " + v.message;
+  }
+  throw std::runtime_error(msg);
+}
+
+}  // namespace lwm::cdfg

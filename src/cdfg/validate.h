@@ -1,0 +1,30 @@
+// validate.h — structural invariant checking for CDFGs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.h"
+
+namespace lwm::cdfg {
+
+/// One violated invariant, human-readable.
+struct Violation {
+  std::string message;
+};
+
+/// Checks all graph invariants:
+///   * acyclicity of the full precedence relation (data+control+temporal);
+///   * node-name uniqueness;
+///   * input/const nodes have no fan-in, output nodes have no fan-out;
+///   * output nodes have exactly one data input;
+///   * executable nodes have at least one fan-in and (except stores and
+///     branches) at least one fan-out — dangling operations are almost
+///     always generator bugs.
+[[nodiscard]] std::vector<Violation> validate(const Graph& g);
+
+/// Throws std::runtime_error with a joined message if validate() reports
+/// anything.  Convenience for generators and tests.
+void validate_or_throw(const Graph& g);
+
+}  // namespace lwm::cdfg

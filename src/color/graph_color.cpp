@@ -1,0 +1,204 @@
+#include "color/graph_color.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace lwm::color {
+
+UGraph::UGraph(int vertices) {
+  if (vertices < 0) {
+    throw std::invalid_argument("UGraph: negative vertex count");
+  }
+  adj_.resize(static_cast<std::size_t>(vertices));
+}
+
+void UGraph::check(int v) const {
+  if (v < 0 || v >= vertex_count()) {
+    throw std::out_of_range("UGraph: vertex " + std::to_string(v) +
+                            " out of range");
+  }
+}
+
+void UGraph::add_edge(int u, int v) {
+  check(u);
+  check(v);
+  if (u == v) {
+    throw std::invalid_argument("UGraph: self-loop on vertex " +
+                                std::to_string(u));
+  }
+  if (has_edge(u, v)) return;
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  ++edges_;
+}
+
+bool UGraph::has_edge(int u, int v) const {
+  check(u);
+  check(v);
+  const auto& nu = adj_[static_cast<std::size_t>(u)];
+  return std::find(nu.begin(), nu.end(), v) != nu.end();
+}
+
+const std::vector<int>& UGraph::neighbors(int v) const {
+  check(v);
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+int UGraph::degree(int v) const {
+  check(v);
+  return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+}
+
+UGraph UGraph::random(int vertices, double edge_probability,
+                      std::uint64_t seed) {
+  if (edge_probability < 0.0 || edge_probability > 1.0) {
+    throw std::invalid_argument("UGraph::random: bad probability");
+  }
+  UGraph g(vertices);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int u = 0; u < vertices; ++u) {
+    for (int v = u + 1; v < vertices; ++v) {
+      if (coin(rng) < edge_probability) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Colors vertices in the given order, smallest feasible color first,
+/// honoring adjacency and differ constraints.
+Coloring color_in_order(const UGraph& g, const std::vector<int>& order,
+                        const ColorConstraints& constraints) {
+  const int n = g.vertex_count();
+  std::vector<std::vector<int>> differ(static_cast<std::size_t>(n));
+  for (const auto& [u, v] : constraints.differ) {
+    differ[static_cast<std::size_t>(u)].push_back(v);
+    differ[static_cast<std::size_t>(v)].push_back(u);
+  }
+  Coloring c;
+  c.color.assign(static_cast<std::size_t>(n), -1);
+  for (const int v : order) {
+    std::vector<bool> banned(static_cast<std::size_t>(n) + 1, false);
+    for (const int w : g.neighbors(v)) {
+      if (c.color[static_cast<std::size_t>(w)] >= 0) {
+        banned[static_cast<std::size_t>(c.color[static_cast<std::size_t>(w)])] =
+            true;
+      }
+    }
+    for (const int w : differ[static_cast<std::size_t>(v)]) {
+      if (c.color[static_cast<std::size_t>(w)] >= 0) {
+        banned[static_cast<std::size_t>(c.color[static_cast<std::size_t>(w)])] =
+            true;
+      }
+    }
+    int color = 0;
+    while (banned[static_cast<std::size_t>(color)]) ++color;
+    c.color[static_cast<std::size_t>(v)] = color;
+    c.colors_used = std::max(c.colors_used, color + 1);
+  }
+  return c;
+}
+
+}  // namespace
+
+Coloring greedy_coloring(const UGraph& g, const ColorConstraints& constraints) {
+  std::vector<int> order(static_cast<std::size_t>(g.vertex_count()));
+  for (int v = 0; v < g.vertex_count(); ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  return color_in_order(g, order, constraints);
+}
+
+Coloring dsatur_coloring(const UGraph& g, const ColorConstraints& constraints) {
+  const int n = g.vertex_count();
+  std::vector<std::vector<int>> differ(static_cast<std::size_t>(n));
+  for (const auto& [u, v] : constraints.differ) {
+    differ[static_cast<std::size_t>(u)].push_back(v);
+    differ[static_cast<std::size_t>(v)].push_back(u);
+  }
+
+  Coloring c;
+  c.color.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::vector<bool>> neighbor_colors(
+      static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n) + 1, false));
+  std::vector<int> saturation(static_cast<std::size_t>(n), 0);
+
+  for (int placed = 0; placed < n; ++placed) {
+    // Highest saturation, ties by degree, then index (Brélaz's rule).
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (c.color[static_cast<std::size_t>(v)] >= 0) continue;
+      if (best < 0 ||
+          saturation[static_cast<std::size_t>(v)] >
+              saturation[static_cast<std::size_t>(best)] ||
+          (saturation[static_cast<std::size_t>(v)] ==
+               saturation[static_cast<std::size_t>(best)] &&
+           g.degree(v) > g.degree(best))) {
+        best = v;
+      }
+    }
+    // Smallest feasible color for `best`.
+    std::vector<bool> banned = neighbor_colors[static_cast<std::size_t>(best)];
+    for (const int w : differ[static_cast<std::size_t>(best)]) {
+      if (c.color[static_cast<std::size_t>(w)] >= 0) {
+        banned[static_cast<std::size_t>(c.color[static_cast<std::size_t>(w)])] =
+            true;
+      }
+    }
+    int color = 0;
+    while (banned[static_cast<std::size_t>(color)]) ++color;
+    c.color[static_cast<std::size_t>(best)] = color;
+    c.colors_used = std::max(c.colors_used, color + 1);
+    // Update saturations.
+    auto bump = [&](int w) {
+      if (c.color[static_cast<std::size_t>(w)] >= 0) return;
+      if (!neighbor_colors[static_cast<std::size_t>(w)]
+                          [static_cast<std::size_t>(color)]) {
+        neighbor_colors[static_cast<std::size_t>(w)]
+                       [static_cast<std::size_t>(color)] = true;
+        ++saturation[static_cast<std::size_t>(w)];
+      }
+    };
+    for (const int w : g.neighbors(best)) bump(w);
+    for (const int w : differ[static_cast<std::size_t>(best)]) bump(w);
+  }
+  return c;
+}
+
+ColoringCheck verify_coloring(const UGraph& g, const Coloring& c,
+                              const ColorConstraints& constraints) {
+  ColoringCheck check;
+  auto fail = [&check](std::string msg) {
+    check.ok = false;
+    check.errors.push_back(std::move(msg));
+  };
+  if (static_cast<int>(c.color.size()) != g.vertex_count()) {
+    fail("coloring size mismatch");
+    return check;
+  }
+  for (int v = 0; v < g.vertex_count(); ++v) {
+    const int cv = c.color[static_cast<std::size_t>(v)];
+    if (cv < 0 || cv >= c.colors_used) {
+      fail("vertex " + std::to_string(v) + " uncolored or out of range");
+    }
+    for (const int w : g.neighbors(v)) {
+      if (w > v && cv == c.color[static_cast<std::size_t>(w)]) {
+        fail("edge (" + std::to_string(v) + "," + std::to_string(w) +
+             ") monochromatic");
+      }
+    }
+  }
+  for (const auto& [u, v] : constraints.differ) {
+    if (c.color[static_cast<std::size_t>(u)] ==
+        c.color[static_cast<std::size_t>(v)]) {
+      fail("differ constraint (" + std::to_string(u) + "," +
+           std::to_string(v) + ") violated");
+    }
+  }
+  return check;
+}
+
+}  // namespace lwm::color

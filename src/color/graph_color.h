@@ -1,0 +1,74 @@
+// graph_color.h — undirected graphs and vertex coloring.
+//
+// The paper's §III introduces local watermarking with graph coloring as
+// the canonical example ("while uniquely marking a solution to graph
+// coloring, a local watermark is embedded in a random subgraph"), citing
+// Qu & Potkonjak's watermarking analysis for the problem.  Coloring is
+// also the natural generalization of register binding: the interference
+// graph of variable lifetimes is colored by registers.  This module
+// provides the substrate: an adjacency-set graph, greedy and DSATUR
+// coloring, and verification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lwm::color {
+
+/// Simple undirected graph over vertices 0..n-1.
+class UGraph {
+ public:
+  UGraph() = default;
+  explicit UGraph(int vertices);
+
+  [[nodiscard]] int vertex_count() const { return static_cast<int>(adj_.size()); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+  /// Adds an undirected edge; self-loops rejected, duplicates ignored.
+  void add_edge(int u, int v);
+  [[nodiscard]] bool has_edge(int u, int v) const;
+  [[nodiscard]] const std::vector<int>& neighbors(int v) const;
+  [[nodiscard]] int degree(int v) const;
+
+  /// Erdős–Rényi-style random graph, deterministic per seed.
+  static UGraph random(int vertices, double edge_probability, std::uint64_t seed);
+
+ private:
+  void check(int v) const;
+  std::vector<std::vector<int>> adj_;
+  std::size_t edges_ = 0;
+};
+
+/// A vertex coloring: color per vertex, colors 0..colors_used-1.
+struct Coloring {
+  std::vector<int> color;
+  int colors_used = 0;
+};
+
+/// Constraints for watermarked coloring: pairs of (non-adjacent) vertices
+/// forced to receive *different* colors — the Qu–Potkonjak encoding (an
+/// extra "ghost edge" per constraint).
+struct ColorConstraints {
+  std::vector<std::pair<int, int>> differ;
+};
+
+/// Greedy coloring in static vertex order (deterministic baseline).
+[[nodiscard]] Coloring greedy_coloring(const UGraph& g,
+                                       const ColorConstraints& constraints = {});
+
+/// DSATUR (Brélaz): colors the vertex with the highest color-saturation
+/// first; typically uses fewer colors than static greedy.
+[[nodiscard]] Coloring dsatur_coloring(const UGraph& g,
+                                       const ColorConstraints& constraints = {});
+
+/// Checks adjacency and constraint satisfaction.
+struct ColoringCheck {
+  bool ok = true;
+  std::vector<std::string> errors;
+};
+[[nodiscard]] ColoringCheck verify_coloring(const UGraph& g, const Coloring& c,
+                                            const ColorConstraints& constraints = {});
+
+}  // namespace lwm::color

@@ -1,0 +1,46 @@
+#include "crypto/rc4.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lwm::crypto {
+
+Rc4::Rc4(std::span<const std::uint8_t> key) {
+  if (key.empty() || key.size() > 256) {
+    throw std::invalid_argument("Rc4: key must be 1..256 bytes");
+  }
+  for (int k = 0; k < 256; ++k) {
+    s_[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(k);
+  }
+  std::uint8_t j = 0;
+  for (int k = 0; k < 256; ++k) {
+    j = static_cast<std::uint8_t>(j + s_[static_cast<std::size_t>(k)] +
+                                  key[static_cast<std::size_t>(k) % key.size()]);
+    std::swap(s_[static_cast<std::size_t>(k)], s_[j]);
+  }
+}
+
+std::uint8_t Rc4::next_byte() noexcept {
+  i_ = static_cast<std::uint8_t>(i_ + 1);
+  j_ = static_cast<std::uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<std::uint8_t>(s_[i_] + s_[j_])];
+}
+
+void Rc4::crypt(std::span<std::uint8_t> data) noexcept {
+  for (std::uint8_t& b : data) {
+    b ^= next_byte();
+  }
+}
+
+std::vector<std::uint8_t> Rc4::keystream(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::uint8_t& b : out) b = next_byte();
+  return out;
+}
+
+void Rc4::skip(std::size_t n) noexcept {
+  for (std::size_t k = 0; k < n; ++k) (void)next_byte();
+}
+
+}  // namespace lwm::crypto

@@ -1,0 +1,45 @@
+// rc4.h — the RC4 stream cipher.
+//
+// The paper derives all watermarking decisions from an author-specific
+// pseudorandom bitstream "generated using the RC4 stream cipher by
+// iteratively encrypting a certain standard seed number keyed with the
+// author's digital signature".  RC4's one-way keystream is what prevents
+// an attacker from reverse-engineering a signature that matches an
+// existing solution (paper §IV-A, third property).
+//
+// This is the textbook KSA + PRGA (Menezes et al., Handbook of Applied
+// Cryptography).  RC4 is cryptographically retired for transport security;
+// here it is reproduced as the paper's published design choice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lwm::crypto {
+
+class Rc4 {
+ public:
+  /// Initializes with a key of 1..256 bytes (KSA).
+  explicit Rc4(std::span<const std::uint8_t> key);
+
+  /// Next keystream byte (PRGA step).
+  std::uint8_t next_byte() noexcept;
+
+  /// XOR-encrypts `data` in place with the keystream.
+  void crypt(std::span<std::uint8_t> data) noexcept;
+
+  /// Convenience: keystream block of `n` bytes.
+  std::vector<std::uint8_t> keystream(std::size_t n);
+
+  /// Discards `n` keystream bytes (e.g. the RC4-drop-N hardening).
+  void skip(std::size_t n) noexcept;
+
+ private:
+  std::array<std::uint8_t, 256> s_{};
+  std::uint8_t i_ = 0;
+  std::uint8_t j_ = 0;
+};
+
+}  // namespace lwm::crypto

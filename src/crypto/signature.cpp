@@ -1,0 +1,52 @@
+#include "crypto/signature.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace lwm::crypto {
+
+namespace {
+
+// FNV-1a, used only for the loggable fingerprint (not for keying).
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Signature::Signature(std::string owner, std::string key_material)
+    : owner_(std::move(owner)), key_(std::move(key_material)) {
+  if (key_.empty()) {
+    throw std::invalid_argument("Signature: key material must be non-empty");
+  }
+  fingerprint_ = fnv1a(key_);
+}
+
+Signature Signature::derive(std::string_view label) const {
+  // Child key = parent key || 0x01 || label; the 0x01 byte keeps the
+  // derivation domain disjoint from stream()'s 0x00-separated tags.
+  std::string child_key = key_;
+  child_key.push_back('\x01');
+  child_key.append(label);
+  return Signature(owner_ + "/" + std::string(label), std::move(child_key));
+}
+
+Bitstream Signature::stream(std::string_view purpose_tag) const {
+  // RC4 key = signature bytes || 0x00 || tag bytes, truncated to the
+  // cipher's 256-byte key limit.  The 0x00 separator keeps ("ab","c")
+  // and ("a","bc") distinct.
+  std::vector<std::uint8_t> key;
+  key.reserve(key_.size() + 1 + purpose_tag.size());
+  for (const char c : key_) key.push_back(static_cast<std::uint8_t>(c));
+  key.push_back(0);
+  for (const char c : purpose_tag) key.push_back(static_cast<std::uint8_t>(c));
+  if (key.size() > 256) key.resize(256);
+  return Bitstream(Rc4(key));
+}
+
+}  // namespace lwm::crypto

@@ -1,0 +1,46 @@
+// signature.h — the author's digital signature and derived bitstreams.
+//
+// In the paper the signature D keys the RC4 generator; every stage of the
+// protocol (domain carving, node selection, edge partner choice, matching
+// choice) consumes the resulting stream.  We additionally bind each stream
+// to a short *purpose tag*, so independent protocol stages draw from
+// independent streams while remaining a pure function of (signature, tag).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/bitstream.h"
+
+namespace lwm::crypto {
+
+class Signature {
+ public:
+  /// `owner` is a display name; `key_material` is the author's secret
+  /// digital signature (any non-empty byte string).
+  Signature(std::string owner, std::string key_material);
+
+  [[nodiscard]] const std::string& owner() const noexcept { return owner_; }
+
+  /// Deterministic bitstream for one protocol stage.  Streams with
+  /// different tags are computationally independent (distinct RC4 keys).
+  [[nodiscard]] Bitstream stream(std::string_view purpose_tag) const;
+
+  /// Derives a child signature bound to `label` — e.g. one per licensed
+  /// recipient for fingerprinting.  Children are computationally
+  /// independent of each other and of the parent, but reproducible from
+  /// (parent key, label), so the vendor never stores per-copy secrets.
+  [[nodiscard]] Signature derive(std::string_view label) const;
+
+  /// Stable 64-bit fingerprint of the key material (safe to log; does not
+  /// reveal the key).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+ private:
+  std::string owner_;
+  std::string key_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace lwm::crypto

@@ -1,0 +1,30 @@
+#include "dfglib/designs.h"
+
+#include "dfglib/synth.h"
+
+namespace lwm::dfglib {
+
+const std::vector<Table2Design>& table2_designs() {
+  // {name, {budget row 1, budget row 2}, critical path, variables, % enf.}
+  // Note: the paper's two rows per design vary *either* the available
+  // control steps (x1 / x2 the critical path) — we reproduce that axis.
+  static const std::vector<Table2Design> kDesigns = {
+      {"8th Order CF IIR", {18, 36}, 18, 35, 3.0},
+      {"Linear GE Cntrlr", {12, 24}, 12, 48, 5.0},
+      {"Wavelet Filter", {16, 32}, 16, 31, 4.0},
+      {"Modem Filter", {10, 20}, 10, 33, 5.0},
+      {"Volterra 2nd ord.", {12, 24}, 12, 28, 5.0},
+      {"Volterra 3rd non-lin.", {20, 40}, 20, 50, 3.0},
+      {"D/A Converter", {132, 264}, 132, 354, 4.0},
+      {"Long Echo Canceler", {2566, 5132}, 2566, 1082, 2.0},
+  };
+  return kDesigns;
+}
+
+cdfg::Graph make_table2_design(const Table2Design& d) {
+  std::uint64_t seed = 0xc2b2ae3d27d4eb4full;
+  for (const char c : d.name) seed = seed * 131 + static_cast<unsigned char>(c);
+  return make_dsp_design(d.name, d.critical_path, d.variables, seed);
+}
+
+}  // namespace lwm::dfglib

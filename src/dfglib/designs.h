@@ -1,0 +1,33 @@
+// designs.h — the Table II benchmark designs.
+//
+// The paper's template-matching experiments use eight "small real-life
+// designs" synthesized with HYPER.  HYPER and its design files are not
+// available, so each design is reconstructed from its published
+// *critical path* and *variable count* columns with the make_dsp_design
+// generator: a multiply-accumulate spine carrying exactly the published
+// critical path plus parallel taps reaching exactly the published
+// operation count (documented substitution — see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/graph.h"
+
+namespace lwm::dfglib {
+
+struct Table2Design {
+  std::string name;       ///< as printed in Table II
+  int control_steps[2];   ///< the two "available control steps" rows
+  int critical_path;      ///< Table II column "Critical path"
+  int variables;          ///< Table II column "Variables"
+  double pct_enforced;    ///< Table II column "% mod. enf."
+};
+
+/// The eight Table II designs, in table order.
+[[nodiscard]] const std::vector<Table2Design>& table2_designs();
+
+/// Builds the reconstructed CDFG for one design.
+[[nodiscard]] cdfg::Graph make_table2_design(const Table2Design& d);
+
+}  // namespace lwm::dfglib

@@ -1,0 +1,61 @@
+#include "dfglib/iir4.h"
+
+#include "cdfg/builder.h"
+#include "cdfg/validate.h"
+
+namespace lwm::dfglib {
+
+cdfg::Graph iir4_parallel() {
+  using cdfg::Builder;
+  using cdfg::NodeId;
+  using cdfg::OpKind;
+
+  Builder b("iir4_parallel");
+  const NodeId x = b.input("x");
+  const NodeId s11 = b.input("s11");
+  const NodeId s12 = b.input("s12");
+  const NodeId s21 = b.input("s21");
+  const NodeId s22 = b.input("s22");
+
+  // Coefficient constants.
+  const NodeId k1 = b.constant("k1");
+  const NodeId k2 = b.constant("k2");
+  const NodeId k3 = b.constant("k3");
+  const NodeId k4 = b.constant("k4");
+  const NodeId k5 = b.constant("k5");
+  const NodeId k6 = b.constant("k6");
+  const NodeId k7 = b.constant("k7");
+  const NodeId k8 = b.constant("k8");
+
+  // Section 1.
+  const NodeId c1 = b.mul(s11, k1, "C1");
+  const NodeId c2 = b.mul(s12, k2, "C2");
+  const NodeId a1 = b.add(x, c1, "A1");
+  const NodeId a2 = b.add(a1, c2, "A2");  // w1
+  const NodeId c3 = b.mul(s11, k3, "C3");
+  const NodeId c4 = b.mul(s12, k4, "C4");
+  const NodeId a3 = b.add(a2, c3, "A3");
+  const NodeId a4 = b.add(a3, c4, "A4");  // y1
+
+  // Section 2.
+  const NodeId c5 = b.mul(s21, k5, "C5");
+  const NodeId c6 = b.mul(s22, k6, "C6");
+  const NodeId a5 = b.add(x, c5, "A5");
+  const NodeId a6 = b.add(a5, c6, "A6");  // w2
+  const NodeId c7 = b.mul(s21, k7, "C7");
+  const NodeId c8 = b.mul(s22, k8, "C8");
+  const NodeId a7 = b.add(a6, c7, "A7");
+  const NodeId a8 = b.add(a7, c8, "A8");  // y2
+
+  const NodeId a9 = b.add(a4, a8, "A9");  // y
+
+  b.output("y", a9);
+  b.output("w1_next", a2);
+  b.output("w2_next", a6);
+
+  cdfg::Graph g = std::move(b).build();
+  cdfg::validate_or_throw(g);
+  return g;
+}
+
+}  // namespace lwm::dfglib

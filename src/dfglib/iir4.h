@@ -1,0 +1,28 @@
+// iir4.h — the paper's motivational design: a 4th-order parallel IIR
+// filter (paper Figs. 3–4).
+//
+// Parallel form: two direct-form-II biquad sections summed at the output.
+// The naming follows the paper's figures — constant multiplications
+// C1..C8 and additions A1..A9:
+//
+//   section 1:  w1 = x + C1*s11 + C2*s12          (A1, A2)
+//               y1 = w1 + C3*s11 + C4*s12          (A3, A4)
+//   section 2:  w2 = x + C5*s21 + C6*s22          (A5, A6)
+//               y2 = w2 + C7*s21 + C8*s22          (A7, A8)
+//   output:     y  = y1 + y2                       (A9)
+//
+// s11/s12/s21/s22 are the state (delay-register) values, modeled as
+// primary inputs with the new states (w1, w2) also exported as outputs —
+// the homogeneous-SDF view of one filter iteration.
+#pragma once
+
+#include "cdfg/graph.h"
+
+namespace lwm::dfglib {
+
+/// Builds the filter; node names match the paper ("C1".."C8",
+/// "A1".."A9").  Constant multiplications are kMul nodes with unit delay
+/// (the paper schedules in unit-time operations).
+[[nodiscard]] cdfg::Graph iir4_parallel();
+
+}  // namespace lwm::dfglib

@@ -1,0 +1,139 @@
+#include "dfglib/kernels.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "cdfg/builder.h"
+#include "cdfg/validate.h"
+
+namespace lwm::dfglib {
+
+using cdfg::Builder;
+using cdfg::Graph;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+Graph make_fir(int taps) {
+  if (taps < 1) {
+    throw std::invalid_argument("make_fir: need taps >= 1");
+  }
+  Builder b("fir" + std::to_string(taps));
+  // Delay-line samples arrive as primary inputs (one filter iteration).
+  std::vector<NodeId> products;
+  for (int t = 0; t < taps; ++t) {
+    const NodeId x = b.input("x" + std::to_string(t));
+    const NodeId h = b.constant("h" + std::to_string(t));
+    products.push_back(b.mul(x, h, "p" + std::to_string(t)));
+  }
+  // Balanced adder tree.
+  std::vector<NodeId> level = products;
+  int adder = 0;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(b.add(level[i], level[i + 1], "s" + std::to_string(adder++)));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  b.output("y", level.front());
+  Graph g = std::move(b).build();
+  cdfg::validate_or_throw(g);
+  return g;
+}
+
+Graph make_fft(int points) {
+  if (points < 2 || (points & (points - 1)) != 0) {
+    throw std::invalid_argument("make_fft: points must be a power of two >= 2");
+  }
+  Builder b("fft" + std::to_string(points));
+  struct Complex {
+    NodeId re;
+    NodeId im;
+  };
+  std::vector<Complex> stage;
+  for (int i = 0; i < points; ++i) {
+    stage.push_back(Complex{b.input("xr" + std::to_string(i)),
+                            b.input("xi" + std::to_string(i))});
+  }
+
+  int uid = 0;
+  auto name = [&uid](const char* base) {
+    return std::string(base) + std::to_string(uid++);
+  };
+  // Butterfly: (a, b, twiddle w) -> (a + w*b, a - w*b) in complex
+  // arithmetic: w*b = (wr*br - wi*bi, wr*bi + wi*br).
+  auto butterfly = [&](const Complex& a, const Complex& bb, Complex* top,
+                       Complex* bottom) {
+    const NodeId wr = b.constant(name("wr"));
+    const NodeId wi = b.constant(name("wi"));
+    const NodeId m1 = b.mul(wr, bb.re, name("m"));
+    const NodeId m2 = b.mul(wi, bb.im, name("m"));
+    const NodeId m3 = b.mul(wr, bb.im, name("m"));
+    const NodeId m4 = b.mul(wi, bb.re, name("m"));
+    const NodeId tr = b.sub(m1, m2, name("t"));
+    const NodeId ti = b.add(m3, m4, name("t"));
+    top->re = b.add(a.re, tr, name("u"));
+    top->im = b.add(a.im, ti, name("u"));
+    bottom->re = b.sub(a.re, tr, name("u"));
+    bottom->im = b.sub(a.im, ti, name("u"));
+  };
+
+  // log2(points) stages of butterflies (DIT structure: span doubles).
+  for (int span = 1; span < points; span *= 2) {
+    std::vector<Complex> next(stage.size());
+    for (int block = 0; block < points; block += 2 * span) {
+      for (int k = 0; k < span; ++k) {
+        Complex top;
+        Complex bottom;
+        butterfly(stage[static_cast<std::size_t>(block + k)],
+                  stage[static_cast<std::size_t>(block + k + span)], &top,
+                  &bottom);
+        next[static_cast<std::size_t>(block + k)] = top;
+        next[static_cast<std::size_t>(block + k + span)] = bottom;
+      }
+    }
+    stage = std::move(next);
+  }
+  for (int i = 0; i < points; ++i) {
+    b.output("yr" + std::to_string(i), stage[static_cast<std::size_t>(i)].re);
+    b.output("yi" + std::to_string(i), stage[static_cast<std::size_t>(i)].im);
+  }
+  Graph g = std::move(b).build();
+  cdfg::validate_or_throw(g);
+  return g;
+}
+
+Graph make_biquad_cascade(int sections) {
+  if (sections < 1) {
+    throw std::invalid_argument("make_biquad_cascade: need sections >= 1");
+  }
+  Builder b("biquad_cascade" + std::to_string(sections));
+  NodeId x = b.input("x");
+  for (int s = 0; s < sections; ++s) {
+    const std::string p = "s" + std::to_string(s) + "_";
+    const NodeId d1 = b.input(p + "d1");
+    const NodeId d2 = b.input(p + "d2");
+    const NodeId a1 = b.constant(p + "a1");
+    const NodeId a2 = b.constant(p + "a2");
+    const NodeId b1 = b.constant(p + "b1");
+    const NodeId b2 = b.constant(p + "b2");
+    // w = x + a1*d1 + a2*d2;  y = w + b1*d1 + b2*d2
+    const NodeId fb1 = b.mul(a1, d1, p + "fb1");
+    const NodeId fb2 = b.mul(a2, d2, p + "fb2");
+    const NodeId w1 = b.add(x, fb1, p + "w1");
+    const NodeId w = b.add(w1, fb2, p + "w");
+    const NodeId ff1 = b.mul(b1, d1, p + "ff1");
+    const NodeId ff2 = b.mul(b2, d2, p + "ff2");
+    const NodeId y1 = b.add(w, ff1, p + "y1");
+    const NodeId y = b.add(y1, ff2, p + "y");
+    b.output(p + "w_next", w);
+    x = y;
+  }
+  b.output("y", x);
+  Graph g = std::move(b).build();
+  cdfg::validate_or_throw(g);
+  return g;
+}
+
+}  // namespace lwm::dfglib

@@ -1,0 +1,31 @@
+// kernels.h — classic DSP kernels with exactly-known structure.
+//
+// Unlike the statistical generators in synth.h, these are the textbook
+// dataflow graphs HLS papers benchmark on, constructed exactly:
+//   * make_fir(taps): transversal FIR filter — `taps` coefficient
+//     multiplies feeding a balanced adder tree.  Critical path
+//     1 + ceil(log2(taps)) for taps >= 2.
+//   * make_fft(points): radix-2 decimation-in-time FFT dataflow over
+//     real/imaginary pairs, log2(points) butterfly stages; each butterfly
+//     contributes 4 multiplies and 6 add/subs (complex twiddle multiply +
+//     combine).
+//   * make_biquad_cascade(sections): direct-form-II biquads in series —
+//     the serial counterpart of the paper's parallel IIR.
+#pragma once
+
+#include <string>
+
+#include "cdfg/graph.h"
+
+namespace lwm::dfglib {
+
+/// Transversal FIR filter; `taps` >= 1.
+[[nodiscard]] cdfg::Graph make_fir(int taps);
+
+/// Radix-2 DIT FFT dataflow; `points` must be a power of two >= 2.
+[[nodiscard]] cdfg::Graph make_fft(int points);
+
+/// Cascade of `sections` direct-form-II biquads; `sections` >= 1.
+[[nodiscard]] cdfg::Graph make_biquad_cascade(int sections);
+
+}  // namespace lwm::dfglib

@@ -1,0 +1,226 @@
+#include "dfglib/synth.h"
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "cdfg/analysis.h"
+#include "cdfg/validate.h"
+
+namespace lwm::dfglib {
+
+using cdfg::Graph;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+Graph make_dsp_design(const std::string& name, int critical_path,
+                      int operations, std::uint64_t seed) {
+  if (critical_path < 1 || operations < 1) {
+    throw std::invalid_argument("make_dsp_design: need cp >= 1 and ops >= 1");
+  }
+  std::mt19937_64 rng(seed);
+  Graph g(name);
+
+  // A small pool of primary inputs shared by the whole design.
+  std::vector<NodeId> inputs;
+  const int n_inputs = 4;
+  for (int i = 0; i < n_inputs; ++i) {
+    inputs.push_back(g.add_node(OpKind::kInput, "x" + std::to_string(i)));
+  }
+  auto any_input = [&] { return inputs[rng() % inputs.size()]; };
+
+  // Spine: serial accumulation chain carrying the critical path.
+  const int spine_len = std::min(operations, critical_path);
+  const int base_delay = critical_path / spine_len;
+  int remainder = critical_path % spine_len;  // spread +1 over `remainder` ops
+
+  std::vector<NodeId> spine;
+  std::vector<int> spine_start;  // start step of each spine op
+  int t = 0;
+  for (int i = 0; i < spine_len; ++i) {
+    int delay = base_delay;
+    if (remainder > 0) {
+      ++delay;
+      --remainder;
+    }
+    const OpKind kind = (i % 4 == 3) ? OpKind::kSub : OpKind::kAdd;
+    const NodeId n = g.add_node(kind, "spine" + std::to_string(i), delay);
+    if (i == 0) {
+      g.add_edge(any_input(), n);
+      g.add_edge(any_input(), n);
+    } else {
+      g.add_edge(spine[static_cast<std::size_t>(i - 1)], n);
+      g.add_edge(any_input(), n);
+    }
+    spine.push_back(n);
+    spine_start.push_back(t);
+    t += delay;
+  }
+  g.add_edge(spine.back(),
+             g.add_node(OpKind::kOutput, "y"));
+
+  // Feeders: parallel taps that raise the op count without stretching the
+  // critical path.  Where the spine is deep enough, taps come as
+  // multiply-accumulate pairs (mul feeding add feeding the spine) — the
+  // off-critical composite structure template matching feeds on; the
+  // rest are single ops.
+  std::vector<std::size_t> depth1;  // spine positions accepting 1-deep taps
+  std::vector<std::size_t> depth2;  // ... 2-deep tap chains
+  for (std::size_t i = 0; i < spine.size(); ++i) {
+    if (spine_start[i] >= 1) depth1.push_back(i);
+    if (spine_start[i] >= 2) depth2.push_back(i);
+  }
+  // Deepest tap chain each spine position can absorb without stretching
+  // the critical path.
+  auto positions_with_depth = [&](int depth) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < spine.size(); ++i) {
+      if (spine_start[i] >= depth) out.push_back(i);
+    }
+    return out;
+  };
+  int remaining = operations - spine_len;
+  int f = 0;
+  while (remaining > 0) {
+    const int want = 2 + static_cast<int>(rng() % 5);  // chain length 2..6
+    const int len = std::min(want, remaining);
+    const std::vector<std::size_t> legal =
+        len >= 2 ? positions_with_depth(len) : std::vector<std::size_t>{};
+    if (len >= 3 && !legal.empty() && rng() % 3 != 0) {
+      // Tap chain: mul -> add -> ... -> add -> spine.  Chains of adds
+      // admit *overlapping* composite coverings (mac vs add2 at every
+      // joint), so enforcing one matching mid-chain shifts the pairing
+      // parity of the rest — the covering-disruption effect template-
+      // matching watermarks rely on.
+      const NodeId m = g.add_node(OpKind::kMul, "tch" + std::to_string(f) + "m", 1);
+      g.add_edge(any_input(), m);
+      g.add_edge(any_input(), m);
+      NodeId prev = m;
+      for (int j = 1; j < len; ++j) {
+        const NodeId a = g.add_node(
+            OpKind::kAdd, "tch" + std::to_string(f) + "a" + std::to_string(j), 1);
+        g.add_edge(prev, a);
+        g.add_edge(any_input(), a);
+        prev = a;
+      }
+      g.add_edge(prev, spine[legal[rng() % legal.size()]]);
+      remaining -= len;
+    } else if (remaining >= 2 && !depth2.empty() && rng() % 2 == 0) {
+      // MAC pair: tapM -> tapA -> spine.
+      const NodeId m = g.add_node(OpKind::kMul, "tapm" + std::to_string(f), 1);
+      g.add_edge(any_input(), m);
+      g.add_edge(any_input(), m);
+      const NodeId a = g.add_node(OpKind::kAdd, "tapa" + std::to_string(f), 1);
+      g.add_edge(m, a);
+      g.add_edge(any_input(), a);
+      g.add_edge(a, spine[depth2[rng() % depth2.size()]]);
+      remaining -= 2;
+    } else {
+      const OpKind kind = (f % 3 == 0)   ? OpKind::kMul
+                          : (f % 3 == 1) ? OpKind::kShift
+                                         : OpKind::kAdd;
+      const NodeId n = g.add_node(kind, "tap" + std::to_string(f), 1);
+      g.add_edge(any_input(), n);
+      if (kind != OpKind::kShift) g.add_edge(any_input(), n);
+      if (depth1.empty()) {
+        g.add_edge(n, g.add_node(OpKind::kOutput, "tap_out" + std::to_string(f)));
+      } else {
+        g.add_edge(n, spine[depth1[rng() % depth1.size()]]);
+      }
+      remaining -= 1;
+    }
+    ++f;
+  }
+
+  cdfg::validate_or_throw(g);
+  const int cp = cdfg::critical_path_length(g);
+  if (cp != critical_path ||
+      g.operation_count() != static_cast<std::size_t>(operations)) {
+    throw std::logic_error("make_dsp_design: generator missed targets for '" +
+                           name + "' (cp=" + std::to_string(cp) + ", ops=" +
+                           std::to_string(g.operation_count()) + ")");
+  }
+  return g;
+}
+
+Graph make_layered_dag(const std::string& name, int operations, int width,
+                       const OpMix& mix, std::uint64_t seed) {
+  if (operations < 1 || width < 1) {
+    throw std::invalid_argument("make_layered_dag: need ops >= 1, width >= 1");
+  }
+  std::mt19937_64 rng(seed);
+  Graph g(name);
+
+  std::vector<NodeId> inputs;
+  for (int i = 0; i < 6; ++i) {
+    inputs.push_back(g.add_node(OpKind::kInput, "in" + std::to_string(i)));
+  }
+
+  const int total_weight = mix.alu + mix.mul + mix.mem + mix.branch;
+  if (total_weight <= 0) {
+    throw std::invalid_argument("make_layered_dag: empty op mix");
+  }
+  auto draw_kind = [&]() -> OpKind {
+    int r = static_cast<int>(rng() % static_cast<unsigned>(total_weight));
+    if ((r -= mix.alu) < 0) {
+      constexpr OpKind kAluKinds[] = {OpKind::kAdd, OpKind::kSub, OpKind::kAnd,
+                                      OpKind::kOr,  OpKind::kXor, OpKind::kCmp,
+                                      OpKind::kShift};
+      return kAluKinds[rng() % std::size(kAluKinds)];
+    }
+    if ((r -= mix.mul) < 0) return OpKind::kMul;
+    if ((r -= mix.mem) < 0) return (rng() % 4 == 0) ? OpKind::kStore : OpKind::kLoad;
+    return OpKind::kBranch;
+  };
+
+  std::vector<std::vector<NodeId>> layers;
+  int placed = 0;
+  while (placed < operations) {
+    const int w = std::min<int>(
+        operations - placed,
+        1 + static_cast<int>(rng() % static_cast<unsigned>(2 * width)));
+    std::vector<NodeId> layer;
+    for (int i = 0; i < w; ++i) {
+      const OpKind kind = draw_kind();
+      const NodeId n = g.add_node(kind);
+      // 1-2 operands from the previous (up to) 3 layers, else inputs.
+      std::vector<NodeId> pool;
+      const std::size_t from =
+          layers.size() > 3 ? layers.size() - 3 : static_cast<std::size_t>(0);
+      for (std::size_t l = from; l < layers.size(); ++l) {
+        pool.insert(pool.end(), layers[l].begin(), layers[l].end());
+      }
+      const int operands = (kind == OpKind::kNot || kind == OpKind::kShift ||
+                            kind == OpKind::kLoad || kind == OpKind::kBranch)
+                               ? 1
+                               : 2;
+      for (int o = 0; o < operands; ++o) {
+        const NodeId src = pool.empty() || (rng() % 5 == 0)
+                               ? inputs[rng() % inputs.size()]
+                               : pool[rng() % pool.size()];
+        g.add_edge(src, n);
+      }
+      layer.push_back(n);
+      ++placed;
+    }
+    layers.push_back(std::move(layer));
+  }
+
+  // Terminate dangling values (validator: every value needs a consumer,
+  // except stores and branches).
+  int outs = 0;
+  for (NodeId n : g.node_ids()) {
+    const cdfg::Node& node = g.node(n);
+    if (!cdfg::is_executable(node.kind)) continue;
+    if (node.kind == OpKind::kStore || node.kind == OpKind::kBranch) continue;
+    if (g.fanout(n).empty()) {
+      const NodeId out = g.add_node(OpKind::kOutput, "out" + std::to_string(outs++));
+      g.add_edge(n, out);
+    }
+  }
+
+  cdfg::validate_or_throw(g);
+  return g;
+}
+
+}  // namespace lwm::dfglib

@@ -1,0 +1,49 @@
+// synth.h — parameterized synthetic CDFG generators.
+//
+// Two shapes cover everything the experiments need:
+//
+//   * make_dsp_design(): a filter-style graph with an exact critical
+//     path and operation count — a serial multiply-accumulate spine of
+//     the requested depth plus parallel tap/feeder operations.  Used to
+//     reconstruct the Table II designs from their published critical-path
+//     and variable-count columns.
+//
+//   * make_layered_dag(): a layered random DAG with a controllable
+//     op-kind mix and parallelism profile — the stand-in for compiled
+//     MediaBench basic-block traces (Table I).
+//
+// All generators are deterministic: the seed fully determines the graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cdfg/graph.h"
+
+namespace lwm::dfglib {
+
+/// Filter-style design with critical path exactly `critical_path` control
+/// steps and exactly `operations` executable nodes.
+/// Throws std::invalid_argument for infeasible combinations
+/// (operations < 2, critical_path < operations' minimum spine, or a spine
+/// longer than the op budget allows).
+[[nodiscard]] cdfg::Graph make_dsp_design(const std::string& name,
+                                          int critical_path, int operations,
+                                          std::uint64_t seed);
+
+/// Operation-kind mix for layered DAGs (weights, not probabilities).
+struct OpMix {
+  int alu = 60;
+  int mul = 10;
+  int mem = 20;
+  int branch = 10;
+};
+
+/// Layered random DAG with ~`operations` executable nodes arranged in
+/// layers of mean width `width`; each op draws 1–2 operands from the
+/// previous few layers.
+[[nodiscard]] cdfg::Graph make_layered_dag(const std::string& name,
+                                           int operations, int width,
+                                           const OpMix& mix, std::uint64_t seed);
+
+}  // namespace lwm::dfglib

@@ -1,0 +1,193 @@
+#include "regbind/binding.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+namespace lwm::regbind {
+
+using cdfg::NodeId;
+
+namespace {
+
+/// Union-find over lifetime indices for the share groups.
+struct UnionFind {
+  std::vector<std::size_t> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+std::optional<Binding> left_edge_binding(const std::vector<Lifetime>& lifetimes,
+                                         const BindingConstraints& constraints) {
+  const std::size_t n = lifetimes.size();
+  std::unordered_map<NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index[lifetimes[i].producer] = i;
+
+  auto lookup = [&](NodeId producer) -> std::optional<std::size_t> {
+    const auto it = index.find(producer);
+    if (it == index.end()) return std::nullopt;
+    return it->second;
+  };
+
+  // Merge share pairs into groups.
+  UnionFind uf(n);
+  for (const auto& [a, b] : constraints.share) {
+    const auto ia = lookup(a);
+    const auto ib = lookup(b);
+    if (!ia || !ib) return std::nullopt;  // unknown variable
+    uf.unite(*ia, *ib);
+  }
+  // Validate groups: members must be pairwise non-overlapping.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < n; ++i) groups[uf.find(i)].push_back(i);
+  for (const auto& [root, members] : groups) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (lifetimes[members[i]].overlaps(lifetimes[members[j]])) {
+          return std::nullopt;  // shared register with overlapping lives
+        }
+      }
+    }
+  }
+  // Separate pairs must not end up in the same group.
+  for (const auto& [a, b] : constraints.separate) {
+    const auto ia = lookup(a);
+    const auto ib = lookup(b);
+    if (!ia || !ib) return std::nullopt;
+    if (uf.find(*ia) == uf.find(*ib)) return std::nullopt;
+  }
+
+  // Group-level left edge: treat each group as the set of its member
+  // intervals; a register is feasible for a group if none of the group's
+  // intervals overlaps any interval already placed in it, and placing the
+  // group there violates no separate pair.
+  struct Reg {
+    std::vector<std::size_t> members;  // lifetime indices in this register
+  };
+  std::vector<Reg> regs;
+
+  // Deterministic order: groups by earliest birth, then producer id.
+  std::vector<std::size_t> group_roots;
+  for (const auto& [root, members] : groups) group_roots.push_back(root);
+  auto group_key = [&](std::size_t root) {
+    int birth = 1 << 30;
+    std::uint32_t id = 0xffffffffu;
+    for (const std::size_t m : groups[root]) {
+      if (lifetimes[m].birth < birth) {
+        birth = lifetimes[m].birth;
+        id = lifetimes[m].producer.value;
+      } else if (lifetimes[m].birth == birth) {
+        id = std::min(id, lifetimes[m].producer.value);
+      }
+    }
+    return std::make_pair(birth, id);
+  };
+  std::sort(group_roots.begin(), group_roots.end(),
+            [&](std::size_t a, std::size_t b) { return group_key(a) < group_key(b); });
+
+  // Separate lookup per lifetime index.
+  std::vector<std::vector<std::size_t>> separated(n);
+  for (const auto& [a, b] : constraints.separate) {
+    const std::size_t ia = *lookup(a);
+    const std::size_t ib = *lookup(b);
+    separated[ia].push_back(ib);
+    separated[ib].push_back(ia);
+  }
+
+  std::vector<int> reg_of_lifetime(n, -1);
+  for (const std::size_t root : group_roots) {
+    const std::vector<std::size_t>& members = groups[root];
+    int chosen = -1;
+    for (std::size_t r = 0; r < regs.size(); ++r) {
+      bool ok = true;
+      for (const std::size_t m : members) {
+        for (const std::size_t placed : regs[r].members) {
+          if (lifetimes[m].overlaps(lifetimes[placed])) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          for (const std::size_t sep : separated[m]) {
+            if (reg_of_lifetime[sep] == static_cast<int>(r)) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (!ok) break;
+      }
+      if (ok) {
+        chosen = static_cast<int>(r);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      regs.emplace_back();
+      chosen = static_cast<int>(regs.size()) - 1;
+    }
+    for (const std::size_t m : members) {
+      regs[static_cast<std::size_t>(chosen)].members.push_back(m);
+      reg_of_lifetime[m] = chosen;
+    }
+  }
+
+  Binding b;
+  b.register_count = static_cast<int>(regs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    b.reg_of[lifetimes[i].producer] = reg_of_lifetime[i];
+  }
+  return b;
+}
+
+BindingCheck verify_binding(const std::vector<Lifetime>& lifetimes,
+                            const Binding& b,
+                            const BindingConstraints& constraints) {
+  BindingCheck check;
+  auto fail = [&check](std::string msg) {
+    check.ok = false;
+    check.errors.push_back(std::move(msg));
+  };
+
+  for (const Lifetime& lt : lifetimes) {
+    const int r = b.reg(lt.producer);
+    if (r < 0 || r >= b.register_count) {
+      fail("variable of node " + std::to_string(lt.producer.value) +
+           " unbound or out of range");
+    }
+  }
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    for (std::size_t j = i + 1; j < lifetimes.size(); ++j) {
+      if (lifetimes[i].overlaps(lifetimes[j]) &&
+          b.reg(lifetimes[i].producer) == b.reg(lifetimes[j].producer)) {
+        fail("overlapping lifetimes share register " +
+             std::to_string(b.reg(lifetimes[i].producer)));
+      }
+    }
+  }
+  for (const auto& [x, y] : constraints.share) {
+    if (b.reg(x) < 0 || b.reg(x) != b.reg(y)) {
+      fail("share constraint violated");
+    }
+  }
+  for (const auto& [x, y] : constraints.separate) {
+    if (b.reg(x) < 0 || b.reg(y) < 0 || b.reg(x) == b.reg(y)) {
+      fail("separate constraint violated");
+    }
+  }
+  return check;
+}
+
+}  // namespace lwm::regbind

@@ -1,0 +1,59 @@
+// binding.h — register binding (variable-to-register assignment).
+//
+// Binding assigns every variable a register such that simultaneously
+// live variables never share.  Lifetimes form an interval graph, so the
+// LEFT-EDGE algorithm gives a minimum-register binding; the constrained
+// variant accepts *share* and *separate* pairs — the hooks the register
+// watermarking protocol (wm/reg_constraints.h) uses, mirroring how
+// temporal edges hook into scheduling.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "regbind/lifetime.h"
+
+namespace lwm::regbind {
+
+/// A complete variable-to-register assignment.
+struct Binding {
+  /// producer node -> register index (0-based).
+  std::unordered_map<cdfg::NodeId, int> reg_of;
+  int register_count = 0;
+
+  [[nodiscard]] int reg(cdfg::NodeId producer) const {
+    const auto it = reg_of.find(producer);
+    return it == reg_of.end() ? -1 : it->second;
+  }
+};
+
+/// Extra constraints on the binding (both sides are value producers).
+struct BindingConstraints {
+  /// Each pair must land in the same register.  Only legal for
+  /// non-overlapping lifetimes (share-groups are validated).
+  std::vector<std::pair<cdfg::NodeId, cdfg::NodeId>> share;
+  /// Each pair must land in different registers.
+  std::vector<std::pair<cdfg::NodeId, cdfg::NodeId>> separate;
+};
+
+/// LEFT-EDGE binding, minimal register count for unconstrained inputs;
+/// with constraints it stays correct (never violates a constraint) and
+/// near-minimal.  Returns nullopt when the constraints are unsatisfiable
+/// (a share pair overlaps in time, or share/separate contradict).
+[[nodiscard]] std::optional<Binding> left_edge_binding(
+    const std::vector<Lifetime>& lifetimes,
+    const BindingConstraints& constraints = {});
+
+/// Checks that `b` is a legal binding of `lifetimes` (every variable
+/// bound, overlapping lifetimes in distinct registers) and, if
+/// `constraints` is given, that every share/separate pair is honored.
+struct BindingCheck {
+  bool ok = true;
+  std::vector<std::string> errors;
+};
+[[nodiscard]] BindingCheck verify_binding(
+    const std::vector<Lifetime>& lifetimes, const Binding& b,
+    const BindingConstraints& constraints = {});
+
+}  // namespace lwm::regbind

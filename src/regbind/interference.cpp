@@ -1,0 +1,31 @@
+#include "regbind/interference.h"
+
+namespace lwm::regbind {
+
+InterferenceGraph build_interference_graph(
+    const std::vector<Lifetime>& lifetimes) {
+  InterferenceGraph ig;
+  ig.graph = color::UGraph(static_cast<int>(lifetimes.size()));
+  ig.producer.reserve(lifetimes.size());
+  for (const Lifetime& lt : lifetimes) ig.producer.push_back(lt.producer);
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    for (std::size_t j = i + 1; j < lifetimes.size(); ++j) {
+      if (lifetimes[i].overlaps(lifetimes[j])) {
+        ig.graph.add_edge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return ig;
+}
+
+Binding binding_from_coloring(const InterferenceGraph& ig,
+                              const color::Coloring& coloring) {
+  Binding b;
+  b.register_count = coloring.colors_used;
+  for (std::size_t i = 0; i < ig.producer.size(); ++i) {
+    b.reg_of[ig.producer[i]] = coloring.color[i];
+  }
+  return b;
+}
+
+}  // namespace lwm::regbind

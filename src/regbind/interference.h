@@ -1,0 +1,32 @@
+// interference.h — the bridge from lifetimes to graph coloring.
+//
+// Two variables interfere when their lifetimes overlap; binding them to
+// registers is exactly vertex coloring of the interference graph.  This
+// bridge lets the generic graph-coloring machinery (color/) and its
+// watermarking protocol run on real register-allocation instances, and
+// provides the cross-check that LEFT-EDGE (interval-optimal) agrees with
+// the graph-theoretic lower bound.
+#pragma once
+
+#include <vector>
+
+#include "color/graph_color.h"
+#include "regbind/binding.h"
+#include "regbind/lifetime.h"
+
+namespace lwm::regbind {
+
+struct InterferenceGraph {
+  color::UGraph graph;
+  /// vertex index -> producing node (parallel to lifetime order).
+  std::vector<cdfg::NodeId> producer;
+};
+
+[[nodiscard]] InterferenceGraph build_interference_graph(
+    const std::vector<Lifetime>& lifetimes);
+
+/// Converts a coloring of the interference graph into a Binding.
+[[nodiscard]] Binding binding_from_coloring(const InterferenceGraph& ig,
+                                            const color::Coloring& coloring);
+
+}  // namespace lwm::regbind

@@ -1,0 +1,222 @@
+#include "sched/bnb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/list_sched.h"
+
+namespace lwm::sched {
+
+using cdfg::EdgeId;
+using cdfg::Graph;
+using cdfg::NodeId;
+
+namespace {
+
+struct Searcher {
+  const Graph& g;
+  const BnbOptions& opts;
+  std::vector<NodeId> ops;              // executable nodes, topo order
+  std::vector<std::vector<NodeId>> preds;  // executable predecessors (transitive through pseudo-ops collapsed to direct)
+  std::vector<int> tail;                // longest delay-weighted path to any sink, per node value
+  Schedule best;
+  int best_latency = 0;
+  Schedule current;
+  std::uint64_t nodes_visited = 0;
+  bool truncated = false;
+
+  // DFS over ops in topo order: assign each op the set of feasible steps
+  // from its earliest (data-ready, resource-feasible) upward, bounded by
+  // best_latency - 1 - tail.
+  void dfs(std::size_t idx, std::vector<std::vector<int>>& usage) {
+    if (truncated) return;
+    if (opts.node_limit != 0 && nodes_visited >= opts.node_limit) {
+      truncated = true;
+      return;
+    }
+    ++nodes_visited;
+    if (idx == ops.size()) {
+      const int len = current.length(g);
+      if (len < best_latency) {
+        best_latency = len;
+        best = current;
+      }
+      return;
+    }
+    const NodeId n = ops[idx];
+    const cdfg::Node& node = g.node(n);
+    const auto cls = static_cast<std::size_t>(cdfg::unit_class(node.kind));
+    const int limit = opts.resources.count(static_cast<cdfg::UnitClass>(cls));
+
+    int ready = 0;
+    for (NodeId p : preds[n.value]) {
+      ready = std::max(ready, current.start_of(p) + g.node(p).delay);
+    }
+    // Start steps bounded by the incumbent: t + tail(n) < best_latency.
+    for (int t = ready; t + tail[n.value] < best_latency; ++t) {
+      // Resource feasibility over [t, t+delay).
+      bool fits = true;
+      if (limit >= 0) {
+        for (int d = 0; d < node.delay && fits; ++d) {
+          const std::size_t step = static_cast<std::size_t>(t + d);
+          if (step < usage[cls].size() && usage[cls][step] >= limit) fits = false;
+        }
+      }
+      if (!fits) continue;
+      // Occupy.
+      if (limit >= 0) {
+        for (int d = 0; d < node.delay; ++d) {
+          const std::size_t step = static_cast<std::size_t>(t + d);
+          if (step >= usage[cls].size()) usage[cls].resize(step + 1, 0);
+          ++usage[cls][step];
+        }
+      }
+      current.set_start(n, t);
+      dfs(idx + 1, usage);
+      if (limit >= 0) {
+        for (int d = 0; d < node.delay; ++d) {
+          --usage[cls][static_cast<std::size_t>(t + d)];
+        }
+      }
+      if (truncated) return;
+    }
+    current.set_start(n, Schedule::kUnscheduled);
+  }
+};
+
+}  // namespace
+
+BnbResult bnb_min_latency(const Graph& g, const BnbOptions& opts) {
+  // Seed the incumbent with list scheduling — gives a tight initial bound.
+  ListScheduleOptions lopts;
+  lopts.resources = opts.resources;
+  lopts.filter = opts.filter;
+  const Schedule seed = list_schedule(g, lopts);
+  const int seed_latency = seed.length(g);
+
+  Searcher s{g, opts, {}, {}, {}, seed, seed_latency + 1, Schedule(g), 0, false};
+
+  // tail[n]: longest delay-weighted path from n's start to the end.
+  const cdfg::TimingInfo timing = cdfg::compute_timing(g, -1, opts.filter);
+  s.tail.assign(g.node_capacity(), 0);
+  for (NodeId n : g.node_ids()) {
+    // latency - alap(n) = delay(n) + longest tail after completion.
+    s.tail[n.value] = timing.latency - timing.alap[n.value];
+  }
+
+  // Executable ops in topo order; predecessors collapsed through pseudo-ops.
+  const std::vector<NodeId> order = cdfg::topo_order(g, opts.filter);
+  s.preds.assign(g.node_capacity(), {});
+  for (NodeId n : order) {
+    if (cdfg::is_executable(g.node(n).kind)) s.ops.push_back(n);
+    for (EdgeId e : g.fanin(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!opts.filter.accepts(ed.kind)) continue;
+      if (cdfg::is_executable(g.node(ed.src).kind)) {
+        s.preds[n.value].push_back(ed.src);
+      } else {
+        // Inherit the pseudo-op's own executable predecessors.
+        for (NodeId pp : s.preds[ed.src.value]) s.preds[n.value].push_back(pp);
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> usage(cdfg::kNumUnitClasses);
+  s.dfs(0, usage);
+
+  BnbResult result;
+  if (s.best_latency == seed_latency + 1) {
+    // Search never improved nor confirmed; fall back to the seed.
+    result.schedule = seed;
+    result.latency = seed_latency;
+  } else {
+    result.schedule = s.best;
+    result.latency = s.best_latency;
+  }
+  // The seeded incumbent counts as confirmed only if the search ran dry.
+  result.optimal = !s.truncated;
+  result.search_nodes = s.nodes_visited;
+  // If the search exhausted without finding anything better than the seed,
+  // the seed itself is optimal; keep it.
+  if (result.latency > seed_latency) {
+    result.schedule = seed;
+    result.latency = seed_latency;
+  }
+  return result;
+}
+
+MinUnitsResult bnb_min_units(const cdfg::Graph& g, int latency,
+                             const BnbOptions& opts) {
+  const cdfg::TimingInfo timing = cdfg::compute_timing(g, -1, opts.filter);
+  if (latency < timing.critical_path) {
+    throw std::invalid_argument("bnb_min_units: latency below critical path");
+  }
+
+  // Per-class op counts and occupancy lower bounds ceil(work / latency).
+  std::array<int, cdfg::kNumUnitClasses> work{};
+  for (NodeId n : g.node_ids()) {
+    const cdfg::Node& node = g.node(n);
+    if (!cdfg::is_executable(node.kind)) continue;
+    work[static_cast<std::size_t>(cdfg::unit_class(node.kind))] += node.delay;
+  }
+  std::array<int, cdfg::kNumUnitClasses> lower{};
+  std::vector<std::size_t> classes;  // classes actually used
+  for (std::size_t c = 1; c < cdfg::kNumUnitClasses; ++c) {
+    if (work[c] == 0) continue;
+    lower[c] = (work[c] + latency - 1) / latency;
+    classes.push_back(c);
+  }
+
+  MinUnitsResult result;
+  int base_total = 0;
+  for (const std::size_t c : classes) base_total += lower[c];
+
+  // Try totals ascending; for each total, enumerate distributions of the
+  // extra units over the used classes.
+  for (int extra = 0;; ++extra) {
+    std::vector<int> add(classes.size(), 0);
+    // Enumerate compositions of `extra` into |classes| bins.
+    std::function<bool(std::size_t, int)> place = [&](std::size_t idx,
+                                                      int left) -> bool {
+      if (idx + 1 == classes.size()) {
+        add[idx] = left;
+      } else {
+        for (int give = 0; give <= left; ++give) {
+          add[idx] = give;
+          if (place(idx + 1, left - give)) return true;
+        }
+        return false;
+      }
+      ResourceSet res = ResourceSet::unlimited();
+      for (std::size_t i = 0; i < classes.size(); ++i) {
+        res.set_count(static_cast<cdfg::UnitClass>(classes[i]),
+                      lower[classes[i]] + add[i]);
+      }
+      BnbOptions inner = opts;
+      inner.resources = res;
+      const BnbResult r = bnb_min_latency(g, inner);
+      result.search_nodes += r.search_nodes;
+      if (!r.optimal) result.optimal = false;
+      if (r.latency <= latency) {
+        result.resources = res;
+        result.schedule = r.schedule;
+        result.total_units = base_total + extra;
+        return true;
+      }
+      return false;
+    };
+    if (classes.empty()) {
+      result.total_units = 0;
+      return result;
+    }
+    if (place(0, extra)) return result;
+    if (extra > static_cast<int>(g.operation_count())) {
+      throw std::logic_error("bnb_min_units: runaway search");
+    }
+  }
+}
+
+}  // namespace lwm::sched

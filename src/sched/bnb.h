@@ -1,0 +1,52 @@
+// bnb.h — exact (branch & bound) resource-constrained scheduling.
+//
+// The paper cites ILP formulations [15] as the exact counterpart of the
+// heuristics.  This module provides an equivalent exact solver: minimum-
+// latency schedule under a ResourceSet, by depth-first branch & bound over
+// per-step issue decisions.  Exponential in the worst case — intended for
+// the small designs where the paper, too, uses exhaustive methods.
+#pragma once
+
+#include <optional>
+
+#include "cdfg/analysis.h"
+#include "cdfg/graph.h"
+#include "sched/resources.h"
+#include "sched/schedule.h"
+
+namespace lwm::sched {
+
+struct BnbOptions {
+  ResourceSet resources = ResourceSet::unlimited();
+  cdfg::EdgeFilter filter = cdfg::EdgeFilter::all();
+  /// Abort knob: give up after this many search nodes (0 = unlimited).
+  std::uint64_t node_limit = 50'000'000;
+};
+
+struct BnbResult {
+  Schedule schedule;
+  int latency = 0;
+  bool optimal = true;   ///< false if node_limit hit (best-so-far returned)
+  std::uint64_t search_nodes = 0;
+};
+
+/// Minimum-latency schedule of `g` under the resource constraints.
+[[nodiscard]] BnbResult bnb_min_latency(const cdfg::Graph& g,
+                                        const BnbOptions& opts = {});
+
+/// Exact time-constrained allocation: the minimum total functional-unit
+/// count whose classes admit a schedule within `latency`.  Enumerates
+/// unit vectors in ascending total order (from per-class occupancy lower
+/// bounds) and proves feasibility with bnb_min_latency — the exact
+/// counterpart of force-directed scheduling's objective.
+struct MinUnitsResult {
+  ResourceSet resources = ResourceSet::unlimited();
+  Schedule schedule;
+  int total_units = 0;
+  bool optimal = true;
+  std::uint64_t search_nodes = 0;
+};
+[[nodiscard]] MinUnitsResult bnb_min_units(const cdfg::Graph& g, int latency,
+                                           const BnbOptions& opts = {});
+
+}  // namespace lwm::sched

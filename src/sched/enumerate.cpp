@@ -1,0 +1,218 @@
+#include "sched/enumerate.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lwm::sched {
+
+using cdfg::EdgeFilter;
+using cdfg::EdgeId;
+using cdfg::Graph;
+using cdfg::NodeId;
+
+namespace {
+
+/// Delay-weighted longest-path separation from `src` to every node over
+/// edges accepted by `filter` plus `extra` pairs; -1 if unreachable.
+/// Separation d means: start(dst) >= start(src) + d in any legal schedule.
+std::vector<int> separations_from(const Graph& g, NodeId src,
+                                  const std::vector<NodeId>& order,
+                                  std::span<const ExtraPrecedence> extra,
+                                  EdgeFilter filter) {
+  std::vector<int> sep(g.node_capacity(), -1);
+  sep[src.value] = 0;
+  for (NodeId n : order) {
+    if (sep[n.value] < 0) continue;
+    const int out = sep[n.value] + g.node(n).delay;
+    for (EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      sep[ed.dst.value] = std::max(sep[ed.dst.value], out);
+    }
+    for (const ExtraPrecedence& x : extra) {
+      if (x.before == n) {
+        sep[x.after.value] = std::max(sep[x.after.value], out);
+      }
+    }
+  }
+  return sep;
+}
+
+/// Topological order of live nodes under filter + extra; throws on cycle.
+std::vector<NodeId> topo_with_extra(const Graph& g,
+                                    std::span<const ExtraPrecedence> extra,
+                                    EdgeFilter filter) {
+  std::vector<int> indegree(g.node_capacity(), 0);
+  const std::vector<NodeId> nodes = g.node_ids();
+  for (NodeId n : nodes) {
+    for (EdgeId e : g.fanin(n)) {
+      if (filter.accepts(g.edge(e).kind)) ++indegree[n.value];
+    }
+  }
+  for (const ExtraPrecedence& x : extra) ++indegree[x.after.value];
+  std::vector<NodeId> ready;
+  for (NodeId n : nodes) {
+    if (indegree[n.value] == 0) ready.push_back(n);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes.size());
+  while (!ready.empty()) {
+    const NodeId n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    auto relax = [&](NodeId d) {
+      if (--indegree[d.value] == 0) ready.push_back(d);
+    };
+    for (EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (filter.accepts(ed.kind)) relax(ed.dst);
+    }
+    for (const ExtraPrecedence& x : extra) {
+      if (x.before == n) relax(x.after);
+    }
+  }
+  if (order.size() != nodes.size()) {
+    throw std::runtime_error(
+        "count_schedules: combined precedence relation is cyclic");
+  }
+  return order;
+}
+
+struct Counter {
+  std::uint64_t limit;
+  std::uint64_t count = 0;
+  bool saturated = false;
+
+  bool bump() {
+    ++count;
+    if (limit != 0 && count >= limit) {
+      saturated = true;
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+EnumerationResult count_schedules(const Graph& g,
+                                  std::span<const NodeId> subset,
+                                  std::span<const ExtraPrecedence> extra,
+                                  const EnumerationOptions& opts) {
+  // Windows from the *constrained* relation (filter + extra), so ASAP/ALAP
+  // already account for the watermark edges under consideration.
+  const std::vector<NodeId> order = topo_with_extra(g, extra, opts.filter);
+
+  // ASAP over filter + extra.
+  std::vector<int> asap(g.node_capacity(), 0);
+  int cp = 0;
+  for (NodeId n : order) {
+    int lo = 0;
+    for (EdgeId e : g.fanin(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!opts.filter.accepts(ed.kind)) continue;
+      lo = std::max(lo, asap[ed.src.value] + g.node(ed.src).delay);
+    }
+    for (const ExtraPrecedence& x : extra) {
+      if (x.after == n) {
+        lo = std::max(lo, asap[x.before.value] + g.node(x.before).delay);
+      }
+    }
+    asap[n.value] = lo;
+    cp = std::max(cp, lo + g.node(n).delay);
+  }
+  int latency = opts.latency;
+  if (latency < 0) {
+    // Paper semantics: the latency bound is the critical path of the
+    // *original* specification; the watermark must not lengthen it.
+    latency = cdfg::critical_path_length(g, opts.filter);
+  }
+  if (cp > latency) {
+    return EnumerationResult{0, false};  // constraints unschedulable in bound
+  }
+  // ALAP over filter + extra.
+  std::vector<int> alap(g.node_capacity(), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    int hi = latency - g.node(n).delay;
+    for (EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!opts.filter.accepts(ed.kind)) continue;
+      hi = std::min(hi, alap[ed.dst.value] - g.node(n).delay);
+    }
+    for (const ExtraPrecedence& x : extra) {
+      if (x.before == n) {
+        hi = std::min(hi, alap[x.after.value] - g.node(n).delay);
+      }
+    }
+    alap[n.value] = hi;
+  }
+
+  // Node set to enumerate, in topological order.
+  std::vector<NodeId> nodes;
+  if (subset.empty()) {
+    for (NodeId n : order) {
+      if (cdfg::is_executable(g.node(n).kind)) nodes.push_back(n);
+    }
+  } else {
+    std::vector<bool> in_subset(g.node_capacity(), false);
+    for (NodeId n : subset) {
+      if (!g.is_live(n)) {
+        throw std::out_of_range("count_schedules: dead node in subset");
+      }
+      in_subset[n.value] = true;
+    }
+    for (NodeId n : order) {
+      if (in_subset[n.value]) nodes.push_back(n);
+    }
+  }
+  if (nodes.empty()) return EnumerationResult{1, false};
+
+  // Pairwise separations among enumerated nodes (earlier topo -> later).
+  const std::size_t k = nodes.size();
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  for (std::size_t i = 0; i < k; ++i) index[nodes[i].value] = i;
+  std::vector<std::vector<int>> sep(k, std::vector<int>(k, -1));
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::vector<int> d =
+        separations_from(g, nodes[i], order, extra, opts.filter);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i != j) sep[i][j] = d[nodes[j].value];
+    }
+  }
+
+  Counter counter{opts.limit};
+  std::vector<int> assigned(k, 0);
+  // DFS over nodes in topo order; at depth i the lower bound from every
+  // already-assigned predecessor is explicit.
+  auto dfs = [&](auto&& self, std::size_t i) -> bool {
+    if (i == k) return counter.bump();
+    const NodeId n = nodes[i];
+    int lo = asap[n.value];
+    for (std::size_t j = 0; j < i; ++j) {
+      if (sep[j][i] >= 0) lo = std::max(lo, assigned[j] + sep[j][i]);
+    }
+    for (int t = lo; t <= alap[n.value]; ++t) {
+      assigned[i] = t;
+      if (!self(self, i + 1)) return false;
+    }
+    return true;
+  };
+  (void)dfs(dfs, 0);
+  return EnumerationResult{counter.count, counter.saturated};
+}
+
+PsiCounts psi_counts(const Graph& g, std::span<const NodeId> subset,
+                     NodeId src, NodeId dst, const EnumerationOptions& opts) {
+  PsiCounts psi;
+  const EnumerationResult no_mark = count_schedules(g, subset, {}, opts);
+  const ExtraPrecedence edge[] = {{src, dst}};
+  const EnumerationResult with_mark = count_schedules(g, subset, edge, opts);
+  psi.psi_n = no_mark.count;
+  psi.psi_w = with_mark.count;
+  psi.saturated = no_mark.saturated || with_mark.saturated;
+  return psi;
+}
+
+}  // namespace lwm::sched

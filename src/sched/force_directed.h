@@ -1,0 +1,30 @@
+// force_directed.h — time-constrained force-directed scheduling.
+//
+// Paulin & Knight's FDS (IEEE TCAD 1989) — the heuristic scheduler the
+// paper cites as the representative approach [14].  Given a latency
+// bound, FDS places one operation per iteration at the control step with
+// the lowest "force", balancing the expected concurrency of each
+// functional-unit class and thereby minimizing the resource (module)
+// count.  It honors temporal watermark edges like any other precedence,
+// which is exactly how the watermarking protocol stays transparent to the
+// synthesis tool.
+#pragma once
+
+#include "cdfg/analysis.h"
+#include "cdfg/graph.h"
+#include "sched/schedule.h"
+
+namespace lwm::sched {
+
+struct FdsOptions {
+  /// Latency bound (control steps). -1 means "critical path".
+  int latency = -1;
+  cdfg::EdgeFilter filter = cdfg::EdgeFilter::all();
+};
+
+/// Schedules every executable node of `g` within the latency bound.
+/// Throws std::invalid_argument if the bound is below the critical path.
+[[nodiscard]] Schedule force_directed_schedule(const cdfg::Graph& g,
+                                               const FdsOptions& opts = {});
+
+}  // namespace lwm::sched

@@ -1,0 +1,138 @@
+#include "sched/list_sched.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lwm::sched {
+
+using cdfg::EdgeId;
+using cdfg::Graph;
+using cdfg::NodeId;
+
+Schedule list_schedule(const Graph& g, const ListScheduleOptions& opts) {
+  const cdfg::TimingInfo timing = cdfg::compute_timing(g, -1, opts.filter);
+
+  // Priority: longest path to sink == latency - alap (larger first).
+  auto priority = [&](NodeId n) { return timing.latency - timing.alap[n.value]; };
+
+  // Precedence bookkeeping restricted to executable nodes; pseudo-ops are
+  // transparent (their deps propagate with zero delay).
+  std::vector<int> pending(g.node_capacity(), 0);
+  std::vector<int> earliest(g.node_capacity(), 0);
+  std::vector<NodeId> ready;
+
+  const std::vector<NodeId> nodes = g.node_ids();
+  for (NodeId n : nodes) {
+    int deps = 0;
+    for (EdgeId e : g.fanin(n)) {
+      if (opts.filter.accepts(g.edge(e).kind)) ++deps;
+    }
+    pending[n.value] = deps;
+  }
+
+  Schedule sched(g);
+  auto release = [&](NodeId n, int finish_step, auto&& self) -> void {
+    // Called when n's result is available at `finish_step`.
+    for (EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!opts.filter.accepts(ed.kind)) continue;
+      earliest[ed.dst.value] = std::max(earliest[ed.dst.value], finish_step);
+      if (--pending[ed.dst.value] == 0) {
+        const cdfg::Node& dnode = g.node(ed.dst);
+        if (cdfg::is_executable(dnode.kind)) {
+          ready.push_back(ed.dst);
+        } else {
+          // Transparent pseudo-op: propagate immediately.
+          self(ed.dst, earliest[ed.dst.value], self);
+        }
+      }
+    }
+  };
+
+  // Seed with zero-dependency nodes.  Snapshot first: a release cascade
+  // may drop another node's pending to zero mid-loop, and that node is
+  // then enqueued by the cascade itself — re-enqueueing it here would
+  // double-schedule it.
+  const std::vector<int> initial_pending = pending;
+  for (NodeId n : nodes) {
+    if (initial_pending[n.value] != 0) continue;
+    if (cdfg::is_executable(g.node(n).kind)) {
+      ready.push_back(n);
+    } else if (g.fanout(n).size() > 0) {
+      release(n, 0, release);
+    }
+  }
+
+  // Validate that limited classes have capacity for the ops present.
+  for (NodeId n : nodes) {
+    const cdfg::Node& node = g.node(n);
+    if (!cdfg::is_executable(node.kind)) continue;
+    const cdfg::UnitClass uc = cdfg::unit_class(node.kind);
+    if (opts.resources.is_limited(uc) && opts.resources.count(uc) == 0) {
+      throw std::invalid_argument(
+          "list_schedule: zero units for class required by '" + node.name + "'");
+    }
+  }
+
+  std::size_t scheduled = 0;
+  std::size_t total_ops = g.operation_count();
+  // Multi-cycle ops occupy their unit for `delay` steps; track busy units.
+  struct Busy {
+    int until;  // first step the unit is free again
+    cdfg::UnitClass cls;
+  };
+  std::vector<Busy> busy;
+
+  int step = 0;
+  const int kMaxSteps = static_cast<int>(total_ops) * 4 + timing.latency + 16;
+  while (scheduled < total_ops) {
+    if (step > kMaxSteps) {
+      throw std::logic_error("list_schedule: no progress (internal error)");
+    }
+    // Units freed at this step.
+    std::array<int, cdfg::kNumUnitClasses> in_use{};
+    for (const Busy& b : busy) {
+      if (b.until > step) ++in_use[static_cast<std::size_t>(b.cls)];
+    }
+    busy.erase(std::remove_if(busy.begin(), busy.end(),
+                              [step](const Busy& b) { return b.until <= step; }),
+               busy.end());
+
+    // Candidates whose data is available at this step, best priority first.
+    std::vector<NodeId> candidates;
+    for (NodeId n : ready) {
+      if (earliest[n.value] <= step) candidates.push_back(n);
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+      const int pa = priority(a);
+      const int pb = priority(b);
+      if (pa != pb) return pa > pb;
+      if (timing.alap[a.value] != timing.alap[b.value]) {
+        return timing.alap[a.value] < timing.alap[b.value];
+      }
+      return a < b;
+    });
+
+    for (NodeId n : candidates) {
+      const cdfg::Node& node = g.node(n);
+      const cdfg::UnitClass uc = cdfg::unit_class(node.kind);
+      const auto uci = static_cast<std::size_t>(uc);
+      if (opts.resources.is_limited(uc) &&
+          in_use[uci] >= opts.resources.count(uc)) {
+        continue;  // class full this step
+      }
+      ++in_use[uci];
+      sched.set_start(n, step);
+      busy.push_back(Busy{
+          step + (opts.pipelined_units ? 1 : node.delay), uc});
+      ready.erase(std::remove(ready.begin(), ready.end(), n), ready.end());
+      ++scheduled;
+      release(n, step + node.delay, release);
+    }
+    ++step;
+  }
+  return sched;
+}
+
+}  // namespace lwm::sched

@@ -1,0 +1,37 @@
+// list_sched.h — resource-constrained list scheduling.
+//
+// Classic critical-path list scheduling: at each control step, ready
+// operations compete for the available functional units in priority
+// order (longest path to sink first, then lower ALAP, then NodeId for
+// determinism).  Used both as the "off-the-shelf design tool" of the
+// watermark protocol (it happily honors temporal edges) and as the basis
+// of the VLIW cycle model for the Table I overhead measurements.
+#pragma once
+
+#include "cdfg/analysis.h"
+#include "cdfg/graph.h"
+#include "sched/resources.h"
+#include "sched/schedule.h"
+
+namespace lwm::sched {
+
+struct ListScheduleOptions {
+  ResourceSet resources = ResourceSet::unlimited();
+  /// Which edges constrain the schedule.  EdgeFilter::all() schedules a
+  /// watermarked specification; EdgeFilter::specification() the original.
+  cdfg::EdgeFilter filter = cdfg::EdgeFilter::all();
+  /// Pipelined functional units: a multi-cycle operation occupies its
+  /// unit only during the issue cycle (initiation interval 1), so a
+  /// single pipelined multiplier accepts a new multiply every step.
+  /// Dependences still wait the full latency.
+  bool pipelined_units = false;
+};
+
+/// Schedules every executable node of `g`.  Always succeeds (list
+/// scheduling with >=1 unit per limited class cannot deadlock on an
+/// acyclic graph).  Throws std::invalid_argument if a limited class has
+/// zero units but the graph contains an operation of that class.
+[[nodiscard]] Schedule list_schedule(const cdfg::Graph& g,
+                                     const ListScheduleOptions& opts = {});
+
+}  // namespace lwm::sched

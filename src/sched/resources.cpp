@@ -1,0 +1,38 @@
+#include "sched/resources.h"
+
+namespace lwm::sched {
+
+ResourceSet ResourceSet::vliw4() {
+  ResourceSet r;
+  r.set_count(cdfg::UnitClass::kAlu, 4);
+  r.set_count(cdfg::UnitClass::kMul, 4);  // multiplies share the 4 ALU slots
+  r.set_count(cdfg::UnitClass::kMem, 2);
+  r.set_count(cdfg::UnitClass::kBranch, 2);
+  return r;
+}
+
+ResourceSet ResourceSet::datapath(int alus, int muls) {
+  ResourceSet r;
+  r.set_count(cdfg::UnitClass::kAlu, alus);
+  r.set_count(cdfg::UnitClass::kMul, muls);
+  return r;
+}
+
+bool ResourceSet::is_unlimited() const noexcept {
+  for (const int c : counts_) {
+    if (c >= 0) return false;
+  }
+  return true;
+}
+
+std::string ResourceSet::to_string() const {
+  auto fmt = [this](cdfg::UnitClass c) {
+    const int n = count(c);
+    return n < 0 ? std::string("inf") : std::to_string(n);
+  };
+  return "{alu=" + fmt(cdfg::UnitClass::kAlu) + ", mul=" + fmt(cdfg::UnitClass::kMul) +
+         ", mem=" + fmt(cdfg::UnitClass::kMem) +
+         ", br=" + fmt(cdfg::UnitClass::kBranch) + "}";
+}
+
+}  // namespace lwm::sched

@@ -1,0 +1,48 @@
+// resources.h — functional-unit resource model for scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cdfg/op.h"
+
+namespace lwm::sched {
+
+/// Available functional units per class.  A negative count means
+/// "unlimited" (time-constrained scheduling ignores that class).
+class ResourceSet {
+ public:
+  /// All classes unlimited.
+  static ResourceSet unlimited() { return ResourceSet{}; }
+
+  /// The paper's Table I machine: a 4-issue VLIW with 4 ALUs, 2 branch
+  /// units and 2 memory units (multiplies execute on the ALUs).
+  static ResourceSet vliw4();
+
+  /// A small ASIC-style datapath: `alus` adders/ALUs and `muls`
+  /// multipliers.
+  static ResourceSet datapath(int alus, int muls);
+
+  [[nodiscard]] int count(cdfg::UnitClass c) const noexcept {
+    return counts_[static_cast<std::size_t>(c)];
+  }
+  void set_count(cdfg::UnitClass c, int n) noexcept {
+    counts_[static_cast<std::size_t>(c)] = n;
+  }
+
+  [[nodiscard]] bool is_limited(cdfg::UnitClass c) const noexcept {
+    return count(c) >= 0;
+  }
+
+  /// True if every class is unlimited.
+  [[nodiscard]] bool is_unlimited() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ResourceSet() { counts_.fill(-1); }
+  std::array<int, cdfg::kNumUnitClasses> counts_{};
+};
+
+}  // namespace lwm::sched

@@ -1,0 +1,68 @@
+#include "sched/schedule_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lwm::sched {
+
+void write_schedule(const cdfg::Graph& g, const Schedule& s, std::ostream& os) {
+  os << "schedule " << (g.name().empty() ? "unnamed" : g.name()) << "\n";
+  for (cdfg::NodeId n : g.node_ids()) {
+    if (!s.is_scheduled(n)) continue;
+    os << "at " << g.node(n).name << " " << s.start_of(n) << "\n";
+  }
+}
+
+std::string schedule_to_text(const cdfg::Graph& g, const Schedule& s) {
+  std::ostringstream os;
+  write_schedule(g, s, os);
+  return os.str();
+}
+
+Schedule read_schedule(const cdfg::Graph& g, std::istream& is) {
+  Schedule s(g);
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok[0] == '#') continue;
+    if (tok == "schedule") {
+      saw_header = true;
+    } else if (tok == "at") {
+      std::string name;
+      int step = 0;
+      if (!(ls >> name >> step)) {
+        throw std::runtime_error("schedule parse error at line " +
+                                 std::to_string(lineno) +
+                                 ": at needs <name> <step>");
+      }
+      const cdfg::NodeId n = g.find(name);
+      if (!n.valid()) {
+        throw std::runtime_error("schedule parse error at line " +
+                                 std::to_string(lineno) + ": unknown node '" +
+                                 name + "'");
+      }
+      s.set_start(n, step);
+    } else {
+      throw std::runtime_error("schedule parse error at line " +
+                               std::to_string(lineno) +
+                               ": unknown directive '" + tok + "'");
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error("schedule parse error: missing header");
+  }
+  return s;
+}
+
+Schedule schedule_from_text(const cdfg::Graph& g, const std::string& text) {
+  std::istringstream is(text);
+  return read_schedule(g, is);
+}
+
+}  // namespace lwm::sched

@@ -1,0 +1,29 @@
+// schedule_io.h — text interchange for schedules.
+//
+// A detection workflow spans tools and years: the suspect's recovered
+// schedule (from FSM extraction) arrives as data, not as an in-process
+// object.  Format, one line per scheduled operation, keyed by node name
+// so it survives graph re-serialization:
+//
+//   schedule <graph-name>
+//   at <node-name> <start-step>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cdfg/graph.h"
+#include "sched/schedule.h"
+
+namespace lwm::sched {
+
+void write_schedule(const cdfg::Graph& g, const Schedule& s, std::ostream& os);
+[[nodiscard]] std::string schedule_to_text(const cdfg::Graph& g, const Schedule& s);
+
+/// Parses against `g` (names must resolve).  Throws std::runtime_error
+/// with a line number on syntax errors or unknown nodes.
+[[nodiscard]] Schedule read_schedule(const cdfg::Graph& g, std::istream& is);
+[[nodiscard]] Schedule schedule_from_text(const cdfg::Graph& g,
+                                          const std::string& text);
+
+}  // namespace lwm::sched

@@ -1,0 +1,269 @@
+#include "tmatch/cover.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cdfg/analysis.h"
+
+namespace lwm::tmatch {
+
+using cdfg::EdgeId;
+using cdfg::Graph;
+using cdfg::NodeId;
+
+Cover greedy_cover(const Graph& g, const TemplateLibrary& lib,
+                   const CoverOptions& opts) {
+  Cover cover;
+  std::unordered_set<NodeId> covered;
+
+  auto place = [&](const Match& m, const char* who) {
+    for (const NodeId n : m.nodes) {
+      if (!covered.insert(n).second) {
+        throw std::runtime_error(std::string("greedy_cover: ") + who +
+                                 " match overlaps node '" + g.node(n).name + "'");
+      }
+    }
+    cover.matches.push_back(m);
+  };
+  for (const Match& m : opts.enforced) {
+    place(m, "enforced");
+  }
+
+  // Candidate pool: all matches consistent with the PPO constraints and
+  // not touching already-covered nodes.
+  MatchConstraints cons;
+  cons.ppo = opts.ppo;
+  cons.excluded = covered;
+  std::vector<Match> pool = enumerate_matches(g, lib, cons);
+
+  // Largest template first; ties by (template id, root id) — deterministic.
+  std::stable_sort(pool.begin(), pool.end(), [](const Match& a, const Match& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    if (a.template_id != b.template_id) return a.template_id < b.template_id;
+    return a.root() < b.root();
+  });
+
+  for (const Match& m : pool) {
+    bool free = true;
+    for (const NodeId n : m.nodes) {
+      if (covered.count(n) != 0) {
+        free = false;
+        break;
+      }
+    }
+    if (free) place(m, "greedy");
+  }
+
+  for (NodeId n : g.node_ids()) {
+    if (cdfg::is_executable(g.node(n).kind) && covered.count(n) == 0) {
+      throw std::runtime_error("greedy_cover: no template covers '" +
+                               g.node(n).name + "' (library incomplete)");
+    }
+  }
+  return cover;
+}
+
+MappedDesign build_mapped_design(const Graph& g, const Cover& cover) {
+  MappedDesign d;
+  d.macro.set_name(g.name() + "_mapped");
+
+  // Macro node per match.
+  for (std::size_t i = 0; i < cover.matches.size(); ++i) {
+    const Match& m = cover.matches[i];
+    const NodeId macro = d.macro.add_node(
+        g.node(m.root()).kind, "m" + std::to_string(i) + "_" + g.node(m.root()).name,
+        1);
+    if (d.macro_template.size() <= macro.value) {
+      d.macro_template.resize(macro.value + 1, -1);
+    }
+    d.macro_template[macro.value] = m.template_id;
+    for (const NodeId n : m.nodes) {
+      d.node_to_macro[n] = macro;
+    }
+  }
+  // Carry over pseudo-ops so the macro graph stays a valid CDFG.
+  for (NodeId n : g.node_ids()) {
+    const cdfg::Node& node = g.node(n);
+    if (cdfg::is_executable(node.kind)) continue;
+    const NodeId macro = d.macro.add_node(node.kind, node.name, node.delay);
+    if (d.macro_template.size() <= macro.value) {
+      d.macro_template.resize(macro.value + 1, -1);
+    }
+    d.node_to_macro[n] = macro;
+  }
+
+  // Edges between distinct macro nodes (deduplicated).
+  std::unordered_set<std::uint64_t> seen;
+  for (EdgeId e : g.edge_ids()) {
+    const cdfg::Edge& ed = g.edge(e);
+    if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
+    const auto si = d.node_to_macro.find(ed.src);
+    const auto di = d.node_to_macro.find(ed.dst);
+    if (si == d.node_to_macro.end() || di == d.node_to_macro.end()) continue;
+    if (si->second == di->second) continue;  // hidden inside one module
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(si->second.value) << 32) | di->second.value;
+    if (!seen.insert(key).second) continue;
+    d.macro.add_edge(si->second, di->second, ed.kind);
+  }
+  return d;
+}
+
+double ModuleAllocation::total_area(const TemplateLibrary& lib) const {
+  double a = 0.0;
+  for (std::size_t t = 0; t < instances.size(); ++t) {
+    a += instances[t] * lib.at(static_cast<int>(t)).area;
+  }
+  return a;
+}
+
+namespace {
+
+/// List-schedules the macro graph with per-template instance limits.
+/// Returns achieved latency and accumulates, per template, the number of
+/// (ready op, blocked step) stall events into `stalls`.
+int macro_list_schedule(const MappedDesign& d, std::vector<int> const& limits,
+                        std::vector<long long>* stalls) {
+  const Graph& g = d.macro;
+  const cdfg::TimingInfo timing = cdfg::compute_timing(g);
+
+  std::vector<int> pending(g.node_capacity(), 0);
+  std::vector<int> earliest(g.node_capacity(), 0);
+  std::vector<NodeId> ready;
+  const std::vector<NodeId> nodes = g.node_ids();
+  for (NodeId n : nodes) {
+    pending[n.value] = static_cast<int>(g.fanin(n).size());
+  }
+  auto release = [&](NodeId n, int finish, auto&& self) -> void {
+    for (EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      earliest[ed.dst.value] = std::max(earliest[ed.dst.value], finish);
+      if (--pending[ed.dst.value] == 0) {
+        if (cdfg::is_executable(g.node(ed.dst).kind)) {
+          ready.push_back(ed.dst);
+        } else {
+          self(ed.dst, earliest[ed.dst.value], self);
+        }
+      }
+    }
+  };
+  std::size_t total_ops = 0;
+  for (NodeId n : nodes) {
+    if (cdfg::is_executable(g.node(n).kind)) ++total_ops;
+  }
+  // Snapshot before seeding: release cascades enqueue downstream nodes
+  // themselves; consulting the live pending array would double-schedule.
+  const std::vector<int> initial_pending = pending;
+  for (NodeId n : nodes) {
+    if (initial_pending[n.value] != 0) continue;
+    if (cdfg::is_executable(g.node(n).kind)) {
+      ready.push_back(n);
+    } else {
+      release(n, 0, release);
+    }
+  }
+
+  std::size_t scheduled = 0;
+  int step = 0;
+  int finish = 0;
+  const int kMaxSteps = static_cast<int>(total_ops) * 2 + timing.latency + 16;
+  while (scheduled < total_ops) {
+    if (step > kMaxSteps) {
+      throw std::logic_error("macro_list_schedule: no progress");
+    }
+    std::vector<NodeId> candidates;
+    for (NodeId n : ready) {
+      if (earliest[n.value] <= step) candidates.push_back(n);
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+      if (timing.alap[a.value] != timing.alap[b.value]) {
+        return timing.alap[a.value] < timing.alap[b.value];
+      }
+      return a < b;
+    });
+    std::vector<int> used(limits.size(), 0);
+    for (NodeId n : candidates) {
+      const int t = d.macro_template[n.value];
+      if (used[static_cast<std::size_t>(t)] >= limits[static_cast<std::size_t>(t)]) {
+        if (stalls != nullptr) ++(*stalls)[static_cast<std::size_t>(t)];
+        continue;
+      }
+      ++used[static_cast<std::size_t>(t)];
+      ready.erase(std::remove(ready.begin(), ready.end(), n), ready.end());
+      ++scheduled;
+      finish = std::max(finish, step + g.node(n).delay);
+      release(n, step + g.node(n).delay, release);
+    }
+    ++step;
+  }
+  return finish;
+}
+
+}  // namespace
+
+ModuleAllocation allocate_modules(const MappedDesign& design,
+                                  const TemplateLibrary& lib, int budget_steps) {
+  const int cp = cdfg::critical_path_length(design.macro);
+  if (budget_steps < cp) {
+    throw std::invalid_argument("allocate_modules: budget " +
+                                std::to_string(budget_steps) +
+                                " below mapped critical path " + std::to_string(cp));
+  }
+  ModuleAllocation alloc;
+  alloc.instances.assign(static_cast<std::size_t>(lib.size()), 0);
+  // One instance per used template to start.
+  for (cdfg::NodeId n : design.macro.node_ids()) {
+    const int t = design.macro_template[n.value];
+    if (t >= 0) alloc.instances[static_cast<std::size_t>(t)] = 1;
+  }
+  for (;;) {
+    std::vector<long long> stalls(alloc.instances.size(), 0);
+    const int latency = macro_list_schedule(design, alloc.instances, &stalls);
+    if (latency <= budget_steps) {
+      alloc.latency = latency;
+      break;
+    }
+    // Add an instance of the most-contended template.
+    const auto it = std::max_element(stalls.begin(), stalls.end());
+    if (*it <= 0) {
+      // No resource stalls yet the budget is missed — cannot happen while
+      // budget >= critical path, but guard against heuristic blind spots.
+      throw std::logic_error("allocate_modules: missed budget without stalls");
+    }
+    ++alloc.instances[static_cast<std::size_t>(it - stalls.begin())];
+  }
+
+  // Trim pass: the stall-driven growth can overshoot (an instance added
+  // for an early bottleneck may become redundant once a later one is
+  // fixed).  Drop instances — most expensive templates first — while the
+  // schedule still fits the budget.
+  bool trimmed = true;
+  while (trimmed) {
+    trimmed = false;
+    std::vector<std::size_t> order(alloc.instances.size());
+    for (std::size_t t = 0; t < order.size(); ++t) order[t] = t;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return lib.at(static_cast<int>(a)).area > lib.at(static_cast<int>(b)).area;
+    });
+    for (const std::size_t t : order) {
+      if (alloc.instances[t] <= 1) continue;
+      --alloc.instances[t];
+      int latency = 0;
+      bool fits = true;
+      try {
+        latency = macro_list_schedule(design, alloc.instances, nullptr);
+      } catch (const std::logic_error&) {
+        fits = false;
+      }
+      if (fits && latency <= budget_steps) {
+        alloc.latency = latency;
+        trimmed = true;
+      } else {
+        ++alloc.instances[t];
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace lwm::tmatch

@@ -1,0 +1,81 @@
+// cover.h — template covering and module allocation.
+//
+// Second half of the template-matching task: choose a node-disjoint set
+// of matchings covering every operation (the *cover*), then allocate
+// hardware module instances so the covered design schedules inside the
+// available control steps.  Table II's quality metric — "count of used
+// modules to cover the entire design" — is the total instance count from
+// that allocation; the watermark's enforced matchings and PPO promotions
+// perturb the cover and therefore the count.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "tmatch/matcher.h"
+#include "tmatch/template_lib.h"
+
+namespace lwm::tmatch {
+
+struct CoverOptions {
+  /// Matchings the watermark enforces; they are placed first and must be
+  /// pairwise node-disjoint.
+  std::vector<Match> enforced;
+  /// Pseudo-primary outputs: may only be covered as match roots.
+  std::unordered_set<cdfg::NodeId> ppo;
+};
+
+struct Cover {
+  std::vector<Match> matches;
+
+  /// Modules used with no time-multiplexing (one instance per match).
+  [[nodiscard]] int match_count() const { return static_cast<int>(matches.size()); }
+};
+
+/// Greedy largest-template-first covering.  Every executable node of `g`
+/// ends up in exactly one match.  Throws std::runtime_error if some node
+/// cannot be covered (the library must contain a single-op template for
+/// every operation kind present).
+[[nodiscard]] Cover greedy_cover(const cdfg::Graph& g, const TemplateLibrary& lib,
+                                 const CoverOptions& opts = {});
+
+/// The covered design viewed as a graph of module invocations: one macro
+/// node per match (unit delay — a template fires in one control step),
+/// data edges between matches reconstructed from the original graph.
+struct MappedDesign {
+  cdfg::Graph macro;
+  /// template id of each macro node (indexed by macro NodeId::value;
+  /// -1 for carried-over pseudo-ops).
+  std::vector<int> macro_template;
+  /// original node -> macro node that covers it.
+  std::unordered_map<cdfg::NodeId, cdfg::NodeId> node_to_macro;
+};
+
+[[nodiscard]] MappedDesign build_mapped_design(const cdfg::Graph& g,
+                                               const Cover& cover);
+
+/// Hardware allocation: module instances per template such that the
+/// mapped design list-schedules within `budget_steps` control steps.
+/// Greedy: start from one instance per used template; while the schedule
+/// misses the budget, add an instance of the template with the largest
+/// accumulated resource-stall pressure.  Throws std::invalid_argument if
+/// the budget is below the mapped design's critical path.
+struct ModuleAllocation {
+  std::vector<int> instances;  ///< indexed by template id
+  int latency = 0;             ///< achieved schedule length
+
+  [[nodiscard]] int total() const {
+    int t = 0;
+    for (const int i : instances) t += i;
+    return t;
+  }
+  [[nodiscard]] double total_area(const TemplateLibrary& lib) const;
+};
+
+[[nodiscard]] ModuleAllocation allocate_modules(const MappedDesign& design,
+                                                const TemplateLibrary& lib,
+                                                int budget_steps);
+
+}  // namespace lwm::tmatch

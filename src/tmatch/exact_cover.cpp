@@ -1,0 +1,219 @@
+#include "tmatch/exact_cover.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lwm::tmatch {
+
+using cdfg::Graph;
+using cdfg::NodeId;
+
+namespace {
+
+struct Searcher {
+  const Graph& g;
+  const ExactCoverOptions& opts;
+  std::vector<NodeId> ops;                     // executable nodes, fixed order
+  std::unordered_map<NodeId, std::size_t> op_index;
+  std::vector<std::vector<const Match*>> covering;  // per op: matches touching it
+  int max_match_size = 1;
+
+  std::vector<bool> covered;
+  std::vector<const Match*> chosen;
+  std::vector<const Match*> best;
+  int best_count = 1 << 30;
+  std::uint64_t nodes_visited = 0;
+  bool truncated = false;
+
+  void dfs(std::size_t uncovered_from, int remaining_ops) {
+    if (truncated) return;
+    if (opts.node_limit != 0 && nodes_visited >= opts.node_limit) {
+      truncated = true;
+      return;
+    }
+    ++nodes_visited;
+    // Lower bound: every match covers at most max_match_size ops.
+    const int bound =
+        static_cast<int>(chosen.size()) +
+        (remaining_ops + max_match_size - 1) / max_match_size;
+    if (bound >= best_count) return;
+    // First uncovered op.
+    while (uncovered_from < ops.size() && covered[uncovered_from]) {
+      ++uncovered_from;
+    }
+    if (uncovered_from == ops.size()) {
+      best = chosen;
+      best_count = static_cast<int>(chosen.size());
+      return;
+    }
+    for (const Match* m : covering[uncovered_from]) {
+      bool free = true;
+      for (const NodeId n : m->nodes) {
+        if (covered[op_index.at(n)]) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) continue;
+      for (const NodeId n : m->nodes) covered[op_index.at(n)] = true;
+      chosen.push_back(m);
+      dfs(uncovered_from + 1, remaining_ops - m->size());
+      chosen.pop_back();
+      for (const NodeId n : m->nodes) covered[op_index.at(n)] = false;
+      if (truncated) return;
+    }
+  }
+};
+
+}  // namespace
+
+ExactCoverResult exact_cover(const Graph& g, const TemplateLibrary& lib,
+                             const ExactCoverOptions& opts) {
+  // Pre-place the enforced matches exactly like greedy_cover does, then
+  // search the remainder.
+  Cover prefix;
+  std::vector<NodeId> pre_covered;
+  for (const Match& m : opts.constraints.enforced) {
+    for (const NodeId n : m.nodes) pre_covered.push_back(n);
+    prefix.matches.push_back(m);
+  }
+
+  MatchConstraints cons;
+  cons.ppo = opts.constraints.ppo;
+  cons.excluded.insert(pre_covered.begin(), pre_covered.end());
+  const std::vector<Match> pool = enumerate_matches(g, lib, cons);
+
+  Searcher s{g, opts, {}, {}, {}, 1, {}, {}, {}, 1 << 30, 0, false};
+  for (const NodeId n : g.node_ids()) {
+    if (!cdfg::is_executable(g.node(n).kind)) continue;
+    if (std::find(pre_covered.begin(), pre_covered.end(), n) !=
+        pre_covered.end()) {
+      continue;
+    }
+    s.op_index[n] = s.ops.size();
+    s.ops.push_back(n);
+  }
+  s.covering.resize(s.ops.size());
+  for (const Match& m : pool) {
+    s.max_match_size = std::max(s.max_match_size, m.size());
+    for (const NodeId n : m.nodes) {
+      s.covering[s.op_index.at(n)].push_back(&m);
+    }
+  }
+  for (std::size_t i = 0; i < s.ops.size(); ++i) {
+    if (s.covering[i].empty()) {
+      throw std::runtime_error("exact_cover: no template covers '" +
+                               g.node(s.ops[i]).name + "'");
+    }
+  }
+  s.covered.assign(s.ops.size(), false);
+
+  // Seed with greedy for a tight incumbent.
+  try {
+    const Cover greedy = greedy_cover(g, lib, opts.constraints);
+    s.best_count = greedy.match_count();
+  } catch (const std::runtime_error&) {
+    // greedy failure already implies exact failure, caught above.
+  }
+  ++s.best_count;  // allow matching the greedy count exactly
+
+  s.dfs(0, static_cast<int>(s.ops.size()));
+
+  ExactCoverResult result;
+  result.search_nodes = s.nodes_visited;
+  result.optimal = !s.truncated;
+  result.cover = prefix;
+  if (s.best.empty() && !s.ops.empty()) {
+    // Search truncated before any improvement: fall back to greedy.
+    const Cover greedy = greedy_cover(g, lib, opts.constraints);
+    result.cover = greedy;
+    result.optimal = false;
+    return result;
+  }
+  for (const Match* m : s.best) result.cover.matches.push_back(*m);
+  return result;
+}
+
+CoverCountResult count_covers(const Graph& g, const TemplateLibrary& lib,
+                              int size, const CoverOptions& constraints,
+                              std::uint64_t limit) {
+  CoverCountResult result;
+
+  std::vector<NodeId> pre_covered;
+  for (const Match& m : constraints.enforced) {
+    for (const NodeId n : m.nodes) pre_covered.push_back(n);
+  }
+  const int remaining_budget = size - static_cast<int>(constraints.enforced.size());
+  if (remaining_budget < 0) return result;
+
+  MatchConstraints cons;
+  cons.ppo = constraints.ppo;
+  cons.excluded.insert(pre_covered.begin(), pre_covered.end());
+  const std::vector<Match> pool = enumerate_matches(g, lib, cons);
+
+  std::vector<NodeId> ops;
+  std::unordered_map<NodeId, std::size_t> op_index;
+  for (const NodeId n : g.node_ids()) {
+    if (!cdfg::is_executable(g.node(n).kind)) continue;
+    if (std::find(pre_covered.begin(), pre_covered.end(), n) !=
+        pre_covered.end()) {
+      continue;
+    }
+    op_index[n] = ops.size();
+    ops.push_back(n);
+  }
+  std::vector<std::vector<const Match*>> covering(ops.size());
+  int max_match_size = 1;
+  for (const Match& m : pool) {
+    max_match_size = std::max(max_match_size, m.size());
+    for (const NodeId n : m.nodes) covering[op_index.at(n)].push_back(&m);
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (covering[i].empty()) return result;  // uncoverable -> 0 solutions
+  }
+
+  std::vector<bool> covered(ops.size(), false);
+  // DFS: always branch on the first uncovered op so every cover is
+  // enumerated exactly once.
+  auto dfs = [&](auto&& self, std::size_t from, int used, int remaining_ops)
+      -> bool {  // returns false when saturated
+    if (used > remaining_budget) return true;
+    // Bound: even max-size matches cannot finish within budget / cannot
+    // consume the budget exactly with >= 1 op per match.
+    const int min_needed = (remaining_ops + max_match_size - 1) / max_match_size;
+    if (used + min_needed > remaining_budget) return true;
+    if (remaining_ops < remaining_budget - used) return true;
+    while (from < ops.size() && covered[from]) ++from;
+    if (from == ops.size()) {
+      if (used == remaining_budget) {
+        ++result.count;
+        if (limit != 0 && result.count >= limit) {
+          result.saturated = true;
+          return false;
+        }
+      }
+      return true;
+    }
+    for (const Match* m : covering[from]) {
+      bool free = true;
+      for (const NodeId n : m->nodes) {
+        if (covered[op_index.at(n)]) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) continue;
+      for (const NodeId n : m->nodes) covered[op_index.at(n)] = true;
+      const bool keep_going =
+          self(self, from + 1, used + 1, remaining_ops - m->size());
+      for (const NodeId n : m->nodes) covered[op_index.at(n)] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  (void)dfs(dfs, 0, 0, static_cast<int>(ops.size()));
+  return result;
+}
+
+}  // namespace lwm::tmatch

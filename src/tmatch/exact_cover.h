@@ -1,0 +1,50 @@
+// exact_cover.h — optimal template covering by branch & bound.
+//
+// The greedy coverer (cover.h) is the production path; this exact solver
+// exists to quantify the greedy gap on small designs and to give the
+// Table II reproduction a ground-truth reference.  Minimizes the number
+// of matches (module invocations) covering every operation, honoring the
+// same enforced-match and PPO constraints as greedy_cover.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "tmatch/cover.h"
+
+namespace lwm::tmatch {
+
+struct ExactCoverOptions {
+  CoverOptions constraints;
+  /// Search-node budget; 0 = unlimited.  On exhaustion the best cover
+  /// found so far is returned with optimal == false.
+  std::uint64_t node_limit = 5'000'000;
+};
+
+struct ExactCoverResult {
+  Cover cover;
+  bool optimal = true;
+  std::uint64_t search_nodes = 0;
+};
+
+/// Minimum-match-count cover; throws std::runtime_error when no cover
+/// exists (library incomplete, like greedy_cover).
+[[nodiscard]] ExactCoverResult exact_cover(const cdfg::Graph& g,
+                                           const TemplateLibrary& lib,
+                                           const ExactCoverOptions& opts = {});
+
+/// Counts the distinct covers using exactly `size` matches (the paper's
+/// "solutions of quality Q": a quality-Q solution covers the CDFG with Q
+/// modules).  Constraints are honored the same way exact_cover honors
+/// them; enforced matches count toward `size`.  Saturates at `limit`.
+struct CoverCountResult {
+  std::uint64_t count = 0;
+  bool saturated = false;
+};
+[[nodiscard]] CoverCountResult count_covers(const cdfg::Graph& g,
+                                            const TemplateLibrary& lib,
+                                            int size,
+                                            const CoverOptions& constraints = {},
+                                            std::uint64_t limit = 10'000'000);
+
+}  // namespace lwm::tmatch

@@ -1,0 +1,97 @@
+#include "tmatch/library_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lwm::tmatch {
+
+void write_library(const TemplateLibrary& lib, std::ostream& os) {
+  os << "templates v1\n";
+  for (int i = 0; i < lib.size(); ++i) {
+    const Template& t = lib.at(i);
+    os << "template " << t.name << " " << t.area << "\n";
+    for (const TemplateOp& op : t.ops) {
+      os << "op " << cdfg::op_name(op.kind);
+      for (const int c : op.children) os << " " << c;
+      os << "\n";
+    }
+  }
+}
+
+std::string library_to_text(const TemplateLibrary& lib) {
+  std::ostringstream os;
+  write_library(lib, os);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("library parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+TemplateLibrary read_library(std::istream& is) {
+  TemplateLibrary lib;
+  std::string line;
+  int lineno = 0;
+
+  if (!std::getline(is, line) || line != "templates v1") {
+    throw std::runtime_error(
+        "library parse error: missing 'templates v1' header");
+  }
+  ++lineno;
+
+  Template current;
+  bool open = false;
+  auto flush = [&](int at_line) {
+    if (!open) return;
+    try {
+      lib.add(current);
+    } catch (const std::invalid_argument& e) {
+      fail(at_line, e.what());
+    }
+    current = Template{};
+    open = false;
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok[0] == '#') continue;
+    if (tok == "template") {
+      flush(lineno);
+      if (!(ls >> current.name >> current.area)) {
+        fail(lineno, "template needs <name> <area>");
+      }
+      open = true;
+    } else if (tok == "op") {
+      if (!open) fail(lineno, "op before any template header");
+      std::string kind_name;
+      if (!(ls >> kind_name)) fail(lineno, "op needs a kind");
+      const auto kind = cdfg::op_from_name(kind_name);
+      if (!kind) fail(lineno, "unknown op kind '" + kind_name + "'");
+      TemplateOp op;
+      op.kind = *kind;
+      int child = 0;
+      while (ls >> child) op.children.push_back(child);
+      current.ops.push_back(std::move(op));
+    } else {
+      fail(lineno, "unknown directive '" + tok + "'");
+    }
+  }
+  flush(lineno);
+  return lib;
+}
+
+TemplateLibrary library_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_library(is);
+}
+
+}  // namespace lwm::tmatch

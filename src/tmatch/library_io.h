@@ -1,0 +1,26 @@
+// library_io.h — text interchange for template libraries.
+//
+// Adopters bring their own module libraries (the paper's experiments use
+// HYPER's); this format lets a library live next to the design files:
+//
+//   templates v1
+//   template <name> <area>
+//   op <kind> [child-index ...]      (preorder; ops[0] is the root)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tmatch/template_lib.h"
+
+namespace lwm::tmatch {
+
+void write_library(const TemplateLibrary& lib, std::ostream& os);
+[[nodiscard]] std::string library_to_text(const TemplateLibrary& lib);
+
+/// Throws std::runtime_error with a line number on malformed input or
+/// invalid template trees.
+[[nodiscard]] TemplateLibrary read_library(std::istream& is);
+[[nodiscard]] TemplateLibrary library_from_text(const std::string& text);
+
+}  // namespace lwm::tmatch

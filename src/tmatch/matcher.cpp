@@ -1,0 +1,124 @@
+#include "tmatch/matcher.h"
+
+#include <algorithm>
+
+namespace lwm::tmatch {
+
+using cdfg::EdgeId;
+using cdfg::Graph;
+using cdfg::NodeId;
+
+bool Match::covers(NodeId n) const {
+  return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
+}
+
+namespace {
+
+/// Recursive embedding search: template op `op_idx` is already mapped to
+/// `assignment[op_idx]`; extend the mapping to its children over the data
+/// fan-in of that node, enumerating all operand assignments.
+void extend(const Graph& g, const Template& t, const MatchConstraints& cons,
+            std::size_t next_child_pos, std::vector<int>& frontier,
+            std::vector<NodeId>& assignment, std::vector<Match>& out,
+            int template_id) {
+  if (next_child_pos == frontier.size()) {
+    out.push_back(Match{template_id, assignment});
+    return;
+  }
+  const int child_op = frontier[next_child_pos];
+  // Find this child's parent op and try every data producer of the
+  // parent's node as the child's node.
+  int parent_op = -1;
+  for (std::size_t i = 0; i < t.ops.size(); ++i) {
+    for (const int c : t.ops[i].children) {
+      if (c == child_op) parent_op = static_cast<int>(i);
+    }
+  }
+  const NodeId parent_node = assignment[static_cast<std::size_t>(parent_op)];
+  for (EdgeId e : g.fanin(parent_node)) {
+    const cdfg::Edge& ed = g.edge(e);
+    if (ed.kind != cdfg::EdgeKind::kData) continue;
+    const NodeId cand = ed.src;
+    if (g.node(cand).kind != t.ops[static_cast<std::size_t>(child_op)].kind) continue;
+    if (cons.excluded.count(cand) != 0) continue;
+    // Internal op: value must be consumed only by the parent (inside the
+    // module the wire is hidden), and it must not be a PPO.
+    if (cons.ppo.count(cand) != 0) continue;
+    bool external_consumer = false;
+    for (EdgeId oe : g.fanout(cand)) {
+      const cdfg::Edge& oed = g.edge(oe);
+      if (oed.kind != cdfg::EdgeKind::kData) continue;
+      if (oed.dst != parent_node) {
+        external_consumer = true;
+        break;
+      }
+    }
+    if (external_consumer) continue;
+    // Distinctness.
+    if (std::find(assignment.begin(), assignment.end(), cand) != assignment.end()) {
+      continue;
+    }
+    assignment[static_cast<std::size_t>(child_op)] = cand;
+    extend(g, t, cons, next_child_pos + 1, frontier, assignment, out, template_id);
+    assignment[static_cast<std::size_t>(child_op)] = NodeId{};
+  }
+}
+
+}  // namespace
+
+std::vector<Match> matches_at(const Graph& g, const TemplateLibrary& lib,
+                              int template_id, NodeId root,
+                              const MatchConstraints& cons) {
+  std::vector<Match> out;
+  const Template& t = lib.at(template_id);
+  if (!g.is_live(root)) return out;
+  if (g.node(root).kind != t.ops[0].kind) return out;
+  if (cons.excluded.count(root) != 0) return out;
+
+  // Preorder list of non-root ops; parents precede children by the
+  // library's tree validation, so a left-to-right sweep always has the
+  // parent mapped before the child.
+  std::vector<int> frontier;
+  for (std::size_t i = 1; i < t.ops.size(); ++i) {
+    frontier.push_back(static_cast<int>(i));
+  }
+  std::vector<NodeId> assignment(t.ops.size());
+  assignment[0] = root;
+  extend(g, t, cons, 0, frontier, assignment, out, template_id);
+  return out;
+}
+
+std::vector<Match> enumerate_matches(const Graph& g, const TemplateLibrary& lib,
+                                     const MatchConstraints& cons) {
+  std::vector<Match> out;
+  for (NodeId n : g.node_ids()) {
+    if (!cdfg::is_executable(g.node(n).kind)) continue;
+    for (int t = 0; t < lib.size(); ++t) {
+      const std::vector<Match> found = matches_at(g, lib, t, n, cons);
+      out.insert(out.end(), found.begin(), found.end());
+    }
+  }
+  return out;
+}
+
+std::vector<Match> matches_covering(const Graph& g, const TemplateLibrary& lib,
+                                    NodeId n, const MatchConstraints& cons) {
+  std::vector<Match> out;
+  for (const Match& m : enumerate_matches(g, lib, cons)) {
+    if (m.covers(n)) out.push_back(m);
+  }
+  return out;
+}
+
+std::string describe(const Graph& g, const TemplateLibrary& lib,
+                     const Match& m) {
+  std::string s = lib.at(m.template_id).name + "(";
+  for (std::size_t i = 0; i < m.nodes.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += g.node(m.nodes[i]).name;
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace lwm::tmatch

@@ -1,0 +1,72 @@
+// matcher.h — exhaustive enumeration of template-to-DFG matchings.
+//
+// Implements steps 04–08 of the paper's Fig. 5 pseudocode: "given the
+// subset of nodes T' and a library of modules L, all possible nodes-to-
+// module matchings are exhaustively enumerated ... The result of the
+// enumeration is an ordered list M of matchings."  A matching
+// m = {(n ⋈ O)} pairs graph nodes with the template ops they implement.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "tmatch/template_lib.h"
+
+namespace lwm::tmatch {
+
+/// One enumerated matching: an embedding of template `template_id` into
+/// the graph.  nodes[i] implements template op i; nodes[0] is the root.
+struct Match {
+  int template_id = -1;
+  std::vector<cdfg::NodeId> nodes;
+
+  [[nodiscard]] cdfg::NodeId root() const { return nodes.front(); }
+  [[nodiscard]] int size() const { return static_cast<int>(nodes.size()); }
+  [[nodiscard]] bool covers(cdfg::NodeId n) const;
+};
+
+/// Constraints restricting which embeddings are feasible.
+struct MatchConstraints {
+  /// Nodes that may not be covered at all (already "processed", or
+  /// outside the candidate subset T').  Empty = everything allowed.
+  std::unordered_set<cdfg::NodeId> excluded;
+  /// Pseudo-primary outputs: these values must remain visible, so a PPO
+  /// node may only appear as a match *root*, never as an internal op.
+  std::unordered_set<cdfg::NodeId> ppo;
+};
+
+/// Enumerates every embedding of every library template into `g`:
+///   * template op kinds match node kinds;
+///   * each template child edge maps onto a data edge of `g`;
+///   * matched nodes are pairwise distinct;
+///   * an internal (non-root) matched node's value is consumed only
+///     inside the match — a hidden wire cannot feed outside logic;
+///   * constraints.excluded nodes are untouchable, constraints.ppo nodes
+///     may only be roots.
+/// Deterministic order: by root NodeId, then template id, then the
+/// operand permutation order.
+[[nodiscard]] std::vector<Match> enumerate_matches(
+    const cdfg::Graph& g, const TemplateLibrary& lib,
+    const MatchConstraints& constraints = {});
+
+/// Embeddings of one specific template rooted at `root`.
+[[nodiscard]] std::vector<Match> matches_at(const cdfg::Graph& g,
+                                            const TemplateLibrary& lib,
+                                            int template_id, cdfg::NodeId root,
+                                            const MatchConstraints& constraints = {});
+
+/// All matchings that cover node `n` in any position — the paper's
+/// Solutions(m) building block ("operation A9 can be matched in five
+/// different ways").
+[[nodiscard]] std::vector<Match> matches_covering(
+    const cdfg::Graph& g, const TemplateLibrary& lib, cdfg::NodeId n,
+    const MatchConstraints& constraints = {});
+
+/// Pretty-printer for logs and the motivational-example bench.
+[[nodiscard]] std::string describe(const cdfg::Graph& g,
+                                   const TemplateLibrary& lib, const Match& m);
+
+}  // namespace lwm::tmatch

@@ -1,0 +1,92 @@
+#include "tmatch/template_lib.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace lwm::tmatch {
+
+int TemplateLibrary::add(Template t) {
+  if (t.ops.empty()) {
+    throw std::invalid_argument("TemplateLibrary::add: empty template '" +
+                                t.name + "'");
+  }
+  // Tree validation: every non-root op must be referenced exactly once,
+  // children indexes in range, no self references.
+  std::vector<int> refs(t.ops.size(), 0);
+  for (std::size_t i = 0; i < t.ops.size(); ++i) {
+    for (const int c : t.ops[i].children) {
+      if (c <= 0 || static_cast<std::size_t>(c) >= t.ops.size()) {
+        throw std::invalid_argument("TemplateLibrary::add: bad child index in '" +
+                                    t.name + "'");
+      }
+      if (static_cast<std::size_t>(c) <= i) {
+        throw std::invalid_argument(
+            "TemplateLibrary::add: children must follow parents in '" + t.name +
+            "' (tree stored in preorder)");
+      }
+      ++refs[static_cast<std::size_t>(c)];
+    }
+  }
+  for (std::size_t i = 1; i < t.ops.size(); ++i) {
+    if (refs[i] != 1) {
+      throw std::invalid_argument("TemplateLibrary::add: op " +
+                                  std::to_string(i) + " of '" + t.name +
+                                  "' referenced " + std::to_string(refs[i]) +
+                                  " times (tree requires exactly one parent)");
+    }
+  }
+  templates_.push_back(std::move(t));
+  return static_cast<int>(templates_.size()) - 1;
+}
+
+TemplateLibrary TemplateLibrary::primitive() {
+  TemplateLibrary lib;
+  using cdfg::OpKind;
+  for (const OpKind k : {OpKind::kAdd, OpKind::kSub, OpKind::kMul,
+                         OpKind::kShift, OpKind::kDiv, OpKind::kCmp,
+                         OpKind::kMux, OpKind::kAnd, OpKind::kOr,
+                         OpKind::kXor, OpKind::kNot, OpKind::kUnit}) {
+    Template t;
+    t.name = std::string(cdfg::op_name(k));
+    t.ops.push_back(TemplateOp{k, {}});
+    t.area = (k == OpKind::kMul || k == OpKind::kDiv) ? 4.0 : 1.0;
+    lib.add(std::move(t));
+  }
+  return lib;
+}
+
+TemplateLibrary TemplateLibrary::standard() {
+  TemplateLibrary lib = primitive();
+  using cdfg::OpKind;
+  {
+    Template t;  // add2: add(root) fed by add — the paper's two-adder T1
+    t.name = "add2";
+    t.ops = {TemplateOp{OpKind::kAdd, {1}}, TemplateOp{OpKind::kAdd, {}}};
+    t.area = 1.6;
+    lib.add(std::move(t));
+  }
+  {
+    Template t;  // mac: add(root) fed by mul
+    t.name = "mac";
+    t.ops = {TemplateOp{OpKind::kAdd, {1}}, TemplateOp{OpKind::kMul, {}}};
+    t.area = 4.4;
+    lib.add(std::move(t));
+  }
+  {
+    Template t;  // shadd: add(root) fed by shift (constant-coefficient mult)
+    t.name = "shadd";
+    t.ops = {TemplateOp{OpKind::kAdd, {1}}, TemplateOp{OpKind::kShift, {}}};
+    t.area = 1.3;
+    lib.add(std::move(t));
+  }
+  {
+    Template t;  // addsub: sub(root) fed by add
+    t.name = "addsub";
+    t.ops = {TemplateOp{OpKind::kSub, {1}}, TemplateOp{OpKind::kAdd, {}}};
+    t.area = 1.6;
+    lib.add(std::move(t));
+  }
+  return lib;
+}
+
+}  // namespace lwm::tmatch

@@ -1,0 +1,2 @@
+// machine.cpp — Machine is header-only; this TU anchors the target.
+#include "vliw/machine.h"

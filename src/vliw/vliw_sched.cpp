@@ -1,0 +1,113 @@
+#include "vliw/vliw_sched.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lwm::vliw {
+
+using cdfg::EdgeId;
+using cdfg::Graph;
+using cdfg::NodeId;
+
+VliwResult vliw_schedule(const Graph& g, const Machine& m,
+                         cdfg::EdgeFilter filter) {
+  if (m.issue_width <= 0) {
+    throw std::invalid_argument("vliw_schedule: issue width must be positive");
+  }
+  const cdfg::TimingInfo timing = cdfg::compute_timing(g, -1, filter);
+
+  auto op_delay = [&](NodeId n) {
+    const cdfg::Node& node = g.node(n);
+    return node.kind == cdfg::OpKind::kLoad ? m.load_delay : node.delay;
+  };
+
+  std::vector<int> pending(g.node_capacity(), 0);
+  std::vector<int> earliest(g.node_capacity(), 0);
+  std::vector<NodeId> ready;
+
+  const std::vector<NodeId> nodes = g.node_ids();
+  for (NodeId n : nodes) {
+    int deps = 0;
+    for (EdgeId e : g.fanin(n)) {
+      if (filter.accepts(g.edge(e).kind)) ++deps;
+    }
+    pending[n.value] = deps;
+  }
+
+  auto release = [&](NodeId n, int finish, auto&& self) -> void {
+    for (EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      earliest[ed.dst.value] = std::max(earliest[ed.dst.value], finish);
+      if (--pending[ed.dst.value] == 0) {
+        if (cdfg::is_executable(g.node(ed.dst).kind)) {
+          ready.push_back(ed.dst);
+        } else {
+          self(ed.dst, earliest[ed.dst.value], self);
+        }
+      }
+    }
+  };
+  // Snapshot before seeding: release cascades enqueue downstream nodes
+  // themselves; consulting the live pending array here would double-issue.
+  const std::vector<int> initial_pending = pending;
+  for (NodeId n : nodes) {
+    if (initial_pending[n.value] != 0) continue;
+    if (cdfg::is_executable(g.node(n).kind)) {
+      ready.push_back(n);
+    } else {
+      release(n, 0, release);
+    }
+  }
+
+  VliwResult result;
+  result.schedule = sched::Schedule(g);
+  const std::size_t total_ops = g.operation_count();
+  std::size_t issued = 0;
+  int cycle = 0;
+  const int kMaxCycles = static_cast<int>(total_ops) * (m.load_delay + 2) +
+                         timing.latency + 16;
+  while (issued < total_ops) {
+    if (cycle > kMaxCycles) {
+      throw std::logic_error("vliw_schedule: no progress (internal error)");
+    }
+    std::vector<NodeId> candidates;
+    for (NodeId n : ready) {
+      if (earliest[n.value] <= cycle) candidates.push_back(n);
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+      if (timing.alap[a.value] != timing.alap[b.value]) {
+        return timing.alap[a.value] < timing.alap[b.value];
+      }
+      return a < b;
+    });
+
+    int slots = m.issue_width;
+    std::array<int, cdfg::kNumUnitClasses> used{};
+    for (NodeId n : candidates) {
+      if (slots == 0) break;
+      const cdfg::UnitClass uc = cdfg::unit_class(g.node(n).kind);
+      const auto uci = static_cast<std::size_t>(uc);
+      if (m.units.is_limited(uc) && used[uci] >= m.units.count(uc)) continue;
+      ++used[uci];
+      --slots;
+      result.schedule.set_start(n, cycle);
+      ready.erase(std::remove(ready.begin(), ready.end(), n), ready.end());
+      ++issued;
+      release(n, cycle + op_delay(n), release);
+    }
+    ++cycle;
+  }
+  result.issued_ops = static_cast<long long>(issued);
+  // Execution finishes when the last issued op completes.
+  int finish = 0;
+  for (NodeId n : nodes) {
+    if (!result.schedule.is_scheduled(n)) continue;
+    finish = std::max(finish, result.schedule.start_of(n) + op_delay(n));
+  }
+  result.cycles = finish;
+  return result;
+}
+
+}  // namespace lwm::vliw

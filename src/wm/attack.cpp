@@ -1,0 +1,146 @@
+#include "wm/attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace lwm::wm {
+
+using cdfg::EdgeId;
+using cdfg::Graph;
+using cdfg::NodeId;
+
+AttackCost attack_cost(long long qualified, int k, double target_log10_pc,
+                       double mean_ratio) {
+  if (qualified <= 0 || k <= 0 || mean_ratio <= 0.0 || mean_ratio >= 1.0) {
+    throw std::invalid_argument("attack_cost: bad parameters");
+  }
+  AttackCost cost;
+  // Max edges that may survive while P_c stays above the target:
+  // survivors * log10(ratio) >= target.
+  const int max_survivors = static_cast<int>(
+      std::floor(target_log10_pc / std::log10(mean_ratio)));
+  cost.edges_to_break = std::max(0, k - max_survivors);
+  if (cost.edges_to_break == 0) return cost;
+
+  // A random pair reordering touches 2 of the `qualified` nodes; an edge
+  // breaks iff >= 1 endpoint is touched.  With node-touch probability q,
+  // P(edge broken) = 1 - (1 - q)^2; solve for the required q.
+  const double broken_frac =
+      static_cast<double>(cost.edges_to_break) / static_cast<double>(k);
+  const double q = 1.0 - std::sqrt(1.0 - broken_frac);
+  cost.fraction_of_solution = q;
+  cost.pairs_to_alter =
+      static_cast<long long>(std::ceil(q * static_cast<double>(qualified) / 2.0));
+  return cost;
+}
+
+PerturbResult perturb_schedule(const Graph& g, const sched::Schedule& s,
+                               int moves, std::uint64_t seed,
+                               cdfg::EdgeFilter filter) {
+  PerturbResult result;
+  result.schedule = s;
+  std::mt19937_64 rng(seed);
+
+  std::vector<NodeId> ops;
+  for (NodeId n : g.node_ids()) {
+    if (cdfg::is_executable(g.node(n).kind) && s.is_scheduled(n)) {
+      ops.push_back(n);
+    }
+  }
+  if (ops.size() < 2) return result;
+
+  // Executable-to-executable precedence (collapsing pseudo-ops is not
+  // needed: pseudo-ops are unscheduled and skipped by the bounds below).
+  auto legal_range = [&](NodeId n) -> std::pair<int, int> {
+    int lo = 0;
+    int hi = 1 << 28;
+    for (EdgeId e : g.fanin(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      const NodeId p = ed.src;
+      if (!result.schedule.is_scheduled(p)) continue;
+      lo = std::max(lo, result.schedule.start_of(p) + g.node(p).delay);
+    }
+    for (EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      const NodeId c = ed.dst;
+      if (!result.schedule.is_scheduled(c)) continue;
+      hi = std::min(hi, result.schedule.start_of(c) - g.node(n).delay);
+    }
+    return {lo, hi};
+  };
+
+  const int original_len = s.length(g);
+  for (int m = 0; m < moves; ++m) {
+    const NodeId n = ops[rng() % ops.size()];
+    auto [lo, hi] = legal_range(n);
+    // Keep the attack quality-preserving: never stretch the schedule.
+    hi = std::min(hi, original_len - g.node(n).delay);
+    if (hi <= lo && result.schedule.start_of(n) == lo) continue;
+    if (hi < lo) continue;
+    const int span = hi - lo + 1;
+    const int new_start = lo + static_cast<int>(rng() % static_cast<unsigned>(span));
+    const int old_start = result.schedule.start_of(n);
+    if (new_start == old_start) continue;
+    // Count order flips against every other op.
+    for (const NodeId other : ops) {
+      if (other == n) continue;
+      const int o = result.schedule.start_of(other);
+      const bool before_old = old_start < o || (old_start == o && n < other);
+      const bool before_new = new_start < o || (new_start == o && n < other);
+      if (before_old != before_new) ++result.pairs_reordered;
+    }
+    result.schedule.set_start(n, new_start);
+    ++result.moves_applied;
+  }
+  return result;
+}
+
+std::vector<NodeId> insert_decoys(Graph& g, sched::Schedule& s, int count,
+                                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> inserted;
+
+  for (int k = 0; k < count; ++k) {
+    // Collect splittable edges fresh each round (prior splits change them).
+    std::vector<cdfg::EdgeId> candidates;
+    for (cdfg::EdgeId e : g.edges_of_kind(cdfg::EdgeKind::kData)) {
+      const cdfg::Edge& ed = g.edge(e);
+      const cdfg::Node& src = g.node(ed.src);
+      const cdfg::Node& dst = g.node(ed.dst);
+      if (!cdfg::is_executable(src.kind) || !cdfg::is_executable(dst.kind)) {
+        continue;
+      }
+      if (!s.is_scheduled(ed.src) || !s.is_scheduled(ed.dst)) continue;
+      const int gap =
+          s.start_of(ed.dst) - (s.start_of(ed.src) + src.delay);
+      if (gap >= 1) candidates.push_back(e);
+    }
+    if (candidates.empty()) break;
+    const cdfg::EdgeId victim = candidates[rng() % candidates.size()];
+    const cdfg::Edge ed = g.edge(victim);
+    g.remove_edge(victim);
+    const NodeId decoy = g.add_node(cdfg::OpKind::kUnit);
+    g.add_edge(ed.src, decoy, cdfg::EdgeKind::kData);
+    g.add_edge(decoy, ed.dst, cdfg::EdgeKind::kData);
+    s.set_start(decoy, s.start_of(ed.src) + g.node(ed.src).delay);
+    inserted.push_back(decoy);
+  }
+  return inserted;
+}
+
+double constraints_surviving(const Graph& g, const sched::Schedule& s,
+                             const SchedWatermark& wm) {
+  if (wm.constraints.empty()) return 0.0;
+  int ok = 0;
+  for (const TemporalConstraint& c : wm.constraints) {
+    if (!s.is_scheduled(c.src) || !s.is_scheduled(c.dst)) continue;
+    if (s.start_of(c.src) + g.node(c.src).delay <= s.start_of(c.dst)) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(wm.constraints.size());
+}
+
+}  // namespace lwm::wm

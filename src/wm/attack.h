@@ -1,0 +1,70 @@
+// attack.h — tampering attacks and resistance analysis.
+//
+// Models the §IV-A adversary: someone who wants to keep the stolen
+// solution's quality but destroy the proof of authorship by *local*
+// changes — re-ordering pairs of operations without re-running synthesis.
+// Provides (a) the closed-form cost analysis behind the paper's
+// "31,729 pairs ≈ 63% of the solution" discussion and (b) an executable
+// attack that legally perturbs a schedule so the claim can be measured.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "cdfg/analysis.h"
+#include "cdfg/graph.h"
+#include "sched/schedule.h"
+#include "wm/sched_constraints.h"
+
+namespace lwm::wm {
+
+/// Closed-form attack cost.  Assumptions (documented deviation — the
+/// paper does not publish its exact model): the design has `qualified`
+/// operations eligible for watermark edges of which `k` pairs are marked;
+/// each watermark edge retains expected per-edge coincidence `mean_ratio`
+/// (paper example: 1/2); a reordered pair destroys a watermark edge iff
+/// it moves one of the edge's endpoints.  To push P_c above
+/// `target_log10_pc` the attacker must break enough edges that the
+/// survivors' product exceeds the target.
+struct AttackCost {
+  int edges_to_break = 0;       ///< watermark edges that must be destroyed
+  long long pairs_to_alter = 0; ///< random pair reorderings required
+  double fraction_of_solution = 0.0;  ///< nodes touched / qualified nodes
+};
+[[nodiscard]] AttackCost attack_cost(long long qualified, int k,
+                                     double target_log10_pc,
+                                     double mean_ratio = 0.5);
+
+/// Executable schedule-perturbation attack: repeatedly picks a random
+/// scheduled operation and moves it to a random different step inside
+/// its precedence-legal range (neighbors' current starts define the
+/// range), flipping execution orders without breaking the schedule.
+/// Returns the number of (node, node) pairs whose relative order changed.
+struct PerturbResult {
+  sched::Schedule schedule;
+  long long pairs_reordered = 0;
+  int moves_applied = 0;
+};
+[[nodiscard]] PerturbResult perturb_schedule(const cdfg::Graph& g,
+                                             const sched::Schedule& s,
+                                             int moves, std::uint64_t seed,
+                                             cdfg::EdgeFilter filter = cdfg::EdgeFilter::specification());
+
+/// Fraction of the watermark's constraints still satisfied by `s`.
+[[nodiscard]] double constraints_surviving(const cdfg::Graph& g,
+                                           const sched::Schedule& s,
+                                           const SchedWatermark& wm);
+
+/// Structural tampering: inserts `count` decoy unit operations by
+/// splitting data edges whose endpoints have at least one idle step
+/// between them, scheduling each decoy into that gap.  Original
+/// operations keep their control steps, so the attack is free in
+/// schedule quality — its damage is to the *structure* the detector's
+/// locality carving walks (fan-in shapes change wherever a decoy
+/// lands).  Returns the inserted node ids; `s` is updated in place.
+[[nodiscard]] std::vector<cdfg::NodeId> insert_decoys(cdfg::Graph& g,
+                                                      sched::Schedule& s,
+                                                      int count,
+                                                      std::uint64_t seed);
+
+}  // namespace lwm::wm

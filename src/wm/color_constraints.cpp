@@ -1,0 +1,176 @@
+#include "wm/color_constraints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace lwm::wm {
+
+std::vector<int> order_ball(const color::UGraph& g, int root, int radius) {
+  if (radius <= 0) {
+    throw std::invalid_argument("order_ball: radius must be positive");
+  }
+  // BFS distances.
+  std::vector<int> dist(static_cast<std::size_t>(g.vertex_count()), -1);
+  std::deque<int> queue{root};
+  dist[static_cast<std::size_t>(root)] = 0;
+  std::vector<int> ball;
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    ball.push_back(v);
+    if (dist[static_cast<std::size_t>(v)] >= radius) continue;
+    for (const int w : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(w)] < 0) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  // Unique identification: distance, then degree (descending), then the
+  // sorted degree profile of the neighborhood, then index.
+  auto profile = [&](int v) {
+    std::vector<int> p;
+    for (const int w : g.neighbors(v)) p.push_back(g.degree(w));
+    std::sort(p.rbegin(), p.rend());
+    return p;
+  };
+  std::sort(ball.begin(), ball.end(), [&](int a, int b) {
+    const int da = dist[static_cast<std::size_t>(a)];
+    const int db = dist[static_cast<std::size_t>(b)];
+    if (da != db) return da < db;
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    const auto pa = profile(a);
+    const auto pb = profile(b);
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  return ball;
+}
+
+std::optional<ColorWatermark> plan_color_watermark(const color::UGraph& g,
+                                                   int root,
+                                                   const crypto::Signature& sig,
+                                                   const ColorWmOptions& opts) {
+  if (opts.pairs <= 0) {
+    throw std::invalid_argument("plan_color_watermark: need pairs > 0");
+  }
+  const std::vector<int> ball = order_ball(g, root, opts.radius);
+  if (static_cast<int>(ball.size()) < 3) return std::nullopt;
+
+  ColorWatermark wm;
+  wm.root = root;
+  wm.options = opts;
+  for (const int v : ball) wm.locality_degrees.push_back(g.degree(v));
+
+  crypto::Bitstream stream = sig.stream(ColorWmOptions::kSelectTag);
+  // Draw up to 4x the requested pair count of position pairs; keep the
+  // non-adjacent, not-yet-constrained ones.
+  const int budget = 4 * opts.pairs;
+  for (int draw = 0;
+       draw < budget && static_cast<int>(wm.ghost_edges.size()) < opts.pairs;
+       ++draw) {
+    const auto i = static_cast<int>(
+        stream.next_uint(static_cast<std::uint32_t>(ball.size())));
+    const auto j = static_cast<int>(
+        stream.next_uint(static_cast<std::uint32_t>(ball.size())));
+    if (i == j) continue;
+    const int u = ball[static_cast<std::size_t>(std::min(i, j))];
+    const int v = ball[static_cast<std::size_t>(std::max(i, j))];
+    if (g.has_edge(u, v)) continue;  // a real edge separates them anyway
+    const std::pair<int, int> pos{std::min(i, j), std::max(i, j)};
+    if (std::find(wm.positions.begin(), wm.positions.end(), pos) !=
+        wm.positions.end()) {
+      continue;
+    }
+    wm.positions.push_back(pos);
+    wm.ghost_edges.emplace_back(u, v);
+  }
+  if (static_cast<int>(wm.ghost_edges.size()) < std::max(1, opts.min_pairs)) {
+    return std::nullopt;
+  }
+  return wm;
+}
+
+std::vector<ColorWatermark> plan_color_watermarks(const color::UGraph& g,
+                                                  const crypto::Signature& sig,
+                                                  int count,
+                                                  const ColorWmOptions& opts,
+                                                  int max_attempts) {
+  std::vector<ColorWatermark> marks;
+  crypto::Bitstream roots = sig.stream("lwm/color-roots");
+  std::vector<bool> used(static_cast<std::size_t>(g.vertex_count()), false);
+  for (int attempt = 0;
+       attempt < max_attempts && static_cast<int>(marks.size()) < count &&
+       g.vertex_count() > 0;
+       ++attempt) {
+    const int root = static_cast<int>(
+        roots.next_uint(static_cast<std::uint32_t>(g.vertex_count())));
+    if (used[static_cast<std::size_t>(root)]) continue;
+    used[static_cast<std::size_t>(root)] = true;
+    auto wm = plan_color_watermark(g, root, sig, opts);
+    if (wm) marks.push_back(std::move(*wm));
+  }
+  return marks;
+}
+
+color::ColorConstraints to_color_constraints(
+    std::span<const ColorWatermark> marks) {
+  color::ColorConstraints c;
+  for (const ColorWatermark& wm : marks) {
+    for (const auto& e : wm.ghost_edges) c.differ.push_back(e);
+  }
+  return c;
+}
+
+ColorDetectionReport detect_color_watermark(const color::UGraph& suspect,
+                                            const color::Coloring& coloring,
+                                            const crypto::Signature& sig,
+                                            const ColorWatermark& record) {
+  ColorDetectionReport report;
+  for (int root = 0; root < suspect.vertex_count(); ++root) {
+    ++report.roots_scanned;
+    ColorHit hit;
+    hit.root = root;
+    // Structural gate: the ordered ball's degree fingerprint.
+    const std::vector<int> ball = order_ball(suspect, root, record.options.radius);
+    if (ball.size() != record.locality_degrees.size()) continue;
+    bool structural = true;
+    for (std::size_t i = 0; i < ball.size(); ++i) {
+      if (suspect.degree(ball[i]) != record.locality_degrees[i]) {
+        structural = false;
+        break;
+      }
+    }
+    if (!structural) continue;
+    // Authorship binding: re-derive with the claimant's signature.
+    const auto derived =
+        plan_color_watermark(suspect, root, sig, record.options);
+    if (!derived || derived->positions != record.positions) continue;
+    // Presence: the coloring separates every derived ghost edge.
+    for (const auto& [u, v] : derived->ghost_edges) {
+      ++hit.total;
+      if (coloring.color[static_cast<std::size_t>(u)] !=
+          coloring.color[static_cast<std::size_t>(v)]) {
+        ++hit.satisfied;
+      }
+    }
+    if (hit.full()) report.hits.push_back(hit);
+  }
+  return report;
+}
+
+double log10_color_pc(const color::Coloring& coloring,
+                      std::span<const ColorWatermark> marks) {
+  const int k = std::max(2, coloring.colors_used);
+  const double per_edge =
+      std::log10(static_cast<double>(k - 1) / static_cast<double>(k));
+  double log10_pc = 0.0;
+  for (const ColorWatermark& wm : marks) {
+    log10_pc += per_edge * static_cast<double>(wm.ghost_edges.size());
+  }
+  return log10_pc;
+}
+
+}  // namespace lwm::wm

@@ -1,0 +1,88 @@
+// color_constraints.h — local watermarking of graph-coloring solutions.
+//
+// The paper's §III pedagogical instantiation: "while uniquely marking a
+// solution to graph coloring, a local watermark is embedded in a random
+// subgraph."  The encoding follows Qu & Potkonjak (the paper's [5]):
+// every constraint is a *ghost edge* between two non-adjacent vertices of
+// the locality, forcing them into different color classes.  Per ghost
+// edge the coincidence factor is roughly (k-1)/k for a k-coloring — weak
+// individually, exponentially strong in the number of edges, which is
+// why the protocol plants many.
+//
+// Localities are BFS balls around a root vertex; vertices inside a
+// locality are uniquely identified by (distance from root, degree,
+// sorted neighbor-degree profile, index) — the C1/C2/C3 idea transposed
+// to undirected graphs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "color/graph_color.h"
+#include "crypto/signature.h"
+
+namespace lwm::wm {
+
+struct ColorWmOptions {
+  int radius = 2;  ///< BFS ball radius of the locality
+  int pairs = 8;   ///< ghost edges per local watermark
+  int min_pairs = 2;
+  static constexpr const char* kSelectTag = "lwm/color-pairs";
+};
+
+struct ColorWatermark {
+  int root = -1;
+  ColorWmOptions options;
+  /// Ghost edges as vertex pairs (graph-level indices).
+  std::vector<std::pair<int, int>> ghost_edges;
+  /// Positions within the ordered locality (detector coordinates).
+  std::vector<std::pair<int, int>> positions;
+  /// Degree fingerprint of the ordered locality.
+  std::vector<int> locality_degrees;
+};
+
+/// Orders the BFS ball of `root` (radius `radius`) deterministically.
+[[nodiscard]] std::vector<int> order_ball(const color::UGraph& g, int root,
+                                          int radius);
+
+/// Plans a watermark at `root`: the signature samples vertex pairs from
+/// the ordered ball and keeps the non-adjacent ones as ghost edges.
+[[nodiscard]] std::optional<ColorWatermark> plan_color_watermark(
+    const color::UGraph& g, int root, const crypto::Signature& sig,
+    const ColorWmOptions& opts);
+
+/// Plans watermarks at signature-chosen roots until `count` succeed.
+[[nodiscard]] std::vector<ColorWatermark> plan_color_watermarks(
+    const color::UGraph& g, const crypto::Signature& sig, int count,
+    const ColorWmOptions& opts, int max_attempts = 1000);
+
+/// Collects every ghost edge into coloring constraints.
+[[nodiscard]] color::ColorConstraints to_color_constraints(
+    std::span<const ColorWatermark> marks);
+
+/// Detection: scans every vertex as candidate root, re-derives the
+/// ghost edges from the claimant's signature, and checks the suspect
+/// coloring separates every pair.  Requires the re-derived pairs to
+/// match the recorded positions (authorship binding) and the locality
+/// degree fingerprint to match (structural gate).
+struct ColorHit {
+  int root = -1;
+  int satisfied = 0;
+  int total = 0;
+  [[nodiscard]] bool full() const { return total > 0 && satisfied == total; }
+};
+struct ColorDetectionReport {
+  std::vector<ColorHit> hits;
+  int roots_scanned = 0;
+  [[nodiscard]] bool detected() const { return !hits.empty(); }
+};
+[[nodiscard]] ColorDetectionReport detect_color_watermark(
+    const color::UGraph& suspect, const color::Coloring& coloring,
+    const crypto::Signature& sig, const ColorWatermark& record);
+
+/// Coincidence model: an unwatermarked k-coloring separates a specific
+/// non-adjacent pair with probability ~ (k-1)/k; log10 sums over edges.
+[[nodiscard]] double log10_color_pc(const color::Coloring& coloring,
+                                    std::span<const ColorWatermark> marks);
+
+}  // namespace lwm::wm

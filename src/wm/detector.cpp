@@ -1,0 +1,181 @@
+#include "wm/detector.h"
+
+#include <algorithm>
+
+namespace lwm::wm {
+
+using cdfg::Graph;
+using cdfg::NodeId;
+
+SchedRecord SchedRecord::from(const SchedWatermark& wm, const cdfg::Graph& g) {
+  SchedRecord r;
+  r.domain = wm.options.domain;
+  for (const TemporalConstraint& c : wm.constraints) {
+    r.positions.emplace_back(c.src_pos, c.dst_pos);
+  }
+  r.subtree_ops.reserve(wm.subtree.size());
+  for (const cdfg::NodeId n : wm.subtree) {
+    r.subtree_ops.push_back(cdfg::functional_id(g.node(n).kind));
+  }
+  return r;
+}
+
+SchedHit verify_sched_watermark_at(const Graph& suspect,
+                                   const sched::Schedule& schedule,
+                                   const crypto::Signature& sig,
+                                   const SchedRecord& record, NodeId root) {
+  SchedHit hit;
+  hit.root = root;
+  const Domain d = select_domain(suspect, root, sig, record.domain);
+
+  // Structural gate: the signature-carved subtree at this root must be
+  // the memorized subtree (same size, same operations in unique order).
+  if (d.selected.size() != record.subtree_ops.size()) {
+    return hit;
+  }
+  for (std::size_t i = 0; i < d.selected.size(); ++i) {
+    if (cdfg::functional_id(suspect.node(d.selected[i]).kind) !=
+        record.subtree_ops[i]) {
+      return hit;
+    }
+  }
+
+  int max_pos = -1;
+  for (const auto& [s, t] : record.positions) {
+    max_pos = std::max({max_pos, s, t});
+  }
+  if (max_pos >= static_cast<int>(d.selected.size())) {
+    return hit;  // locality too small here: 0/0, no match
+  }
+  for (const auto& [src_pos, dst_pos] : record.positions) {
+    const NodeId src = d.selected[static_cast<std::size_t>(src_pos)];
+    const NodeId dst = d.selected[static_cast<std::size_t>(dst_pos)];
+    ++hit.total;
+    if (!schedule.is_scheduled(src) || !schedule.is_scheduled(dst)) continue;
+    if (schedule.start_of(src) + suspect.node(src).delay <=
+        schedule.start_of(dst)) {
+      ++hit.satisfied;
+    }
+  }
+  return hit;
+}
+
+SchedDetectionReport detect_sched_watermark(const Graph& suspect,
+                                            const sched::Schedule& schedule,
+                                            const crypto::Signature& sig,
+                                            const SchedRecord& record) {
+  SchedDetectionReport report;
+  int best_satisfied = -1;
+  for (NodeId n : suspect.node_ids()) {
+    if (!cdfg::is_executable(suspect.node(n).kind)) continue;
+    ++report.roots_scanned;
+    const SchedHit hit =
+        verify_sched_watermark_at(suspect, schedule, sig, record, n);
+    if (hit.full()) report.hits.push_back(hit);
+    if (hit.satisfied > best_satisfied) {
+      best_satisfied = hit.satisfied;
+      report.best_root = n;
+    }
+  }
+  return report;
+}
+
+std::vector<SchedDetectionReport> detect_sched_watermarks(
+    const Graph& suspect, const sched::Schedule& schedule,
+    const crypto::Signature& sig, std::span<const SchedRecord> records) {
+  std::vector<SchedDetectionReport> reports(records.size());
+  if (records.empty()) return reports;
+
+  // Group records by domain key — one carve per (root, key).
+  struct Group {
+    DomainKey key;
+    std::vector<std::size_t> record_idx;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const DomainKey& k = records[i].domain;
+    Group* home = nullptr;
+    for (Group& grp : groups) {
+      if (grp.key.tau == k.tau && grp.key.keep_num == k.keep_num &&
+          grp.key.keep_den == k.keep_den) {
+        home = &grp;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      groups.push_back(Group{k, {}});
+      home = &groups.back();
+    }
+    home->record_idx.push_back(i);
+  }
+
+  std::vector<int> best_satisfied(records.size(), -1);
+  for (NodeId n : suspect.node_ids()) {
+    if (!cdfg::is_executable(suspect.node(n).kind)) continue;
+    for (auto& report : reports) ++report.roots_scanned;
+    for (const Group& grp : groups) {
+      const Domain d = select_domain(suspect, n, sig, grp.key);
+      for (const std::size_t i : grp.record_idx) {
+        const SchedRecord& record = records[i];
+        // Structural gate (same checks as verify_sched_watermark_at).
+        if (d.selected.size() != record.subtree_ops.size()) continue;
+        bool structural = true;
+        for (std::size_t p = 0; p < d.selected.size(); ++p) {
+          if (cdfg::functional_id(suspect.node(d.selected[p]).kind) !=
+              record.subtree_ops[p]) {
+            structural = false;
+            break;
+          }
+        }
+        if (!structural) continue;
+        SchedHit hit;
+        hit.root = n;
+        for (const auto& [src_pos, dst_pos] : record.positions) {
+          if (src_pos >= static_cast<int>(d.selected.size()) ||
+              dst_pos >= static_cast<int>(d.selected.size())) {
+            continue;
+          }
+          ++hit.total;
+          const NodeId src = d.selected[static_cast<std::size_t>(src_pos)];
+          const NodeId dst = d.selected[static_cast<std::size_t>(dst_pos)];
+          if (schedule.is_scheduled(src) && schedule.is_scheduled(dst) &&
+              schedule.start_of(src) + suspect.node(src).delay <=
+                  schedule.start_of(dst)) {
+            ++hit.satisfied;
+          }
+        }
+        if (hit.full()) reports[i].hits.push_back(hit);
+        if (hit.satisfied > best_satisfied[i]) {
+          best_satisfied[i] = hit.satisfied;
+          reports[i].best_root = n;
+        }
+      }
+    }
+  }
+  return reports;
+}
+
+TmDetectionReport detect_tm_watermark(const Graph& suspect,
+                                      const tmatch::Cover& suspect_cover,
+                                      const tmatch::TemplateLibrary& lib,
+                                      const crypto::Signature& sig,
+                                      const TmWmOptions& opts) {
+  TmDetectionReport report;
+  const std::optional<TmWatermark> replanned =
+      plan_tm_watermark(suspect, lib, sig, opts);
+  if (!replanned) return report;
+
+  for (const tmatch::Match& want : replanned->enforced) {
+    ++report.total;
+    for (const tmatch::Match& have : suspect_cover.matches) {
+      if (have.template_id != want.template_id) continue;
+      if (have.nodes == want.nodes) {
+        ++report.found;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace lwm::wm

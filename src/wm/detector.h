@@ -1,0 +1,103 @@
+// detector.h — copy detection for local watermarks.
+//
+// "During copy detection, the goal is to find at least one local
+// watermark in a particular design."  The detector holds the designer's
+// watermark records in *graph-independent coordinates*: the domain key,
+// plus each temporal constraint as a pair of positions inside the
+// ordered carved subtree.  Scanning a suspect design, it treats every
+// node as a candidate root, re-derives the locality with the author's
+// signature (domain selection is a pure function of local structure and
+// the signature), maps the recorded positions back to suspect nodes and
+// checks the recovered schedule against the constraints.  Because
+// everything is locality-relative, detection works on cut-out partitions
+// and on cores embedded in larger systems — the two scenarios global
+// watermarks fail (paper §I).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "crypto/signature.h"
+#include "sched/schedule.h"
+#include "tmatch/cover.h"
+#include "wm/sched_constraints.h"
+#include "wm/tm_constraints.h"
+
+namespace lwm::wm {
+
+/// Graph-independent record of one scheduling watermark (what the
+/// designer archives at embed time).
+struct SchedRecord {
+  DomainKey domain;
+  /// (src position, dst position) within the ordered carved subtree.
+  std::vector<std::pair<int, int>> positions;
+  /// Structural fingerprint of the memorized subtree T: the functional id
+  /// of every carved node, in unique-identifier order.  Detection first
+  /// "checks whether [a candidate node] represents a root n_o of the
+  /// memorized subtree" (paper §IV-A) by comparing this sequence; only
+  /// then are the schedule constraints verified.  Without it, ASAP-like
+  /// schedules coincidentally satisfy src-before-dst pairs at many
+  /// unrelated roots.
+  std::vector<int> subtree_ops;
+
+  [[nodiscard]] static SchedRecord from(const SchedWatermark& wm,
+                                        const cdfg::Graph& g);
+};
+
+/// One candidate-root evaluation.
+struct SchedHit {
+  cdfg::NodeId root;
+  int satisfied = 0;  ///< constraints honored by the suspect schedule
+  int total = 0;      ///< constraints mappable at this root
+  [[nodiscard]] bool full() const { return total > 0 && satisfied == total; }
+};
+
+struct SchedDetectionReport {
+  std::vector<SchedHit> hits;       ///< full matches only
+  cdfg::NodeId best_root;           ///< root of the strongest hit
+  int roots_scanned = 0;
+
+  [[nodiscard]] bool detected() const { return !hits.empty(); }
+};
+
+/// Scans every executable node of `suspect` as a candidate root.  A hit
+/// requires all `record.positions` to map inside the carved subtree and
+/// every mapped constraint to hold in `schedule`.
+[[nodiscard]] SchedDetectionReport detect_sched_watermark(
+    const cdfg::Graph& suspect, const sched::Schedule& schedule,
+    const crypto::Signature& sig, const SchedRecord& record);
+
+/// Verifies a specific already-known locality (fast path when the
+/// suspect is believed to be the unmodified design): maps positions at
+/// `root` and counts satisfied constraints.
+[[nodiscard]] SchedHit verify_sched_watermark_at(const cdfg::Graph& suspect,
+                                                 const sched::Schedule& schedule,
+                                                 const crypto::Signature& sig,
+                                                 const SchedRecord& record,
+                                                 cdfg::NodeId root);
+
+/// Batch detection: evaluates many records in one scan.  The expensive
+/// step of detection is the per-root signature carve (ordering the
+/// locality and replaying the keyed BFS); it depends only on the domain
+/// key, not on the record, so an archive sharing one key costs one carve
+/// per root instead of one per (root, record).  Results are index-aligned
+/// with `records`.
+[[nodiscard]] std::vector<SchedDetectionReport> detect_sched_watermarks(
+    const cdfg::Graph& suspect, const sched::Schedule& schedule,
+    const crypto::Signature& sig, std::span<const SchedRecord> records);
+
+/// Template-matching detection: re-plans the watermark on the suspect
+/// graph with the author's signature and checks that every enforced
+/// matching appears (same template, same node set) in the suspect cover.
+struct TmDetectionReport {
+  int found = 0;
+  int total = 0;
+  [[nodiscard]] bool detected() const { return total > 0 && found == total; }
+};
+[[nodiscard]] TmDetectionReport detect_tm_watermark(
+    const cdfg::Graph& suspect, const tmatch::Cover& suspect_cover,
+    const tmatch::TemplateLibrary& lib, const crypto::Signature& sig,
+    const TmWmOptions& opts);
+
+}  // namespace lwm::wm

@@ -1,0 +1,201 @@
+#include "wm/domain.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lwm::wm {
+
+using cdfg::EdgeId;
+using cdfg::Graph;
+using cdfg::NodeId;
+
+namespace {
+
+/// Per-node ordering features inside a locality.
+struct Features {
+  NodeId node;
+  int discovery = 0;              ///< BFS discovery position (final tie-break)
+  int level = 0;                  ///< C1
+  std::vector<int> cone_size;     ///< C2: K(x) for x = 1..tau
+  std::vector<long long> cone_phi;  ///< C3: phi(x) for x = 1..tau
+};
+
+/// In-cone data/control producers of `n`, first-occurrence order.
+std::vector<NodeId> cone_inputs(const Graph& g, NodeId n,
+                                const std::unordered_set<NodeId>& cone) {
+  std::vector<NodeId> inputs;
+  for (EdgeId e : g.fanin(n)) {
+    const cdfg::Edge& ed = g.edge(e);
+    if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
+    if (cone.count(ed.src) == 0) continue;
+    if (std::find(inputs.begin(), inputs.end(), ed.src) == inputs.end()) {
+      inputs.push_back(ed.src);
+    }
+  }
+  return inputs;
+}
+
+}  // namespace
+
+std::vector<NodeId> order_locality(const Graph& g, NodeId root, int tau) {
+  if (tau <= 0) {
+    throw std::invalid_argument("order_locality: tau must be positive");
+  }
+  const std::vector<cdfg::ConeNode> cone_nodes =
+      cdfg::fanin_cone(g, root, tau, cdfg::EdgeFilter::specification());
+
+  std::unordered_set<NodeId> cone;
+  for (const cdfg::ConeNode& c : cone_nodes) cone.insert(c.node);
+
+  // C1: levels — longest path from root over in-cone fan-in edges.
+  // Process in reverse topological order of g restricted to the cone.
+  std::unordered_map<NodeId, int> level;
+  level[root] = 0;
+  const std::vector<NodeId> order =
+      cdfg::topo_order(g, cdfg::EdgeFilter::specification());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    if (cone.count(n) == 0 || n == root) continue;
+    int lv = -1;
+    for (EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
+      const auto li = level.find(ed.dst);
+      if (li != level.end() && cone.count(ed.dst) != 0) {
+        lv = std::max(lv, li->second + 1);
+      }
+    }
+    // Every cone node reaches the root inside the cone by construction.
+    level[n] = lv;
+  }
+
+  // C2/C3: bounded in-cone fan-in sweeps per node.
+  auto sweep = [&](NodeId n, std::vector<int>& sizes,
+                   std::vector<long long>& phis) {
+    std::unordered_map<NodeId, int> dist;
+    dist[n] = 0;
+    std::deque<NodeId> queue{n};
+    sizes.assign(static_cast<std::size_t>(tau), 0);
+    phis.assign(static_cast<std::size_t>(tau), 0);
+    long long phi_self = cdfg::functional_id(g.node(n).kind);
+    while (!queue.empty()) {
+      const NodeId m = queue.front();
+      queue.pop_front();
+      const int dm = dist[m];
+      if (dm >= tau) continue;
+      for (const NodeId p : cone_inputs(g, m, cone)) {
+        if (dist.count(p) != 0) continue;
+        dist[p] = dm + 1;
+        queue.push_back(p);
+      }
+    }
+    for (const auto& [m, dm] : dist) {
+      if (m == n) continue;
+      for (int x = dm; x <= tau; ++x) {
+        ++sizes[static_cast<std::size_t>(x - 1)];
+        phis[static_cast<std::size_t>(x - 1)] += cdfg::functional_id(g.node(m).kind);
+      }
+    }
+    for (int x = 1; x <= tau; ++x) {
+      phis[static_cast<std::size_t>(x - 1)] += phi_self;
+    }
+  };
+
+  std::vector<Features> feats;
+  feats.reserve(cone_nodes.size());
+  for (std::size_t i = 0; i < cone_nodes.size(); ++i) {
+    Features f;
+    f.node = cone_nodes[i].node;
+    f.discovery = static_cast<int>(i);
+    f.level = level.at(f.node);
+    sweep(f.node, f.cone_size, f.cone_phi);
+    feats.push_back(std::move(f));
+  }
+
+  std::sort(feats.begin(), feats.end(), [tau](const Features& a, const Features& b) {
+    if (a.level != b.level) return a.level > b.level;  // C1: deeper first
+    for (int x = 0; x < tau; ++x) {                    // C2 at growing x
+      const auto xi = static_cast<std::size_t>(x);
+      if (a.cone_size[xi] != b.cone_size[xi]) return a.cone_size[xi] > b.cone_size[xi];
+    }
+    for (int x = 0; x < tau; ++x) {                    // C3 at growing x
+      const auto xi = static_cast<std::size_t>(x);
+      if (a.cone_phi[xi] != b.cone_phi[xi]) return a.cone_phi[xi] > b.cone_phi[xi];
+    }
+    return a.discovery < b.discovery;                  // structural tie-break
+  });
+
+  std::vector<NodeId> out;
+  out.reserve(feats.size());
+  for (const Features& f : feats) out.push_back(f.node);
+  return out;
+}
+
+Domain select_domain(const Graph& g, NodeId root, const crypto::Signature& sig,
+                     const DomainKey& key) {
+  Domain d;
+  d.root = root;
+  d.ordered = order_locality(g, root, key.tau);
+
+  std::unordered_set<NodeId> cone(d.ordered.begin(), d.ordered.end());
+  std::unordered_set<NodeId> selected{root};
+
+  // Inputs are identified by their unique (C1-C3) rank in the ordered
+  // locality — "the selection process cannot be misinterpreted because
+  // of the unique identification of each node input."  Ranking, unlike
+  // raw fan-in list order, is invariant under edge re-insertion (e.g. a
+  // detector that collapsed decoy operations out of a tampered design).
+  std::unordered_map<NodeId, int> rank;
+  for (std::size_t i = 0; i < d.ordered.size(); ++i) {
+    rank[d.ordered[i]] = static_cast<int>(i);
+  }
+  auto ranked_inputs = [&](NodeId n) {
+    std::vector<NodeId> inputs = cone_inputs(g, n, cone);
+    std::sort(inputs.begin(), inputs.end(),
+              [&](NodeId a, NodeId b) { return rank.at(a) < rank.at(b); });
+    return inputs;
+  };
+
+  crypto::Bitstream stream = sig.stream(DomainKey::kCarveTag);
+
+  // Top-down breadth-first carving: "at least one input to include in the
+  // next level ... whether each of the remaining inputs should be
+  // included".
+  std::deque<NodeId> queue{root};
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    const std::vector<NodeId> inputs = ranked_inputs(n);
+    if (inputs.empty()) continue;
+    const std::uint32_t mandatory =
+        stream.next_uint(static_cast<std::uint32_t>(inputs.size()));
+    for (std::uint32_t i = 0; i < inputs.size(); ++i) {
+      bool include = (i == mandatory);
+      if (!include) include = stream.bernoulli(key.keep_num, key.keep_den);
+      if (include && selected.insert(inputs[i]).second) {
+        queue.push_back(inputs[i]);
+      }
+    }
+  }
+
+  for (const NodeId n : d.ordered) {
+    if (selected.count(n) != 0) d.selected.push_back(n);
+  }
+  return d;
+}
+
+NodeId pick_root(const Graph& g, crypto::Bitstream& stream) {
+  std::vector<NodeId> ops;
+  for (NodeId n : g.node_ids()) {
+    if (cdfg::is_executable(g.node(n).kind)) ops.push_back(n);
+  }
+  if (ops.empty()) {
+    throw std::invalid_argument("pick_root: graph has no operations");
+  }
+  return ops[stream.next_uint(static_cast<std::uint32_t>(ops.size()))];
+}
+
+}  // namespace lwm::wm

@@ -1,0 +1,71 @@
+// domain.h — domain selection and identification for local watermarks.
+//
+// Step one of both protocols (paper §IV-A): pick a root n_o, take its
+// fan-in tree T_o of max-distance tau, give every node of T_o a *unique
+// identifier* via the ordering criteria
+//   C1  level L_i — longest path from n_o to n_i inside the locality;
+//   C2  K_i(x)    — fan-in cone cardinality at growing distances x;
+//   C3  phi(n_i,x) — functionality-weighted cone sums at growing x;
+// then carve the watermark subtree T out of T_o with the author-keyed
+// bitstream (top-down breadth-first; at each node at least one input is
+// kept and every other input is kept with a fixed probability).
+//
+// Reproduction note: we evaluate C1–C3 on the subgraph *induced by T_o*
+// rather than on the whole CDFG.  The paper computes them globally; the
+// induced-subgraph variant makes the identifiers a pure function of the
+// locality, which is what lets detection succeed after the core is cut
+// out of, or embedded into, another design — the property §I motivates.
+// Nodes still tied after C1–C3 at every distance have isomorphic
+// in-cone environments; they are finally ordered by their breadth-first
+// discovery position, which is reproducible because fan-in lists preserve
+// insertion order through serialization, extraction, and embedding.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/analysis.h"
+#include "cdfg/graph.h"
+#include "crypto/signature.h"
+
+namespace lwm::wm {
+
+/// Parameters shared by embedding and detection — both sides must agree
+/// on these (they are part of the watermark key, alongside the signature).
+struct DomainKey {
+  int tau = 8;  ///< fan-in max-distance of the locality T_o
+  /// Probability (keep_num / keep_den) that a non-mandatory input is kept
+  /// while carving T ("the exclusion of inputs can be done with a given
+  /// probability").
+  std::uint32_t keep_num = 1;
+  std::uint32_t keep_den = 2;
+  /// Purpose tag for the carving bitstream.
+  static constexpr const char* kCarveTag = "lwm/carve";
+};
+
+/// A selected and uniquely identified locality.
+struct Domain {
+  cdfg::NodeId root;
+  /// T_o, sorted by unique identifier (identifier == index).
+  std::vector<cdfg::NodeId> ordered;
+  /// T ⊆ T_o carved by the signature, sorted by unique identifier.
+  std::vector<cdfg::NodeId> selected;
+};
+
+/// Orders the fan-in cone of `root` (max-distance `tau`) by criteria
+/// C1 → C2 → C3 → discovery position.  Deterministic, signature-free.
+[[nodiscard]] std::vector<cdfg::NodeId> order_locality(const cdfg::Graph& g,
+                                                       cdfg::NodeId root, int tau);
+
+/// Full domain selection: ordering plus signature-keyed carving of T.
+/// A pure function of (graph structure reachable from root, key, sig) —
+/// embedding and detection call this identically.
+[[nodiscard]] Domain select_domain(const cdfg::Graph& g, cdfg::NodeId root,
+                                   const crypto::Signature& sig,
+                                   const DomainKey& key);
+
+/// Picks a pseudo-random executable root from `stream` (used when
+/// embedding; detection scans all candidate roots instead).
+[[nodiscard]] cdfg::NodeId pick_root(const cdfg::Graph& g,
+                                     crypto::Bitstream& stream);
+
+}  // namespace lwm::wm

@@ -1,0 +1,70 @@
+#include "wm/fingerprint.h"
+
+#include "sched/list_sched.h"
+
+namespace lwm::wm {
+
+FingerprintedCopy fingerprint_copy(const cdfg::Graph& original,
+                                   const crypto::Signature& vendor,
+                                   const std::string& recipient,
+                                   const FingerprintOptions& opts) {
+  FingerprintedCopy copy;
+  copy.recipient = recipient;
+  copy.design = original;
+
+  const std::vector<SchedWatermark> own =
+      embed_local_watermarks(copy.design, vendor, opts.ownership_marks, opts.wm);
+  for (const SchedWatermark& m : own) {
+    copy.ownership_records.push_back(SchedRecord::from(m, copy.design));
+  }
+
+  const crypto::Signature recipient_sig = vendor.derive(recipient);
+  const std::vector<SchedWatermark> marks =
+      embed_local_watermarks(copy.design, recipient_sig, opts.copy_marks, opts.wm);
+  for (const SchedWatermark& m : marks) {
+    copy.copy_records.push_back(SchedRecord::from(m, copy.design));
+  }
+
+  copy.schedule = sched::list_schedule(copy.design);
+  copy.design.strip_temporal_edges();
+  return copy;
+}
+
+const LeakScore* LeakReport::likely_leaker() const {
+  const LeakScore* best = nullptr;
+  for (const LeakScore& s : scores) {
+    if (s.marks_found == 0) continue;
+    if (best == nullptr || s.ratio() > best->ratio()) best = &s;
+  }
+  return best;
+}
+
+LeakReport identify_leak(const cdfg::Graph& suspect,
+                         const sched::Schedule& schedule,
+                         const crypto::Signature& vendor,
+                         const std::vector<FingerprintedCopy>& copies) {
+  LeakReport report;
+  for (const FingerprintedCopy& copy : copies) {
+    // Ownership: vendor-keyed marks are shared across copies; checking
+    // any archive suffices, so accumulate over all.
+    for (const SchedRecord& rec : copy.ownership_records) {
+      if (detect_sched_watermark(suspect, schedule, vendor, rec).detected()) {
+        report.ownership_established = true;
+      }
+    }
+    LeakScore score;
+    score.recipient = copy.recipient;
+    score.marks_total = static_cast<int>(copy.copy_records.size());
+    const crypto::Signature recipient_sig = vendor.derive(copy.recipient);
+    for (const SchedRecord& rec : copy.copy_records) {
+      if (detect_sched_watermark(suspect, schedule, recipient_sig, rec)
+              .detected()) {
+        ++score.marks_found;
+      }
+    }
+    report.scores.push_back(std::move(score));
+  }
+  return report;
+}
+
+}  // namespace lwm::wm

@@ -1,0 +1,217 @@
+#include "wm/pc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "cdfg/analysis.h"
+#include "tmatch/exact_cover.h"
+
+namespace lwm::wm {
+
+using cdfg::Graph;
+using cdfg::NodeId;
+
+double PcEstimate::proof_of_authorship() const {
+  return 1.0 - std::pow(10.0, log10_pc);
+}
+
+PcEstimate sched_pc_exact(const Graph& g, const SchedWatermark& wm,
+                          const sched::EnumerationOptions& opts) {
+  // Enumerate over the executable members of the carved subtree.
+  std::vector<NodeId> subset;
+  for (const NodeId n : wm.subtree) {
+    if (cdfg::is_executable(g.node(n).kind)) subset.push_back(n);
+  }
+  std::vector<sched::ExtraPrecedence> extra;
+  for (const TemporalConstraint& c : wm.constraints) {
+    extra.push_back(sched::ExtraPrecedence{c.src, c.dst});
+  }
+  sched::EnumerationOptions eopts = opts;
+  eopts.filter = cdfg::EdgeFilter::specification();
+
+  const sched::EnumerationResult denom =
+      sched::count_schedules(g, subset, {}, eopts);
+  const sched::EnumerationResult numer =
+      sched::count_schedules(g, subset, extra, eopts);
+
+  PcEstimate est;
+  if (denom.saturated || numer.saturated || denom.count == 0) {
+    // Too large to enumerate — approximate instead.
+    const SchedWatermark marks[] = {wm};
+    est = sched_pc_window_model(g, marks);
+    return est;
+  }
+  est.exact = true;
+  if (numer.count == 0) {
+    est.degenerate = true;
+    // Zero coincidence within the bound; report a floor instead of -inf.
+    est.log10_pc = -std::log10(static_cast<double>(denom.count)) - 1.0;
+  } else {
+    est.log10_pc = std::log10(static_cast<double>(numer.count)) -
+                   std::log10(static_cast<double>(denom.count));
+  }
+  return est;
+}
+
+double edge_order_probability(const cdfg::TimingInfo& timing, const Graph& g,
+                              NodeId src, NodeId dst) {
+  const int la = timing.asap[src.value];
+  const int ha = timing.alap[src.value];
+  const int lb = timing.asap[dst.value];
+  const int hb = timing.alap[dst.value];
+  const int da = g.node(src).delay;
+  long long favorable = 0;
+  const long long total =
+      static_cast<long long>(ha - la + 1) * (hb - lb + 1);
+  for (int ta = la; ta <= ha; ++ta) {
+    const int min_tb = ta + da;
+    if (min_tb <= lb) {
+      favorable += hb - lb + 1;
+    } else if (min_tb <= hb) {
+      favorable += hb - min_tb + 1;
+    }
+  }
+  return static_cast<double>(favorable) / static_cast<double>(total);
+}
+
+PcEstimate sched_pc_window_model(const Graph& g,
+                                 std::span<const SchedWatermark> marks) {
+  const cdfg::TimingInfo timing =
+      cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
+  PcEstimate est;
+  est.exact = false;
+  for (const SchedWatermark& wm : marks) {
+    for (const TemporalConstraint& c : wm.constraints) {
+      const double p = edge_order_probability(timing, g, c.src, c.dst);
+      if (p <= 0.0) {
+        // The constraint is unsatisfiable by a free schedule within the
+        // critical path; treat as one-in-total-windows.
+        est.degenerate = true;
+        est.log10_pc += -6.0;  // conservative floor per impossible edge
+        continue;
+      }
+      est.log10_pc += std::log10(p);
+    }
+  }
+  return est;
+}
+
+PcEstimate sched_pc_sampled(const Graph& g,
+                            std::span<const SchedWatermark> marks, int trials,
+                            std::uint64_t seed, int latency) {
+  if (trials <= 0) {
+    throw std::invalid_argument("sched_pc_sampled: need trials > 0");
+  }
+  const cdfg::TimingInfo timing =
+      cdfg::compute_timing(g, latency, cdfg::EdgeFilter::specification());
+  const std::vector<NodeId> order =
+      cdfg::topo_order(g, cdfg::EdgeFilter::specification());
+
+  std::mt19937_64 rng(seed);
+  int satisfied_all = 0;
+  std::vector<int> start(g.node_capacity(), 0);
+  for (int t = 0; t < trials; ++t) {
+    // Random feasible schedule: walk in topological order; each node
+    // draws uniformly from [earliest-from-preds, ALAP].
+    for (const NodeId n : order) {
+      int lo = timing.asap[n.value];
+      for (const cdfg::EdgeId e : g.fanin(n)) {
+        const cdfg::Edge& ed = g.edge(e);
+        if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
+        lo = std::max(lo, start[ed.src.value] + g.node(ed.src).delay);
+      }
+      const int hi = timing.alap[n.value];
+      start[n.value] =
+          lo >= hi ? lo
+                   : lo + static_cast<int>(rng() % static_cast<unsigned>(hi - lo + 1));
+    }
+    bool all_ok = true;
+    for (const SchedWatermark& wm : marks) {
+      for (const TemporalConstraint& c : wm.constraints) {
+        if (start[c.src.value] + g.node(c.src).delay > start[c.dst.value]) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (!all_ok) break;
+    }
+    if (all_ok) ++satisfied_all;
+  }
+  PcEstimate est;
+  est.exact = false;
+  est.degenerate = satisfied_all == 0;
+  // Laplace smoothing: (hits + 1) / (trials + 2).
+  est.log10_pc = std::log10(static_cast<double>(satisfied_all + 1) /
+                            static_cast<double>(trials + 2));
+  return est;
+}
+
+PcEstimate tm_pc(const Graph& g, const tmatch::TemplateLibrary& lib,
+                 const TmWatermark& wm) {
+  PcEstimate est;
+  est.exact = true;
+  for (const tmatch::Match& m : wm.enforced) {
+    // Solutions(m): distinct matchings that cover m's nodes in the
+    // unconstrained design.
+    std::vector<tmatch::Match> pool =
+        tmatch::enumerate_matches(g, lib, tmatch::MatchConstraints{});
+    long long solutions = 0;
+    for (const tmatch::Match& cand : pool) {
+      bool touches = false;
+      for (const NodeId n : m.nodes) {
+        if (cand.covers(n)) {
+          touches = true;
+          break;
+        }
+      }
+      if (touches) ++solutions;
+    }
+    if (solutions <= 1) {
+      // Forced matching is the only option — contributes no security.
+      continue;
+    }
+    est.log10_pc -= std::log10(static_cast<double>(solutions));
+  }
+  return est;
+}
+
+PcEstimate tm_pc_exact(const Graph& g, const tmatch::TemplateLibrary& lib,
+                       const TmWatermark& wm, std::uint64_t limit) {
+  // Q: the unconstrained optimum.
+  tmatch::ExactCoverOptions xopts;
+  xopts.node_limit = limit;
+  const tmatch::ExactCoverResult opt = tmatch::exact_cover(g, lib, xopts);
+  if (!opt.optimal) {
+    return tm_pc(g, lib, wm);
+  }
+  const int q = opt.cover.match_count();
+
+  const tmatch::CoverCountResult denom =
+      tmatch::count_covers(g, lib, q, {}, limit);
+  tmatch::CoverOptions constrained;
+  constrained.enforced = wm.enforced;
+  constrained.ppo = wm.ppos;
+  const tmatch::CoverCountResult numer =
+      tmatch::count_covers(g, lib, q, constrained, limit);
+
+  if (denom.saturated || numer.saturated || denom.count == 0) {
+    return tm_pc(g, lib, wm);
+  }
+  PcEstimate est;
+  est.exact = true;
+  if (numer.count == 0) {
+    // The watermarked spec admits no quality-Q solution at all: a
+    // quality-Q suspect cannot carry the watermark by coincidence.  Use
+    // a floor one decade below the solution count.
+    est.degenerate = true;
+    est.log10_pc = -std::log10(static_cast<double>(denom.count)) - 1.0;
+  } else {
+    est.log10_pc = std::log10(static_cast<double>(numer.count)) -
+                   std::log10(static_cast<double>(denom.count));
+  }
+  return est;
+}
+
+}  // namespace lwm::wm

@@ -1,0 +1,91 @@
+// pc.h — coincidence-probability (proof-of-authorship) estimation.
+//
+// The strength of a watermark is 1 - P_c, where P_c is the probability
+// that an unwatermarked flow coincidentally produces a solution
+// satisfying the hidden constraints.
+//
+// Scheduling (paper §IV-A):  P_c ≈ Π_i psi_W(e_i)/psi_N(e_i).  For small
+// localities both counts come from exhaustive enumeration (the 15/166 of
+// the motivational example); at scale, per-edge ratios come from an
+// independence model over the operations' ASAP–ALAP windows (the paper
+// assumes Poisson-distributed window positions; we use the windows
+// themselves, uniform and independent — same spirit, fully determined by
+// the graph).
+//
+// Template matching (paper §IV-B):  P_c ≈ Π_{i=1..Z} Solutions(m_i)^{-1},
+// where Solutions(m) counts the distinct matchings covering m's nodes.
+#pragma once
+
+#include <span>
+
+#include "cdfg/graph.h"
+#include "sched/enumerate.h"
+#include "tmatch/matcher.h"
+#include "tmatch/template_lib.h"
+#include "wm/sched_constraints.h"
+#include "wm/tm_constraints.h"
+
+namespace lwm::wm {
+
+struct PcEstimate {
+  double log10_pc = 0.0;  ///< log10 of the coincidence probability
+  bool exact = false;     ///< true if from exhaustive enumeration
+  bool degenerate = false;  ///< true if some factor was 0 or uncountable
+
+  [[nodiscard]] double proof_of_authorship() const;
+};
+
+/// Exact P_c of one scheduling watermark by exhaustive enumeration over
+/// the executable nodes of the carved subtree: schedules satisfying all
+/// constraints / all schedules.  Saturates at `opts.limit`; on saturation
+/// falls back to the window model (exact == false).
+[[nodiscard]] PcEstimate sched_pc_exact(const cdfg::Graph& g,
+                                        const SchedWatermark& wm,
+                                        const sched::EnumerationOptions& opts = {});
+
+/// Window-model P_c of a set of scheduling watermarks: per temporal edge
+/// e(src -> dst), the probability that independent uniform draws from the
+/// two [ASAP, ALAP] windows put src's finish at or before dst's start;
+/// log-probabilities sum over all edges of all watermarks.
+[[nodiscard]] PcEstimate sched_pc_window_model(
+    const cdfg::Graph& g, std::span<const SchedWatermark> marks);
+
+/// Monte-Carlo P_c: samples `trials` random feasible schedules of the
+/// *unconstrained* specification (per node, a uniform start in its
+/// dynamic [earliest-from-predecessors, ALAP] window, walked in
+/// topological order — every draw extends to a complete feasible
+/// schedule by the ALAP invariant) and reports the fraction satisfying
+/// every constraint of every mark, Laplace-smoothed so a zero count
+/// yields a finite log.  This is the estimator to quote when the exact
+/// enumeration is intractable and the independence assumption of the
+/// window model is in doubt.
+[[nodiscard]] PcEstimate sched_pc_sampled(const cdfg::Graph& g,
+                                          std::span<const SchedWatermark> marks,
+                                          int trials, std::uint64_t seed,
+                                          int latency = -1);
+
+/// Per-edge window-model probability (exposed for tests and ablations).
+[[nodiscard]] double edge_order_probability(const cdfg::TimingInfo& timing,
+                                            const cdfg::Graph& g,
+                                            cdfg::NodeId src, cdfg::NodeId dst);
+
+/// Template-matching P_c: Π 1/Solutions(m_i) over the enforced
+/// matchings, Solutions counted with matches_covering on the
+/// unconstrained graph.
+[[nodiscard]] PcEstimate tm_pc(const cdfg::Graph& g,
+                               const tmatch::TemplateLibrary& lib,
+                               const TmWatermark& wm);
+
+/// Exact template-matching P_c per the paper's §IV-B definition: the
+/// number of quality-Q solutions of the watermarked specification over
+/// the number of quality-Q solutions of the unconstrained one, where Q
+/// is the optimal (minimum) cover size and counting is by exhaustive
+/// enumeration.  Falls back to the approximate tm_pc when enumeration
+/// saturates (the paper makes the same concession: "explicit enumeration
+/// ... can be exponentially dependent upon the CDFG cardinalities").
+[[nodiscard]] PcEstimate tm_pc_exact(const cdfg::Graph& g,
+                                     const tmatch::TemplateLibrary& lib,
+                                     const TmWatermark& wm,
+                                     std::uint64_t limit = 5'000'000);
+
+}  // namespace lwm::wm

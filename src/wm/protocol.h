@@ -1,0 +1,132 @@
+// protocol.h — end-to-end local-watermarking flows (paper Fig. 1).
+//
+// Ties the pieces together:
+//   original spec -> [preprocess: encode constraints from signature]
+//                 -> [off-the-shelf synthesis honoring all constraints]
+//                 -> [strip the added constraints from the spec]
+//                 -> optimized solution satisfying original + hidden
+//                    constraints, plus the designer's watermark records.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/graph.h"
+#include "crypto/signature.h"
+#include "sched/force_directed.h"
+#include "sched/list_sched.h"
+#include "tmatch/cover.h"
+#include "vliw/vliw_sched.h"
+#include "wm/detector.h"
+#include "wm/pc.h"
+#include "wm/reg_constraints.h"
+#include "wm/sched_constraints.h"
+#include "wm/tm_constraints.h"
+
+namespace lwm::wm {
+
+enum class Scheduler { kList, kForceDirected };
+
+struct SchedProtocolConfig {
+  SchedWmOptions wm;
+  int watermark_count = 1;  ///< number of local watermarks to embed
+  Scheduler scheduler = Scheduler::kList;
+  sched::ResourceSet resources = sched::ResourceSet::unlimited();
+};
+
+struct SchedProtocolResult {
+  cdfg::Graph solution;      ///< the stripped, schedulable specification
+  std::vector<SchedWatermark> marks;
+  sched::Schedule schedule;  ///< watermark-honoring schedule
+  sched::Schedule baseline;  ///< unconstrained schedule of the original
+  PcEstimate pc;             ///< window-model estimate across all marks
+  int latency_marked = 0;
+  int latency_baseline = 0;
+
+  [[nodiscard]] double latency_overhead() const {
+    return latency_baseline == 0
+               ? 0.0
+               : static_cast<double>(latency_marked - latency_baseline) /
+                     latency_baseline;
+  }
+};
+
+/// Runs the full scheduling-watermark protocol on a copy of `original`.
+[[nodiscard]] SchedProtocolResult run_sched_protocol(
+    const cdfg::Graph& original, const crypto::Signature& sig,
+    const SchedProtocolConfig& config);
+
+/// Table I variant: the watermark is materialized as unit operations in
+/// a compiled instruction stream and measured on the VLIW machine.
+struct VliwProtocolResult {
+  std::vector<SchedWatermark> marks;
+  int cycles_marked = 0;
+  int cycles_baseline = 0;
+  PcEstimate pc;
+
+  [[nodiscard]] double cycle_overhead() const {
+    return cycles_baseline == 0
+               ? 0.0
+               : static_cast<double>(cycles_marked - cycles_baseline) /
+                     cycles_baseline;
+  }
+};
+[[nodiscard]] VliwProtocolResult run_vliw_protocol(const cdfg::Graph& original,
+                                                   const crypto::Signature& sig,
+                                                   const SchedWmOptions& wm_opts,
+                                                   int watermark_count,
+                                                   const vliw::Machine& machine);
+
+/// Register-binding protocol: schedule, plan share-pair watermarks over
+/// the lifetimes, bind with the constraints, strip nothing (register
+/// watermarks live in the binding, not the specification).
+struct RegProtocolConfig {
+  RegWmOptions wm;
+  int watermark_count = 2;
+};
+
+struct RegProtocolResult {
+  sched::Schedule schedule;
+  std::vector<RegWatermark> marks;
+  regbind::Binding binding;           ///< watermark-honoring binding
+  regbind::Binding baseline;          ///< unconstrained LEFT-EDGE binding
+  double log10_pc = 0.0;
+
+  [[nodiscard]] int register_overhead() const {
+    return binding.register_count - baseline.register_count;
+  }
+};
+
+/// Throws std::runtime_error if the planned constraints are unbindable
+/// (cannot happen for marks produced by plan_reg_watermarks, which
+/// pre-validates, but a defensive check is kept).
+[[nodiscard]] RegProtocolResult run_reg_protocol(const cdfg::Graph& original,
+                                                 const crypto::Signature& sig,
+                                                 const RegProtocolConfig& config);
+
+struct TmProtocolConfig {
+  TmWmOptions wm;
+  int budget_steps = -1;  ///< control-step budget; -1 = critical path
+};
+
+struct TmProtocolResult {
+  TmWatermark watermark;
+  tmatch::Cover cover_marked;
+  tmatch::Cover cover_baseline;
+  tmatch::ModuleAllocation alloc_marked;
+  tmatch::ModuleAllocation alloc_baseline;
+  PcEstimate pc;
+
+  [[nodiscard]] double module_overhead() const {
+    const int base = alloc_baseline.total();
+    return base == 0 ? 0.0
+                     : static_cast<double>(alloc_marked.total() - base) / base;
+  }
+};
+/// Runs the template-matching protocol; throws std::runtime_error if no
+/// watermark can be planned on this design.
+[[nodiscard]] TmProtocolResult run_tm_protocol(const cdfg::Graph& original,
+                                               const tmatch::TemplateLibrary& lib,
+                                               const crypto::Signature& sig,
+                                               const TmProtocolConfig& config);
+
+}  // namespace lwm::wm

@@ -1,0 +1,183 @@
+#include "wm/records_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lwm::wm {
+
+namespace {
+
+void write_common(std::ostream& os, const DomainKey& key,
+                  const std::vector<std::pair<int, int>>& positions,
+                  const std::vector<int>& subtree_ops) {
+  for (const auto& [s, t] : positions) {
+    os << "pos " << s << " " << t << "\n";
+  }
+  os << "ops";
+  for (const int id : subtree_ops) os << " " << id;
+  os << "\n";
+  (void)key;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("records parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+/// Parses "k=v" tokens like tau=8 keep=1/2 m=4 pairs=3.
+struct Fields {
+  int tau = -1;
+  std::uint32_t keep_num = 0;
+  std::uint32_t keep_den = 0;
+  int m = -1;
+  int pairs = -1;
+};
+
+Fields parse_fields(std::istringstream& ls, int lineno) {
+  Fields f;
+  std::string tok;
+  while (ls >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) fail(lineno, "expected key=value, got '" + tok + "'");
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    try {
+      if (key == "tau") {
+        f.tau = std::stoi(value);
+      } else if (key == "keep") {
+        const auto slash = value.find('/');
+        if (slash == std::string::npos) fail(lineno, "keep needs num/den");
+        f.keep_num = static_cast<std::uint32_t>(std::stoul(value.substr(0, slash)));
+        f.keep_den = static_cast<std::uint32_t>(std::stoul(value.substr(slash + 1)));
+      } else if (key == "m") {
+        f.m = std::stoi(value);
+      } else if (key == "pairs") {
+        f.pairs = std::stoi(value);
+      } else {
+        fail(lineno, "unknown field '" + key + "'");
+      }
+    } catch (const std::logic_error&) {
+      fail(lineno, "bad number in '" + tok + "'");
+    }
+  }
+  if (f.tau <= 0 || f.keep_den == 0 || f.pairs < 0) {
+    fail(lineno, "missing tau/keep/pairs");
+  }
+  return f;
+}
+
+}  // namespace
+
+void write_records(const RecordArchive& archive, std::ostream& os) {
+  os << "lwm-records v1\n";
+  for (const SchedRecord& r : archive.sched) {
+    os << "sched tau=" << r.domain.tau << " keep=" << r.domain.keep_num << "/"
+       << r.domain.keep_den << " pairs=" << r.positions.size() << "\n";
+    write_common(os, r.domain, r.positions, r.subtree_ops);
+  }
+  for (const RegRecord& r : archive.reg) {
+    os << "reg tau=" << r.domain.tau << " keep=" << r.domain.keep_num << "/"
+       << r.domain.keep_den << " m=" << r.m << " pairs=" << r.positions.size()
+       << "\n";
+    write_common(os, r.domain, r.positions, r.subtree_ops);
+  }
+}
+
+std::string to_text(const RecordArchive& archive) {
+  std::ostringstream os;
+  write_records(archive, os);
+  return os.str();
+}
+
+RecordArchive read_records(std::istream& is) {
+  RecordArchive archive;
+  std::string line;
+  int lineno = 0;
+
+  if (!std::getline(is, line) || line != "lwm-records v1") {
+    throw std::runtime_error("records parse error: missing 'lwm-records v1' header");
+  }
+  ++lineno;
+
+  enum class Mode { kNone, kSched, kReg } mode = Mode::kNone;
+  SchedRecord cur_sched;
+  RegRecord cur_reg;
+  int expected_pairs = 0;
+  int seen_pairs = 0;
+  bool seen_ops = false;
+
+  auto flush = [&](int at_line) {
+    if (mode == Mode::kNone) return;
+    if (seen_pairs != expected_pairs) {
+      fail(at_line, "expected " + std::to_string(expected_pairs) +
+                        " pos lines, saw " + std::to_string(seen_pairs));
+    }
+    if (!seen_ops) fail(at_line, "record missing ops line");
+    if (mode == Mode::kSched) {
+      archive.sched.push_back(std::move(cur_sched));
+      cur_sched = SchedRecord{};
+    } else {
+      archive.reg.push_back(std::move(cur_reg));
+      cur_reg = RegRecord{};
+    }
+    seen_pairs = 0;
+    seen_ops = false;
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok[0] == '#') continue;
+    if (tok == "sched" || tok == "reg") {
+      flush(lineno);
+      const Fields f = parse_fields(ls, lineno);
+      DomainKey key;
+      key.tau = f.tau;
+      key.keep_num = f.keep_num;
+      key.keep_den = f.keep_den;
+      expected_pairs = f.pairs;
+      if (tok == "sched") {
+        mode = Mode::kSched;
+        cur_sched.domain = key;
+      } else {
+        if (f.m < 0) fail(lineno, "reg record missing m");
+        mode = Mode::kReg;
+        cur_reg.domain = key;
+        cur_reg.m = f.m;
+      }
+    } else if (tok == "pos") {
+      if (mode == Mode::kNone) fail(lineno, "pos before record header");
+      int s = 0;
+      int t = 0;
+      if (!(ls >> s >> t)) fail(lineno, "pos needs two integers");
+      if (mode == Mode::kSched) {
+        cur_sched.positions.emplace_back(s, t);
+      } else {
+        cur_reg.positions.emplace_back(s, t);
+      }
+      ++seen_pairs;
+    } else if (tok == "ops") {
+      if (mode == Mode::kNone) fail(lineno, "ops before record header");
+      std::vector<int>& target =
+          mode == Mode::kSched ? cur_sched.subtree_ops : cur_reg.subtree_ops;
+      int id = 0;
+      while (ls >> id) target.push_back(id);
+      if (target.empty()) fail(lineno, "ops line is empty");
+      seen_ops = true;
+    } else {
+      fail(lineno, "unknown directive '" + tok + "'");
+    }
+  }
+  flush(lineno);
+  return archive;
+}
+
+RecordArchive records_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_records(is);
+}
+
+}  // namespace lwm::wm

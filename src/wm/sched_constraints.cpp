@@ -1,0 +1,210 @@
+#include "wm/sched_constraints.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <cmath>
+#include <unordered_map>
+
+#include "cdfg/analysis.h"
+
+namespace lwm::wm {
+
+using cdfg::EdgeKind;
+using cdfg::Graph;
+using cdfg::NodeId;
+
+std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
+                                                   const crypto::Signature& sig,
+                                                   const SchedWmOptions& opts) {
+  if (opts.k <= 0 || opts.epsilon <= 0.0) {
+    throw std::invalid_argument("plan_sched_watermark: need k > 0 and epsilon > 0");
+  }
+  const Domain domain = select_domain(g, root, sig, opts.domain);
+
+  // Timing of the *original specification*: the filters of Fig. 2 are
+  // evaluated before any constraint is added.
+  const cdfg::TimingInfo timing =
+      cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
+  const double laxity_bound = timing.critical_path * (1.0 - opts.epsilon);
+
+  // T': slack-rich executable nodes of T with an overlap partner.
+  std::vector<NodeId> t_prime;
+  for (const NodeId n : domain.selected) {
+    if (!cdfg::is_executable(g.node(n).kind)) continue;
+    const int lax = timing.laxity(n);
+    const bool pass = opts.paper_literal_laxity
+                          ? (lax > laxity_bound)
+                          : (lax <= laxity_bound);
+    if (pass) t_prime.push_back(n);
+  }
+  // Overlap requirement: every member needs a window-overlap partner
+  // among the other candidates.
+  std::vector<NodeId> filtered;
+  for (const NodeId a : t_prime) {
+    for (const NodeId b : t_prime) {
+      if (a != b && timing.windows_overlap(a, b)) {
+        filtered.push_back(a);
+        break;
+      }
+    }
+  }
+  t_prime = std::move(filtered);
+
+  const int tau_prime_min =
+      opts.tau_prime_min > 0 ? opts.tau_prime_min : std::max(opts.k, 2);
+  if (static_cast<int>(t_prime.size()) < tau_prime_min) {
+    return std::nullopt;  // caller repeats subtree selection elsewhere
+  }
+  const int k = std::min<int>(opts.k, static_cast<int>(t_prime.size()));
+
+  // Positions within the ordered carved subtree (detector coordinates).
+  std::unordered_map<NodeId, int> position;
+  for (std::size_t i = 0; i < domain.selected.size(); ++i) {
+    position[domain.selected[i]] = static_cast<int>(i);
+  }
+
+  // T'': ordered selection of K nodes via the author's bitstream.
+  crypto::Bitstream stream = sig.stream(SchedWmOptions::kSelectTag);
+  const std::vector<std::uint32_t> pick = stream.ordered_sample(
+      static_cast<std::uint32_t>(t_prime.size()), static_cast<std::uint32_t>(k));
+  std::vector<NodeId> t_second;
+  t_second.reserve(pick.size());
+  for (const std::uint32_t idx : pick) t_second.push_back(t_prime[idx]);
+
+  SchedWatermark wm;
+  wm.root = root;
+  wm.options = opts;
+  wm.subtree = domain.selected;
+
+  // Draw temporal edges: each n_i targets a later T'' member with an
+  // overlapping window; adding n_i -> n_k must not close a cycle through
+  // graph edges, earlier embedded watermarks, or the edges planned so
+  // far.  BFS over the combined relation (graph ∪ planned constraints).
+  auto reaches_with_planned = [&](NodeId src, NodeId dst) {
+    if (src == dst) return true;
+    std::vector<bool> seen(g.node_capacity(), false);
+    std::vector<NodeId> queue{src};
+    seen[src.value] = true;
+    while (!queue.empty()) {
+      const NodeId n = queue.back();
+      queue.pop_back();
+      auto visit = [&](NodeId next) {
+        if (next == dst) return true;
+        if (!seen[next.value]) {
+          seen[next.value] = true;
+          queue.push_back(next);
+        }
+        return false;
+      };
+      for (cdfg::EdgeId e : g.fanout(n)) {
+        if (visit(g.edge(e).dst)) return true;
+      }
+      for (const TemporalConstraint& c : wm.constraints) {
+        if (c.src == n && visit(c.dst)) return true;
+      }
+    }
+    return false;
+  };
+  auto creates_cycle = [&](NodeId from, NodeId to) {
+    return reaches_with_planned(to, from);
+  };
+
+  for (std::size_t i = 0; i < t_second.size(); ++i) {
+    const NodeId ni = t_second[i];
+    std::vector<NodeId> partners;
+    for (std::size_t j = i + 1; j < t_second.size(); ++j) {
+      const NodeId nj = t_second[j];
+      if (!timing.windows_overlap(ni, nj)) continue;
+      if (creates_cycle(ni, nj)) continue;
+      partners.push_back(nj);
+    }
+    if (partners.empty()) continue;  // this n_i contributes no edge
+    const NodeId nk =
+        partners[stream.next_uint(static_cast<std::uint32_t>(partners.size()))];
+    wm.constraints.push_back(
+        TemporalConstraint{ni, nk, position.at(ni), position.at(nk)});
+  }
+  if (static_cast<int>(wm.constraints.size()) < std::max(1, opts.min_edges)) {
+    return std::nullopt;
+  }
+  return wm;
+}
+
+std::optional<SchedWatermark> embed_sched_watermark(Graph& g, NodeId root,
+                                                    const crypto::Signature& sig,
+                                                    const SchedWmOptions& opts) {
+  std::optional<SchedWatermark> wm = plan_sched_watermark(g, root, sig, opts);
+  if (!wm) return std::nullopt;
+  for (const TemporalConstraint& c : wm->constraints) {
+    if (!g.has_edge(c.src, c.dst, EdgeKind::kTemporal)) {
+      g.add_edge(c.src, c.dst, EdgeKind::kTemporal);
+    }
+  }
+  return wm;
+}
+
+std::vector<SchedWatermark> embed_local_watermarks(Graph& g,
+                                                   const crypto::Signature& sig,
+                                                   int count,
+                                                   const SchedWmOptions& opts,
+                                                   int max_attempts) {
+  std::vector<SchedWatermark> marks;
+  crypto::Bitstream roots = sig.stream("lwm/roots");
+  std::vector<bool> used(g.node_capacity(), false);
+  for (int attempt = 0; attempt < max_attempts &&
+                        static_cast<int>(marks.size()) < count;
+       ++attempt) {
+    const NodeId root = pick_root(g, roots);
+    if (used[root.value]) continue;
+    used[root.value] = true;
+    std::optional<SchedWatermark> wm = embed_sched_watermark(g, root, sig, opts);
+    if (wm) marks.push_back(std::move(*wm));
+  }
+  return marks;
+}
+
+std::vector<SchedWatermark> embed_watermarks_until_edges(
+    Graph& g, const crypto::Signature& sig, int target_edges,
+    const SchedWmOptions& opts, int max_attempts) {
+  std::vector<SchedWatermark> marks;
+  crypto::Bitstream roots = sig.stream("lwm/roots");
+  std::vector<bool> used(g.node_capacity(), false);
+  int edges = 0;
+  for (int attempt = 0; attempt < max_attempts && edges < target_edges;
+       ++attempt) {
+    const NodeId root = pick_root(g, roots);
+    if (root.value < used.size() && used[root.value]) continue;
+    if (root.value < used.size()) used[root.value] = true;
+    std::optional<SchedWatermark> wm = embed_sched_watermark(g, root, sig, opts);
+    if (wm) {
+      edges += static_cast<int>(wm->constraints.size());
+      marks.push_back(std::move(*wm));
+    }
+  }
+  return marks;
+}
+
+std::vector<NodeId> materialize_with_unit_ops(
+    Graph& g, const std::vector<SchedWatermark>& marks) {
+  std::vector<NodeId> inserted;
+  for (const SchedWatermark& wm : marks) {
+    for (const TemporalConstraint& c : wm.constraints) {
+      // Drop the abstract temporal edge if it is present...
+      for (cdfg::EdgeId e : g.edges_of_kind(EdgeKind::kTemporal)) {
+        const cdfg::Edge& ed = g.edge(e);
+        if (ed.src == c.src && ed.dst == c.dst) {
+          g.remove_edge(e);
+          break;
+        }
+      }
+      // ...and realize it as src -> unit -> dst dataflow (add of a zero).
+      const NodeId u = g.add_node(cdfg::OpKind::kUnit);
+      g.add_edge(c.src, u, EdgeKind::kData);
+      g.add_edge(u, c.dst, EdgeKind::kData);
+      inserted.push_back(u);
+    }
+  }
+  return inserted;
+}
+
+}  // namespace lwm::wm

@@ -1,0 +1,98 @@
+#include "cdfg/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.h"
+#include "cdfg/builder.h"
+#include "cdfg/validate.h"
+#include "dfglib/iir4.h"
+
+namespace lwm::cdfg {
+namespace {
+
+TEST(NormalizeTest, CollapsesSingleUnitOp) {
+  Builder b("one_unit");
+  const NodeId in = b.input("in");
+  const NodeId a = b.op(OpKind::kAdd, "a", {in, in});
+  const NodeId u = b.op(OpKind::kUnit, "u", {a});
+  const NodeId c = b.op(OpKind::kAdd, "c", {u, in});
+  b.output("o", c);
+  Graph g = std::move(b).build();
+
+  EXPECT_EQ(normalize_unit_ops(g), 1);
+  EXPECT_FALSE(g.is_live(u));
+  EXPECT_TRUE(g.has_edge(a, c, EdgeKind::kData));
+  EXPECT_TRUE(validate(g).empty());
+}
+
+TEST(NormalizeTest, CollapsesChainsToFixedPoint) {
+  Builder b("unit_chain");
+  const NodeId in = b.input("in");
+  const NodeId a = b.op(OpKind::kAdd, "a", {in, in});
+  NodeId prev = a;
+  for (int i = 0; i < 4; ++i) {
+    prev = b.op(OpKind::kUnit, "u" + std::to_string(i), {prev});
+  }
+  const NodeId c = b.op(OpKind::kAdd, "c", {prev, in});
+  b.output("o", c);
+  Graph g = std::move(b).build();
+
+  EXPECT_EQ(normalize_unit_ops(g), 4);
+  EXPECT_TRUE(g.has_edge(a, c, EdgeKind::kData));
+  EXPECT_EQ(g.operation_count(), 2u);
+}
+
+TEST(NormalizeTest, MultiInputUnitOpKept) {
+  // A unit op combining two values is real computation; normalization
+  // must not touch it.
+  Builder b("real_unit");
+  const NodeId in = b.input("in");
+  const NodeId a = b.op(OpKind::kAdd, "a", {in, in});
+  const NodeId u = b.op(OpKind::kUnit, "u", {a, in});
+  b.output("o", u);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(normalize_unit_ops(g), 0);
+  EXPECT_TRUE(g.is_live(u));
+}
+
+TEST(NormalizeTest, PreservesConsumerMultiplicity) {
+  Builder b("fanout");
+  const NodeId in = b.input("in");
+  const NodeId a = b.op(OpKind::kAdd, "a", {in, in});
+  const NodeId u = b.op(OpKind::kUnit, "u", {a});
+  const NodeId c1 = b.op(OpKind::kMul, "c1", {u});
+  const NodeId c2 = b.op(OpKind::kMul, "c2", {u, u});  // reads it twice
+  b.output("o1", c1);
+  b.output("o2", c2);
+  Graph g = std::move(b).build();
+
+  EXPECT_EQ(normalize_unit_ops(g), 1);
+  EXPECT_EQ(g.fanin(c1).size(), 1u);
+  EXPECT_EQ(g.fanin(c2).size(), 2u);
+  for (EdgeId e : g.fanin(c2)) {
+    EXPECT_EQ(g.edge(e).src, a);
+  }
+}
+
+TEST(NormalizeTest, IdempotentOnCleanGraphs) {
+  Graph g = lwm::dfglib::iir4_parallel();
+  const std::size_t nodes = g.node_count();
+  EXPECT_EQ(normalize_unit_ops(g), 0);
+  EXPECT_EQ(g.node_count(), nodes);
+}
+
+TEST(NormalizeTest, PreservesCriticalPathModuloUnits) {
+  Builder b("cp");
+  const NodeId in = b.input("in");
+  const NodeId a = b.op(OpKind::kAdd, "a", {in, in});
+  const NodeId u = b.op(OpKind::kUnit, "u", {a});
+  const NodeId c = b.op(OpKind::kAdd, "c", {u});
+  b.output("o", c);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(critical_path_length(g), 3);
+  (void)normalize_unit_ops(g);
+  EXPECT_EQ(critical_path_length(g), 2);
+}
+
+}  // namespace
+}  // namespace lwm::cdfg

@@ -1,0 +1,72 @@
+#include "cdfg/op.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lwm::cdfg {
+namespace {
+
+TEST(OpTest, FunctionalIdsAreUniqueAndPositive) {
+  std::set<int> ids;
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const int id = functional_id(static_cast<OpKind>(i));
+    EXPECT_GT(id, 0);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate functional id " << id;
+  }
+}
+
+TEST(OpTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const OpKind k = static_cast<OpKind>(i);
+    const auto back = op_from_name(op_name(k));
+    ASSERT_TRUE(back.has_value()) << op_name(k);
+    EXPECT_EQ(*back, k);
+  }
+}
+
+TEST(OpTest, UnknownNameRejected) {
+  EXPECT_FALSE(op_from_name("frobnicate").has_value());
+  EXPECT_FALSE(op_from_name("").has_value());
+  EXPECT_FALSE(op_from_name("ADD").has_value()) << "names are case-sensitive";
+}
+
+TEST(OpTest, PseudoOpsHaveNoUnitAndZeroDelay) {
+  for (const OpKind k : {OpKind::kInput, OpKind::kOutput, OpKind::kConst}) {
+    EXPECT_EQ(unit_class(k), UnitClass::kNone);
+    EXPECT_EQ(default_delay(k), 0);
+    EXPECT_FALSE(is_executable(k));
+  }
+}
+
+TEST(OpTest, ExecutableOpsHaveUnitsAndDelay) {
+  for (const OpKind k : {OpKind::kAdd, OpKind::kMul, OpKind::kLoad,
+                         OpKind::kBranch, OpKind::kUnit}) {
+    EXPECT_NE(unit_class(k), UnitClass::kNone);
+    EXPECT_GE(default_delay(k), 1);
+    EXPECT_TRUE(is_executable(k));
+  }
+}
+
+TEST(OpTest, UnitClassesMatchPaperMachine) {
+  // 4 ALUs serve arithmetic/logic, 2 memory units serve load/store,
+  // 2 branch units serve control flow.
+  EXPECT_EQ(unit_class(OpKind::kAdd), UnitClass::kAlu);
+  EXPECT_EQ(unit_class(OpKind::kShift), UnitClass::kAlu);
+  EXPECT_EQ(unit_class(OpKind::kUnit), UnitClass::kAlu);
+  EXPECT_EQ(unit_class(OpKind::kMul), UnitClass::kMul);
+  EXPECT_EQ(unit_class(OpKind::kLoad), UnitClass::kMem);
+  EXPECT_EQ(unit_class(OpKind::kStore), UnitClass::kMem);
+  EXPECT_EQ(unit_class(OpKind::kBranch), UnitClass::kBranch);
+}
+
+TEST(OpTest, SourceSinkClassification) {
+  EXPECT_TRUE(is_source(OpKind::kInput));
+  EXPECT_TRUE(is_source(OpKind::kConst));
+  EXPECT_FALSE(is_source(OpKind::kAdd));
+  EXPECT_TRUE(is_sink(OpKind::kOutput));
+  EXPECT_FALSE(is_sink(OpKind::kInput));
+}
+
+}  // namespace
+}  // namespace lwm::cdfg

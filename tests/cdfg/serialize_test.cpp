@@ -1,0 +1,101 @@
+#include "cdfg/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "cdfg/analysis.h"
+#include "cdfg/dot.h"
+#include "dfglib/iir4.h"
+
+namespace lwm::cdfg {
+namespace {
+
+TEST(SerializeTest, RoundTripPreservesStructure) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const std::string text = to_text(g);
+  const Graph h = from_text(text);
+  EXPECT_EQ(h.name(), g.name());
+  EXPECT_EQ(h.node_count(), g.node_count());
+  EXPECT_EQ(h.edge_count(), g.edge_count());
+  EXPECT_EQ(to_text(h), text) << "serialization is a fixed point";
+}
+
+TEST(SerializeTest, PreservesKindsDelaysAndEdgeKinds) {
+  Builder b("mix");
+  const NodeId in = b.input("in");
+  const NodeId m = b.graph().add_node(OpKind::kMul, "m", 3);
+  b.graph().add_edge(in, m);
+  const NodeId a = b.op(OpKind::kAdd, "a", {m});
+  b.graph().add_edge(m, a, EdgeKind::kControl);
+  b.graph().add_edge(m, a, EdgeKind::kTemporal);
+  b.output("o", a);
+  const Graph g = std::move(b).build();
+
+  const Graph h = from_text(to_text(g));
+  EXPECT_EQ(h.node(h.find("m")).delay, 3);
+  EXPECT_EQ(h.node(h.find("m")).kind, OpKind::kMul);
+  EXPECT_TRUE(h.has_edge(h.find("m"), h.find("a"), EdgeKind::kControl));
+  EXPECT_TRUE(h.has_edge(h.find("m"), h.find("a"), EdgeKind::kTemporal));
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  const Graph g = from_text(
+      "cdfg t\n"
+      "# a comment\n"
+      "\n"
+      "node a add\n"
+      "node i input\n"
+      "edge i a\n");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(SerializeTest, ErrorsCarryLineNumbers) {
+  try {
+    (void)from_text("cdfg t\nnode a add\nedge a zz\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SerializeTest, RejectsBadInput) {
+  EXPECT_THROW((void)from_text(""), std::runtime_error);
+  EXPECT_THROW((void)from_text("node a add\n"), std::runtime_error) << "missing header";
+  EXPECT_THROW((void)from_text("cdfg t\nnode a frob\n"), std::runtime_error);
+  EXPECT_THROW((void)from_text("cdfg t\nnode a add\nnode a add\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)from_text("cdfg t\nnode a add\nedge a a\n"),
+               std::runtime_error)
+      << "unknown dst and self-loop both fail";
+  EXPECT_THROW((void)from_text("cdfg t\nwat a b\n"), std::runtime_error);
+  EXPECT_THROW(
+      (void)from_text("cdfg t\nnode a add\nnode b add\nedge a b sideways\n"),
+      std::runtime_error);
+}
+
+TEST(DotTest, ContainsNodesAndTemporalStyling) {
+  Graph g = lwm::dfglib::iir4_parallel();
+  g.add_edge(g.find("C1"), g.find("A9"), EdgeKind::kTemporal);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("A9"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed, color=red"), std::string::npos);
+
+  DotOptions opts;
+  opts.show_temporal = false;
+  const std::string hidden = to_dot(g, opts);
+  EXPECT_EQ(hidden.find("dashed"), std::string::npos);
+}
+
+TEST(DotTest, TimingAnnotations) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const TimingInfo t = compute_timing(g);
+  DotOptions opts;
+  opts.timing = &t;
+  const std::string dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("[0,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lwm::cdfg

@@ -1,0 +1,40 @@
+#include "cdfg/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "dfglib/iir4.h"
+#include "dfglib/synth.h"
+
+namespace lwm::cdfg {
+namespace {
+
+TEST(StatsTest, IirNumbers) {
+  const GraphStats s = compute_stats(lwm::dfglib::iir4_parallel());
+  EXPECT_EQ(s.operations, 17u);
+  EXPECT_EQ(s.critical_path, 6);
+  EXPECT_NEAR(s.avg_parallelism, 17.0 / 6.0, 1e-9);
+  EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(OpKind::kMul)], 8u);
+  EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(OpKind::kAdd)], 9u);
+  EXPECT_EQ(s.slack_min, 0) << "critical ops have zero slack";
+  EXPECT_GE(s.slack_max, 2);
+}
+
+TEST(StatsTest, SlackRichFractionBounded) {
+  const GraphStats s =
+      compute_stats(lwm::dfglib::make_dsp_design("st", 12, 120, 3));
+  EXPECT_GE(s.slack_rich_fraction, 0.0);
+  EXPECT_LE(s.slack_rich_fraction, 1.0);
+  EXPECT_GT(s.slack_rich_fraction, 0.3)
+      << "tap-heavy designs are mostly off-critical";
+}
+
+TEST(StatsTest, ToStringMentionsKeyFigures) {
+  const GraphStats s = compute_stats(lwm::dfglib::iir4_parallel());
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("ops=17"), std::string::npos);
+  EXPECT_NE(text.find("cp=6"), std::string::npos);
+  EXPECT_NE(text.find("ilp="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lwm::cdfg

@@ -1,0 +1,78 @@
+#include "cdfg/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "dfglib/iir4.h"
+
+namespace lwm::cdfg {
+namespace {
+
+TEST(ValidateTest, CleanGraphPasses) {
+  EXPECT_TRUE(validate(lwm::dfglib::iir4_parallel()).empty());
+  EXPECT_NO_THROW(validate_or_throw(lwm::dfglib::iir4_parallel()));
+}
+
+TEST(ValidateTest, CycleReported) {
+  Graph g("cyc");
+  const NodeId a = g.add_node(OpKind::kAdd, "a");
+  const NodeId b = g.add_node(OpKind::kAdd, "b");
+  const NodeId i = g.add_node(OpKind::kInput, "i");
+  g.add_edge(i, a);
+  g.add_edge(a, b);
+  g.add_edge(b, a, EdgeKind::kTemporal);
+  const NodeId o = g.add_node(OpKind::kOutput, "o");
+  g.add_edge(b, o);
+  const auto v = validate(g);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().message.find("cycle"), std::string::npos);
+}
+
+TEST(ValidateTest, DanglingOperationReported) {
+  Graph g("dangle");
+  const NodeId i = g.add_node(OpKind::kInput, "i");
+  const NodeId a = g.add_node(OpKind::kAdd, "a");
+  g.add_edge(i, a);  // a has no consumers
+  EXPECT_FALSE(validate(g).empty());
+  EXPECT_THROW(validate_or_throw(g), std::runtime_error);
+}
+
+TEST(ValidateTest, StoreAndBranchMayDangle) {
+  Graph g("store");
+  const NodeId i = g.add_node(OpKind::kInput, "i");
+  const NodeId s = g.add_node(OpKind::kStore, "s");
+  const NodeId br = g.add_node(OpKind::kBranch, "br");
+  g.add_edge(i, s);
+  g.add_edge(i, br);
+  EXPECT_TRUE(validate(g).empty());
+}
+
+TEST(ValidateTest, InputWithFaninReported) {
+  Graph g("bad_in");
+  const NodeId i1 = g.add_node(OpKind::kInput, "i1");
+  const NodeId i2 = g.add_node(OpKind::kInput, "i2");
+  g.add_edge(i1, i2);
+  EXPECT_FALSE(validate(g).empty());
+}
+
+TEST(ValidateTest, OutputArityChecked) {
+  Graph g("bad_out");
+  const NodeId i = g.add_node(OpKind::kInput, "i");
+  const NodeId a = g.add_node(OpKind::kAdd, "a");
+  const NodeId o = g.add_node(OpKind::kOutput, "o");
+  g.add_edge(i, a);
+  g.add_edge(i, o);
+  g.add_edge(a, o);  // two producers
+  EXPECT_FALSE(validate(g).empty());
+}
+
+TEST(ValidateTest, OperationWithoutInputsReported) {
+  Graph g("no_in");
+  const NodeId a = g.add_node(OpKind::kAdd, "a");
+  const NodeId o = g.add_node(OpKind::kOutput, "o");
+  g.add_edge(a, o);
+  EXPECT_FALSE(validate(g).empty());
+}
+
+}  // namespace
+}  // namespace lwm::cdfg

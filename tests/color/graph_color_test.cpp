@@ -1,0 +1,110 @@
+#include "color/graph_color.h"
+
+#include <gtest/gtest.h>
+
+namespace lwm::color {
+namespace {
+
+UGraph triangle_plus_pendant() {
+  UGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(UGraphTest, BasicAccessors) {
+  const UGraph g = triangle_plus_pendant();
+  EXPECT_EQ(g.vertex_count(), 4);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0)) << "undirected";
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.degree(3), 1);
+}
+
+TEST(UGraphTest, DuplicatesIgnoredSelfLoopsRejected) {
+  UGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 9), std::out_of_range);
+}
+
+TEST(UGraphTest, RandomIsDeterministicAndDensityScales) {
+  const UGraph a = UGraph::random(50, 0.2, 7);
+  const UGraph b = UGraph::random(50, 0.2, 7);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  const UGraph dense = UGraph::random(50, 0.8, 7);
+  EXPECT_GT(dense.edge_count(), a.edge_count());
+  EXPECT_THROW((void)UGraph::random(5, 1.5, 1), std::invalid_argument);
+}
+
+TEST(ColoringTest, TriangleNeedsThree) {
+  const UGraph g = triangle_plus_pendant();
+  const Coloring greedy = greedy_coloring(g);
+  const Coloring dsatur = dsatur_coloring(g);
+  EXPECT_EQ(greedy.colors_used, 3);
+  EXPECT_EQ(dsatur.colors_used, 3);
+  EXPECT_TRUE(verify_coloring(g, greedy).ok);
+  EXPECT_TRUE(verify_coloring(g, dsatur).ok);
+}
+
+TEST(ColoringTest, BipartiteNeedsTwo) {
+  UGraph g(6);  // K_{3,3}
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 3; v < 6; ++v) g.add_edge(u, v);
+  }
+  EXPECT_EQ(dsatur_coloring(g).colors_used, 2);
+  EXPECT_EQ(greedy_coloring(g).colors_used, 2);
+}
+
+TEST(ColoringTest, DsaturNeverWorseOnRandomGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const UGraph g = UGraph::random(60, 0.3, seed);
+    const Coloring greedy = greedy_coloring(g);
+    const Coloring dsatur = dsatur_coloring(g);
+    EXPECT_TRUE(verify_coloring(g, greedy).ok) << seed;
+    EXPECT_TRUE(verify_coloring(g, dsatur).ok) << seed;
+    EXPECT_LE(dsatur.colors_used, greedy.colors_used + 1)
+        << "DSATUR is the stronger heuristic (allow +-1 noise)";
+  }
+}
+
+TEST(ColoringTest, DifferConstraintsHonored) {
+  UGraph g(4);  // path 0-1-2-3: 2-colorable
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const Coloring base = dsatur_coloring(g);
+  EXPECT_EQ(base.colors_used, 2);
+  // 0 and 2 naturally share a color; forbid it.
+  ColorConstraints cons;
+  cons.differ.emplace_back(0, 2);
+  for (const Coloring& c : {greedy_coloring(g, cons), dsatur_coloring(g, cons)}) {
+    EXPECT_TRUE(verify_coloring(g, c, cons).ok);
+    EXPECT_NE(c.color[0], c.color[2]);
+  }
+}
+
+TEST(ColoringTest, VerifyCatchesViolations) {
+  const UGraph g = triangle_plus_pendant();
+  Coloring bad;
+  bad.color = {0, 0, 1, 0};
+  bad.colors_used = 2;
+  const ColoringCheck check = verify_coloring(g, bad);
+  EXPECT_FALSE(check.ok) << "edge (0,1) is monochromatic";
+  ColorConstraints cons;
+  cons.differ.emplace_back(0, 3);
+  Coloring ok;
+  ok.color = {0, 1, 2, 0};
+  ok.colors_used = 3;
+  EXPECT_TRUE(verify_coloring(g, ok).ok);
+  EXPECT_FALSE(verify_coloring(g, ok, cons).ok) << "0 and 3 share color 0";
+}
+
+}  // namespace
+}  // namespace lwm::color

@@ -1,0 +1,78 @@
+#include "dfglib/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.h"
+#include "cdfg/stats.h"
+#include "cdfg/validate.h"
+#include "sched/list_sched.h"
+
+namespace lwm::dfglib {
+namespace {
+
+using cdfg::Graph;
+using cdfg::OpKind;
+
+TEST(FirTest, StructureExact) {
+  // taps multiplies + (taps-1) adds; balanced tree depth 1 + ceil(log2).
+  for (const int taps : {1, 2, 3, 8, 16, 31}) {
+    const Graph g = make_fir(taps);
+    EXPECT_TRUE(cdfg::validate(g).empty());
+    const cdfg::GraphStats s = cdfg::compute_stats(g);
+    EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(OpKind::kMul)],
+              static_cast<std::size_t>(taps));
+    EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(OpKind::kAdd)],
+              static_cast<std::size_t>(taps - 1));
+    int depth = 0;
+    for (int v = 1; v < taps; v *= 2) ++depth;
+    EXPECT_EQ(s.critical_path, 1 + depth) << "taps=" << taps;
+  }
+  EXPECT_THROW((void)make_fir(0), std::invalid_argument);
+}
+
+TEST(FftTest, OpCountsPerButterfly) {
+  // N-point radix-2: (N/2) * log2(N) butterflies, each 4 muls + 6 add/sub.
+  for (const int points : {2, 4, 8, 16}) {
+    const Graph g = make_fft(points);
+    EXPECT_TRUE(cdfg::validate(g).empty());
+    int stages = 0;
+    for (int v = 1; v < points; v *= 2) ++stages;
+    const int butterflies = points / 2 * stages;
+    const cdfg::GraphStats s = cdfg::compute_stats(g);
+    EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(OpKind::kMul)],
+              static_cast<std::size_t>(4 * butterflies));
+    EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(OpKind::kAdd)] +
+                  s.kind_histogram[static_cast<std::size_t>(OpKind::kSub)],
+              static_cast<std::size_t>(6 * butterflies));
+    // Each stage is 3 levels deep (mul, t, u).
+    EXPECT_EQ(s.critical_path, 3 * stages) << "points=" << points;
+  }
+  EXPECT_THROW((void)make_fft(3), std::invalid_argument);
+  EXPECT_THROW((void)make_fft(0), std::invalid_argument);
+}
+
+TEST(BiquadCascadeTest, SerialSectionsAccumulateDepth) {
+  for (const int sections : {1, 2, 4}) {
+    const Graph g = make_biquad_cascade(sections);
+    EXPECT_TRUE(cdfg::validate(g).empty());
+    const cdfg::GraphStats s = cdfg::compute_stats(g);
+    EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(OpKind::kMul)],
+              static_cast<std::size_t>(4 * sections));
+    EXPECT_EQ(s.kind_histogram[static_cast<std::size_t>(OpKind::kAdd)],
+              static_cast<std::size_t>(4 * sections));
+    // Section: mul(1) + 4 serial adds, chained: cp = 1 + 4 * sections.
+    EXPECT_EQ(s.critical_path, 1 + 4 * sections) << sections;
+  }
+}
+
+TEST(KernelsTest, ScheduleAndVerify) {
+  for (const Graph& g :
+       {make_fir(16), make_fft(8), make_biquad_cascade(3)}) {
+    const sched::Schedule s = sched::list_schedule(g);
+    EXPECT_TRUE(sched::verify_schedule(g, s).ok) << g.name();
+    EXPECT_EQ(s.length(g), cdfg::critical_path_length(g)) << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace lwm::dfglib

@@ -1,0 +1,130 @@
+// Parser robustness: mutated/truncated serialized artifacts must either
+// parse to something valid or throw std::runtime_error — never crash,
+// hang, or corrupt memory.  (Run under ASan/UBSan builds for full value;
+// in a plain build these still catch logic-level non-termination and
+// unexpected exception types.)
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "cdfg/serialize.h"
+#include "cdfg/analysis.h"
+#include "cdfg/validate.h"
+#include "dfglib/iir4.h"
+#include "dfglib/synth.h"
+#include "sched/list_sched.h"
+#include "sched/schedule_io.h"
+#include "wm/records_io.h"
+#include "wm/sched_constraints.h"
+
+namespace lwm {
+namespace {
+
+crypto::Signature alice() { return {"alice", "alice-design-key-2001"}; }
+
+template <typename ParseFn>
+void expect_graceful(const std::string& text, ParseFn&& parse) {
+  try {
+    parse(text);
+  } catch (const std::runtime_error&) {
+    // expected failure mode
+  } catch (const std::exception& e) {
+    FAIL() << "unexpected exception type: " << e.what() << "\ninput:\n" << text;
+  }
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, TruncatedCdfgNeverCrashes) {
+  const std::string text = cdfg::to_text(dfglib::iir4_parallel());
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t cut = rng() % (text.size() + 1);
+    expect_graceful(text.substr(0, cut),
+                    [](const std::string& t) { (void)cdfg::from_text(t); });
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedCdfgNeverCrashes) {
+  const std::string original = cdfg::to_text(dfglib::iir4_parallel());
+  std::mt19937_64 rng(GetParam());
+  const std::string charset = "abcxyz 019\n\t/#=";
+  for (int i = 0; i < 50; ++i) {
+    std::string text = original;
+    const int mutations = 1 + static_cast<int>(rng() % 8);
+    for (int m = 0; m < mutations; ++m) {
+      text[rng() % text.size()] = charset[rng() % charset.size()];
+    }
+    expect_graceful(text,
+                    [](const std::string& t) { (void)cdfg::from_text(t); });
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedScheduleNeverCrashes) {
+  const cdfg::Graph g = dfglib::iir4_parallel();
+  const std::string original =
+      sched::schedule_to_text(g, sched::list_schedule(g));
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    std::string text = original;
+    const std::size_t cut = rng() % (text.size() + 1);
+    text = text.substr(0, cut) + "\nat bogus 1 2 3";
+    expect_graceful(text, [&g](const std::string& t) {
+      (void)sched::schedule_from_text(g, t);
+    });
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedRecordsNeverCrash) {
+  cdfg::Graph g = dfglib::make_dsp_design("fuzz", 12, 120, 601);
+  wm::SchedWmOptions opts;
+  opts.domain.tau = 5;
+  opts.k = 3;
+  opts.epsilon = 0.3;
+  wm::RecordArchive archive;
+  for (const auto& m : wm::embed_local_watermarks(g, alice(), 2, opts)) {
+    archive.sched.push_back(wm::SchedRecord::from(m, g));
+  }
+  const std::string original = wm::to_text(archive);
+  std::mt19937_64 rng(GetParam());
+  const std::string charset = "abc 019\n=-/";
+  for (int i = 0; i < 50; ++i) {
+    std::string text = original;
+    const int mutations = 1 + static_cast<int>(rng() % 6);
+    for (int m = 0; m < mutations; ++m) {
+      text[rng() % text.size()] = charset[rng() % charset.size()];
+    }
+    expect_graceful(text, [](const std::string& t) {
+      (void)wm::records_from_text(t);
+    });
+  }
+}
+
+TEST_P(FuzzSeeds, ParsedGarbageStillUsableOrRejected) {
+  // When a mutated design happens to parse, downstream analysis must not
+  // crash either (it may throw runtime_error for cyclic graphs).
+  const std::string original = cdfg::to_text(dfglib::iir4_parallel());
+  std::mt19937_64 rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 25; ++i) {
+    std::string text = original;
+    text[rng() % text.size()] = static_cast<char>('a' + rng() % 26);
+    try {
+      const cdfg::Graph g = cdfg::from_text(text);
+      (void)cdfg::validate(g);
+      try {
+        (void)cdfg::critical_path_length(g);
+      } catch (const std::runtime_error&) {
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1u, 2u, 3u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lwm

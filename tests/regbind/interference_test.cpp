@@ -1,0 +1,58 @@
+#include "regbind/interference.h"
+
+#include <gtest/gtest.h>
+
+#include "dfglib/iir4.h"
+#include "dfglib/synth.h"
+#include "sched/list_sched.h"
+
+namespace lwm::regbind {
+namespace {
+
+using cdfg::Graph;
+
+TEST(InterferenceTest, EdgesMatchOverlaps) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const sched::Schedule s = sched::list_schedule(g);
+  const auto lifetimes = compute_lifetimes(g, s);
+  const InterferenceGraph ig = build_interference_graph(lifetimes);
+  ASSERT_EQ(ig.graph.vertex_count(), static_cast<int>(lifetimes.size()));
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    for (std::size_t j = i + 1; j < lifetimes.size(); ++j) {
+      EXPECT_EQ(ig.graph.has_edge(static_cast<int>(i), static_cast<int>(j)),
+                lifetimes[i].overlaps(lifetimes[j]));
+    }
+  }
+}
+
+TEST(InterferenceTest, ColoringEqualsLeftEdgeOnIntervals) {
+  // Interval graphs are perfect: DSATUR should find the clique number,
+  // which LEFT-EDGE achieves by construction.
+  const Graph g = lwm::dfglib::make_dsp_design("ig", 14, 150, 301);
+  const sched::Schedule s = sched::list_schedule(g);
+  const auto lifetimes = compute_lifetimes(g, s);
+  const InterferenceGraph ig = build_interference_graph(lifetimes);
+
+  const auto left_edge = left_edge_binding(lifetimes);
+  ASSERT_TRUE(left_edge.has_value());
+  const color::Coloring dsatur = color::dsatur_coloring(ig.graph);
+  EXPECT_TRUE(color::verify_coloring(ig.graph, dsatur).ok);
+  EXPECT_GE(dsatur.colors_used, left_edge->register_count)
+      << "left edge is the optimum";
+  EXPECT_LE(dsatur.colors_used, left_edge->register_count + 2)
+      << "DSATUR should be near-optimal on interval graphs";
+}
+
+TEST(InterferenceTest, ColoringConvertsToLegalBinding) {
+  const Graph g = lwm::dfglib::make_dsp_design("ig2", 12, 100, 302);
+  const sched::Schedule s = sched::list_schedule(g);
+  const auto lifetimes = compute_lifetimes(g, s);
+  const InterferenceGraph ig = build_interference_graph(lifetimes);
+  const color::Coloring c = color::dsatur_coloring(ig.graph);
+  const Binding b = binding_from_coloring(ig, c);
+  EXPECT_EQ(b.register_count, c.colors_used);
+  EXPECT_TRUE(verify_binding(lifetimes, b).ok);
+}
+
+}  // namespace
+}  // namespace lwm::regbind

@@ -1,0 +1,146 @@
+#include "sched/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "dfglib/iir4.h"
+
+namespace lwm::sched {
+namespace {
+
+using cdfg::Builder;
+using cdfg::EdgeKind;
+using cdfg::Graph;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+// Two independent single-op chains: a and b, plus latency slack.
+Graph two_free_ops() {
+  Builder b("two");
+  const NodeId in = b.input("in");
+  const NodeId x = b.op(OpKind::kAdd, "a", {in, in});
+  const NodeId y = b.op(OpKind::kMul, "b", {in, in});
+  b.output("oa", x);
+  b.output("ob", y);
+  return std::move(b).build();
+}
+
+TEST(EnumerateTest, HandCountedTwoOps) {
+  const Graph g = two_free_ops();
+  // Critical path is 1, so with the default latency both ops sit at 0:
+  // exactly one schedule.
+  EXPECT_EQ(count_schedules(g, {}, {}, {}).count, 1u);
+
+  // With latency 3 each op picks any of 3 steps independently: 9.
+  EnumerationOptions opts;
+  opts.latency = 3;
+  EXPECT_EQ(count_schedules(g, {}, {}, opts).count, 9u);
+}
+
+TEST(EnumerateTest, ExtraPrecedenceRestrictsCount) {
+  const Graph g = two_free_ops();
+  EnumerationOptions opts;
+  opts.latency = 3;
+  const ExtraPrecedence edge[] = {{g.find("a"), g.find("b")}};
+  // a in {0,1,2}, b > a: pairs (0,1),(0,2),(1,2) = 3.
+  EXPECT_EQ(count_schedules(g, {}, edge, opts).count, 3u);
+}
+
+TEST(EnumerateTest, ChainIsRigidAtCriticalPath) {
+  Builder b("chain");
+  const NodeId in = b.input("in");
+  const NodeId x = b.op(OpKind::kAdd, "x", {in, in});
+  const NodeId y = b.op(OpKind::kAdd, "y", {x});
+  const NodeId z = b.op(OpKind::kAdd, "z", {y});
+  b.output("o", z);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(count_schedules(g, {}, {}, {}).count, 1u);
+  EnumerationOptions opts;
+  opts.latency = 4;  // one slack step distributes in 4 ways:
+  // starts (0,1,2),(0,1,3),(0,2,3),(1,2,3).
+  EXPECT_EQ(count_schedules(g, {}, {}, opts).count, 4u);
+}
+
+TEST(EnumerateTest, SubsetCountsUseTransitiveSeparation) {
+  Builder b("sep");
+  const NodeId in = b.input("in");
+  const NodeId x = b.op(OpKind::kAdd, "x", {in, in});
+  const NodeId m = b.op(OpKind::kMul, "m", {x});
+  const NodeId y = b.op(OpKind::kAdd, "y", {m});
+  b.output("o", y);
+  const Graph g = std::move(b).build();
+  // Subset {x, y} with latency 4: x and y are 2 steps apart through m.
+  // x in {0,1}, y in {x+2 .. 3}: (0,2),(0,3),(1,3) = 3.
+  EnumerationOptions opts;
+  opts.latency = 4;
+  const std::vector<NodeId> subset = {g.find("x"), g.find("y")};
+  EXPECT_EQ(count_schedules(g, subset, {}, opts).count, 3u);
+}
+
+TEST(EnumerateTest, UnsatisfiableConstraintsGiveZero) {
+  const Graph g = two_free_ops();
+  // Serializing a before b needs 2 steps, but the specification's
+  // critical path (the default latency bound) is 1.
+  const ExtraPrecedence edge[] = {{g.find("a"), g.find("b")}};
+  EXPECT_EQ(count_schedules(g, {}, edge, {}).count, 0u);
+}
+
+TEST(EnumerateTest, CyclicExtraConstraintsThrow) {
+  const Graph g = two_free_ops();
+  const ExtraPrecedence edges[] = {{g.find("a"), g.find("b")},
+                                   {g.find("b"), g.find("a")}};
+  EnumerationOptions opts;
+  opts.latency = 3;
+  EXPECT_THROW((void)count_schedules(g, {}, edges, opts), std::runtime_error);
+}
+
+TEST(EnumerateTest, SaturationReported) {
+  const Graph g = two_free_ops();
+  EnumerationOptions opts;
+  opts.latency = 3;
+  opts.limit = 5;
+  const EnumerationResult r = count_schedules(g, {}, {}, opts);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_EQ(r.count, 5u);
+}
+
+TEST(EnumerateTest, EmptySubsetOfDeadNodeThrows) {
+  const Graph g = two_free_ops();
+  const std::vector<NodeId> bad = {NodeId{999}};
+  EXPECT_THROW((void)count_schedules(g, bad, {}, {}), std::out_of_range);
+}
+
+TEST(PsiTest, MatchesManualRatio) {
+  const Graph g = two_free_ops();
+  EnumerationOptions opts;
+  opts.latency = 3;
+  const PsiCounts psi = psi_counts(g, {}, g.find("a"), g.find("b"), opts);
+  EXPECT_EQ(psi.psi_n, 9u);
+  EXPECT_EQ(psi.psi_w, 3u);
+  EXPECT_FALSE(psi.saturated);
+}
+
+TEST(PsiTest, IirSubtreeConstraintsShrinkSolutionSpace) {
+  // The motivational example's qualitative claim: watermark constraints
+  // cut the subtree's schedule count by an order of magnitude.
+  const Graph g = lwm::dfglib::iir4_parallel();
+  EnumerationOptions opts;
+  opts.latency = cdfg::critical_path_length(g) + 2;
+  std::vector<NodeId> subtree;
+  for (const char* name : {"C1", "C2", "A1", "A2", "C3", "C4", "A3"}) {
+    subtree.push_back(g.find(name));
+  }
+  const std::uint64_t free_count = count_schedules(g, subtree, {}, opts).count;
+  const std::vector<ExtraPrecedence> wm_edges = {
+      {g.find("C1"), g.find("C3")},
+      {g.find("C2"), g.find("C4")},
+  };
+  const std::uint64_t marked_count =
+      count_schedules(g, subtree, wm_edges, opts).count;
+  EXPECT_GT(free_count, 0u);
+  EXPECT_GT(marked_count, 0u);
+  EXPECT_LT(marked_count * 2, free_count);
+}
+
+}  // namespace
+}  // namespace lwm::sched

@@ -1,0 +1,133 @@
+#include "sched/list_sched.h"
+
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "dfglib/iir4.h"
+#include "dfglib/synth.h"
+#include "sched/schedule.h"
+
+namespace lwm::sched {
+namespace {
+
+using cdfg::Builder;
+using cdfg::EdgeKind;
+using cdfg::Graph;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+TEST(ListSchedTest, UnlimitedResourcesAchieveCriticalPath) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const Schedule s = list_schedule(g);
+  EXPECT_TRUE(verify_schedule(g, s).ok);
+  EXPECT_EQ(s.length(g), cdfg::critical_path_length(g));
+}
+
+TEST(ListSchedTest, ResourceLimitsRespected) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  ListScheduleOptions opts;
+  opts.resources = ResourceSet::datapath(1, 1);
+  const Schedule s = list_schedule(g, opts);
+  EXPECT_TRUE(verify_schedule(g, s, cdfg::EdgeFilter::all(), opts.resources).ok);
+  // 9 adds on one ALU cannot finish faster than 9 steps.
+  EXPECT_GE(s.length(g), 9);
+}
+
+TEST(ListSchedTest, TighterResourcesNeverShortenSchedule) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  int prev = 0;
+  for (const int alus : {4, 2, 1}) {
+    ListScheduleOptions opts;
+    opts.resources = ResourceSet::datapath(alus, 8);
+    const int len = list_schedule(g, opts).length(g);
+    EXPECT_GE(len, prev) << "fewer ALUs cannot speed the schedule up";
+    prev = len;
+  }
+}
+
+TEST(ListSchedTest, HonorsTemporalEdges) {
+  Graph g = lwm::dfglib::iir4_parallel();
+  // Force C7 (section 2) after A4 (section 1 output) — unrelated ops.
+  g.add_edge(g.find("A4"), g.find("C7"), EdgeKind::kTemporal);
+  const Schedule s = list_schedule(g);
+  EXPECT_TRUE(verify_schedule(g, s, cdfg::EdgeFilter::all()).ok);
+  EXPECT_GE(s.start_of(g.find("C7")),
+            s.start_of(g.find("A4")) + g.node(g.find("A4")).delay);
+
+  ListScheduleOptions spec_only;
+  spec_only.filter = cdfg::EdgeFilter::specification();
+  const Schedule s2 = list_schedule(g, spec_only);
+  EXPECT_TRUE(verify_schedule(g, s2, cdfg::EdgeFilter::specification()).ok);
+}
+
+TEST(ListSchedTest, ZeroUnitsForRequiredClassThrows) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  ListScheduleOptions opts;
+  opts.resources = ResourceSet::datapath(4, 0);  // muls present, no units
+  EXPECT_THROW((void)list_schedule(g, opts), std::invalid_argument);
+}
+
+TEST(ListSchedTest, MultiCycleOperationsOccupyUnits) {
+  Builder b("mc");
+  const NodeId in = b.input("in");
+  const NodeId m1 = b.graph().add_node(OpKind::kMul, "m1", 2);
+  const NodeId m2 = b.graph().add_node(OpKind::kMul, "m2", 2);
+  b.graph().add_edge(in, m1);
+  b.graph().add_edge(in, m2);
+  b.output("o1", m1);
+  b.output("o2", m2);
+  const Graph g = std::move(b).build();
+  ListScheduleOptions opts;
+  opts.resources = ResourceSet::datapath(0, 1);
+  const Schedule s = list_schedule(g, opts);
+  EXPECT_TRUE(verify_schedule(g, s, cdfg::EdgeFilter::all(), opts.resources).ok);
+  EXPECT_EQ(s.length(g), 4) << "two 2-cycle muls serialized on one multiplier";
+}
+
+TEST(ListSchedTest, PipelinedUnitsAcceptBackToBackIssues) {
+  // Two independent 3-cycle muls, one multiplier:
+  //   non-pipelined: issue at 0 and 3 -> finish 6;
+  //   pipelined:     issue at 0 and 1 -> finish 4.
+  Builder b("pipe");
+  const NodeId in = b.input("in");
+  const NodeId m1 = b.graph().add_node(OpKind::kMul, "m1", 3);
+  const NodeId m2 = b.graph().add_node(OpKind::kMul, "m2", 3);
+  b.graph().add_edge(in, m1);
+  b.graph().add_edge(in, m2);
+  b.output("o1", m1);
+  b.output("o2", m2);
+  const Graph g = std::move(b).build();
+
+  ListScheduleOptions serial;
+  serial.resources = ResourceSet::datapath(0, 1);
+  EXPECT_EQ(list_schedule(g, serial).length(g), 6);
+
+  ListScheduleOptions pipe = serial;
+  pipe.pipelined_units = true;
+  const Schedule s = list_schedule(g, pipe);
+  EXPECT_EQ(s.length(g), 4);
+  EXPECT_TRUE(verify_schedule(g, s, cdfg::EdgeFilter::all(), pipe.resources,
+                              -1, /*pipelined_units=*/true)
+                  .ok);
+  EXPECT_FALSE(verify_schedule(g, s, cdfg::EdgeFilter::all(), pipe.resources)
+                   .ok)
+      << "the same schedule over-subscribes a non-pipelined multiplier";
+}
+
+TEST(ListSchedTest, LargeGraphSchedulesAndVerifies) {
+  const Graph g = lwm::dfglib::make_layered_dag("big", 800, 12, {}, 7);
+  ListScheduleOptions opts;
+  opts.resources = ResourceSet::vliw4();
+  const Schedule s = list_schedule(g, opts);
+  EXPECT_TRUE(verify_schedule(g, s, cdfg::EdgeFilter::all(), opts.resources).ok);
+}
+
+TEST(ListSchedTest, DeterministicAcrossRuns) {
+  const Graph g = lwm::dfglib::make_layered_dag("det", 200, 8, {}, 3);
+  const Schedule a = list_schedule(g);
+  const Schedule b = list_schedule(g);
+  EXPECT_EQ(a.starts(), b.starts());
+}
+
+}  // namespace
+}  // namespace lwm::sched

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "dfglib/iir4.h"
+#include "sched/bnb.h"
+#include "sched/force_directed.h"
+
+namespace lwm::sched {
+namespace {
+
+using cdfg::Builder;
+using cdfg::Graph;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+TEST(MinUnitsTest, HandComputedSmallCase) {
+  // 4 independent adds: at latency 2 the minimum is 2 ALUs; at latency 4
+  // one ALU suffices; at latency 1 all four are needed.
+  Builder b("four");
+  const NodeId in = b.input("in");
+  for (int i = 0; i < 4; ++i) {
+    b.output("o" + std::to_string(i),
+             b.op(OpKind::kAdd, "a" + std::to_string(i), {in, in}));
+  }
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(bnb_min_units(g, 1).total_units, 4);
+  EXPECT_EQ(bnb_min_units(g, 2).total_units, 2);
+  EXPECT_EQ(bnb_min_units(g, 4).total_units, 1);
+}
+
+TEST(MinUnitsTest, MixedClassesCounted) {
+  // 2 adds + 2 muls, all independent, latency 2: 1 ALU + 1 multiplier.
+  Builder b("mixed");
+  const NodeId in = b.input("in");
+  for (int i = 0; i < 2; ++i) {
+    b.output("oa" + std::to_string(i),
+             b.op(OpKind::kAdd, "a" + std::to_string(i), {in, in}));
+    b.output("om" + std::to_string(i),
+             b.op(OpKind::kMul, "m" + std::to_string(i), {in, in}));
+  }
+  const Graph g = std::move(b).build();
+  const MinUnitsResult r = bnb_min_units(g, 2);
+  EXPECT_EQ(r.total_units, 2);
+  EXPECT_EQ(r.resources.count(cdfg::UnitClass::kAlu), 1);
+  EXPECT_EQ(r.resources.count(cdfg::UnitClass::kMul), 1);
+  EXPECT_TRUE(verify_schedule(g, r.schedule, cdfg::EdgeFilter::all(),
+                              r.resources, 2)
+                  .ok);
+}
+
+TEST(MinUnitsTest, IirAtCriticalPath) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const int cp = cdfg::critical_path_length(g);
+  const MinUnitsResult r = bnb_min_units(g, cp);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_GT(r.total_units, 0);
+  EXPECT_TRUE(verify_schedule(g, r.schedule, cdfg::EdgeFilter::all(),
+                              r.resources, cp)
+                  .ok);
+  // Relaxing the latency can only reduce (or keep) the allocation.
+  const MinUnitsResult relaxed = bnb_min_units(g, 2 * cp);
+  EXPECT_LE(relaxed.total_units, r.total_units);
+}
+
+TEST(MinUnitsTest, ExactBeatsOrMatchesFdsPeak) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const int cp = cdfg::critical_path_length(g);
+  const Schedule fds = force_directed_schedule(g, {.latency = cp});
+  const UnitUsage fds_usage = peak_usage(g, fds);
+  const MinUnitsResult exact = bnb_min_units(g, cp);
+  EXPECT_LE(exact.total_units, fds_usage.total())
+      << "FDS is the heuristic this solver lower-bounds";
+}
+
+TEST(MinUnitsTest, LatencyBelowCriticalPathThrows) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  EXPECT_THROW((void)bnb_min_units(g, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lwm::sched

@@ -1,0 +1,67 @@
+#include "sched/schedule_io.h"
+
+#include <gtest/gtest.h>
+
+#include "cdfg/serialize.h"
+#include "dfglib/iir4.h"
+#include "sched/list_sched.h"
+
+namespace lwm::sched {
+namespace {
+
+using cdfg::Graph;
+
+TEST(ScheduleIoTest, RoundTripExact) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const Schedule s = list_schedule(g);
+  const std::string text = schedule_to_text(g, s);
+  const Schedule back = schedule_from_text(g, text);
+  for (cdfg::NodeId n : g.node_ids()) {
+    EXPECT_EQ(back.is_scheduled(n), s.is_scheduled(n)) << g.node(n).name;
+    if (s.is_scheduled(n)) {
+      EXPECT_EQ(back.start_of(n), s.start_of(n)) << g.node(n).name;
+    }
+  }
+  EXPECT_EQ(schedule_to_text(g, back), text);
+}
+
+TEST(ScheduleIoTest, SurvivesGraphReserialization) {
+  // The name-keyed format must rebase onto a re-parsed graph.
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const Schedule s = list_schedule(g);
+  const std::string sched_text = schedule_to_text(g, s);
+  const Graph h = cdfg::from_text(cdfg::to_text(g));
+  const Schedule rebased = schedule_from_text(h, sched_text);
+  EXPECT_TRUE(verify_schedule(h, rebased).ok);
+  EXPECT_EQ(rebased.length(h), s.length(g));
+}
+
+TEST(ScheduleIoTest, MalformedInputRejected) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  EXPECT_THROW((void)schedule_from_text(g, ""), std::runtime_error);
+  EXPECT_THROW((void)schedule_from_text(g, "at A1 0\n"), std::runtime_error)
+      << "missing header";
+  EXPECT_THROW((void)schedule_from_text(g, "schedule x\nat nope 0\n"),
+               std::runtime_error)
+      << "unknown node";
+  EXPECT_THROW((void)schedule_from_text(g, "schedule x\nat A1\n"),
+               std::runtime_error)
+      << "missing step";
+  EXPECT_THROW((void)schedule_from_text(g, "schedule x\nfrobnicate\n"),
+               std::runtime_error);
+}
+
+TEST(ScheduleIoTest, CommentsAndPartialSchedulesOk) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const Schedule s = schedule_from_text(g,
+                                        "schedule iir\n"
+                                        "# only two ops pinned\n"
+                                        "at A1 3\n"
+                                        "at C1 0\n");
+  EXPECT_EQ(s.start_of(g.find("A1")), 3);
+  EXPECT_EQ(s.start_of(g.find("C1")), 0);
+  EXPECT_FALSE(s.is_scheduled(g.find("A9")));
+}
+
+}  // namespace
+}  // namespace lwm::sched

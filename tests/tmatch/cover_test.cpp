@@ -1,0 +1,165 @@
+#include "tmatch/cover.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cdfg/analysis.h"
+#include "cdfg/builder.h"
+#include "dfglib/iir4.h"
+#include "dfglib/synth.h"
+
+namespace lwm::tmatch {
+namespace {
+
+using cdfg::Graph;
+using cdfg::NodeId;
+
+int template_id(const TemplateLibrary& lib, const std::string& name) {
+  for (int i = 0; i < lib.size(); ++i) {
+    if (lib.at(i).name == name) return i;
+  }
+  return -1;
+}
+
+void expect_exact_cover(const Graph& g, const Cover& cover) {
+  std::unordered_set<NodeId> covered;
+  for (const Match& m : cover.matches) {
+    for (const NodeId n : m.nodes) {
+      EXPECT_TRUE(covered.insert(n).second)
+          << "node " << g.node(n).name << " covered twice";
+    }
+  }
+  for (const NodeId n : g.node_ids()) {
+    if (cdfg::is_executable(g.node(n).kind)) {
+      EXPECT_TRUE(covered.count(n) != 0) << g.node(n).name << " uncovered";
+    }
+  }
+}
+
+TEST(CoverTest, CoversIirExactlyOnce) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const Cover cover = greedy_cover(g, TemplateLibrary::standard());
+  expect_exact_cover(g, cover);
+}
+
+TEST(CoverTest, CompositeTemplatesReduceMatchCount) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const Cover prim = greedy_cover(g, TemplateLibrary::primitive());
+  const Cover std_cover = greedy_cover(g, TemplateLibrary::standard());
+  EXPECT_EQ(prim.match_count(), 17) << "one module per op: 9 adds + 8 muls";
+  EXPECT_LT(std_cover.match_count(), prim.match_count());
+}
+
+TEST(CoverTest, EnforcedMatchesAppearInCover) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const int add2 = template_id(lib, "add2");
+  const auto candidates = matches_at(g, lib, add2, g.find("A2"));
+  ASSERT_FALSE(candidates.empty());
+
+  CoverOptions opts;
+  opts.enforced.push_back(candidates.front());
+  const Cover cover = greedy_cover(g, lib, opts);
+  expect_exact_cover(g, cover);
+  bool found = false;
+  for (const Match& m : cover.matches) {
+    if (m.template_id == add2 && m.nodes == candidates.front().nodes) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CoverTest, OverlappingEnforcedMatchesRejected) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const int add2 = template_id(lib, "add2");
+  const auto at_a2 = matches_at(g, lib, add2, g.find("A2"));
+  ASSERT_FALSE(at_a2.empty());
+  CoverOptions opts;
+  opts.enforced.push_back(at_a2.front());
+  opts.enforced.push_back(at_a2.front());  // same nodes twice
+  EXPECT_THROW((void)greedy_cover(g, lib, opts), std::runtime_error);
+}
+
+TEST(CoverTest, PpoForcesValueVisible) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  // Promote A1 (internal of the natural add2(A2, A1)) to PPO.
+  CoverOptions opts;
+  opts.ppo.insert(g.find("A1"));
+  const Cover cover = greedy_cover(g, lib, opts);
+  expect_exact_cover(g, cover);
+  for (const Match& m : cover.matches) {
+    for (std::size_t i = 1; i < m.nodes.size(); ++i) {
+      EXPECT_NE(m.nodes[i], g.find("A1")) << "PPO swallowed as internal op";
+    }
+  }
+}
+
+TEST(CoverTest, IncompleteLibraryThrows) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  TemplateLibrary lib;  // empty: nothing can cover the adds
+  Template only_mul;
+  only_mul.name = "mul";
+  only_mul.ops = {TemplateOp{cdfg::OpKind::kMul, {}}};
+  lib.add(only_mul);
+  EXPECT_THROW((void)greedy_cover(g, lib), std::runtime_error);
+}
+
+TEST(MappedDesignTest, MacroGraphStructure) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const Cover cover = greedy_cover(g, lib);
+  const MappedDesign d = build_mapped_design(g, cover);
+  // One macro node per match plus carried-over pseudo-ops.
+  const std::size_t pseudo =
+      g.node_count() - g.operation_count();
+  EXPECT_EQ(d.macro.node_count(),
+            cover.matches.size() + pseudo);
+  // The macro graph is still a DAG.
+  EXPECT_NO_THROW((void)cdfg::topo_order(d.macro));
+  // Mapping is total on executable nodes.
+  for (const NodeId n : g.node_ids()) {
+    if (cdfg::is_executable(g.node(n).kind)) {
+      EXPECT_TRUE(d.node_to_macro.count(n) != 0) << g.node(n).name;
+    }
+  }
+}
+
+TEST(MappedDesignTest, MacroCriticalPathNeverExceedsOriginal) {
+  // Hiding wires inside modules can only shorten step counts.
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const Cover cover = greedy_cover(g, TemplateLibrary::standard());
+  const MappedDesign d = build_mapped_design(g, cover);
+  EXPECT_LE(cdfg::critical_path_length(d.macro),
+            cdfg::critical_path_length(g));
+}
+
+TEST(AllocateTest, TightBudgetNeedsMoreModules) {
+  const Graph g = lwm::dfglib::make_dsp_design("alloc", 8, 40, 21);
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const Cover cover = greedy_cover(g, lib);
+  const MappedDesign d = build_mapped_design(g, cover);
+  const int cp = cdfg::critical_path_length(d.macro);
+
+  const ModuleAllocation tight = allocate_modules(d, lib, cp);
+  const ModuleAllocation loose = allocate_modules(d, lib, 4 * cp);
+  EXPECT_LE(loose.total(), tight.total());
+  EXPECT_LE(tight.latency, cp);
+  EXPECT_LE(loose.latency, 4 * cp);
+  EXPECT_GT(tight.total(), 0);
+  EXPECT_GT(tight.total_area(lib), 0.0);
+}
+
+TEST(AllocateTest, BudgetBelowCriticalPathThrows) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const MappedDesign d = build_mapped_design(g, greedy_cover(g, lib));
+  const int cp = cdfg::critical_path_length(d.macro);
+  EXPECT_THROW((void)allocate_modules(d, lib, cp - 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lwm::tmatch

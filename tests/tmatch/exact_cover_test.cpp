@@ -1,0 +1,169 @@
+#include "tmatch/exact_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cdfg/builder.h"
+#include "dfglib/iir4.h"
+#include "dfglib/synth.h"
+
+namespace lwm::tmatch {
+namespace {
+
+using cdfg::Graph;
+using cdfg::NodeId;
+
+void expect_exact_partition(const Graph& g, const Cover& cover) {
+  std::unordered_set<NodeId> covered;
+  for (const Match& m : cover.matches) {
+    for (const NodeId n : m.nodes) {
+      ASSERT_TRUE(covered.insert(n).second);
+    }
+  }
+  for (const NodeId n : g.node_ids()) {
+    if (cdfg::is_executable(g.node(n).kind)) {
+      EXPECT_TRUE(covered.count(n) != 0) << g.node(n).name;
+    }
+  }
+}
+
+TEST(ExactCoverTest, OptimalOnIir) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const ExactCoverResult r = exact_cover(g, lib);
+  EXPECT_TRUE(r.optimal);
+  expect_exact_partition(g, r.cover);
+  // 17 ops, composites cover 2 each; optimum is bounded below by ceil(17/2).
+  EXPECT_GE(r.cover.match_count(), 9);
+  const Cover greedy = greedy_cover(g, lib);
+  EXPECT_LE(r.cover.match_count(), greedy.match_count())
+      << "exact can never lose to greedy";
+}
+
+TEST(ExactCoverTest, NeverWorseThanGreedyAcrossSeeds) {
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const Graph g = lwm::dfglib::make_dsp_design(
+        "xc" + std::to_string(seed), 8, 30, seed);
+    const ExactCoverResult r = exact_cover(g, lib);
+    const Cover greedy = greedy_cover(g, lib);
+    EXPECT_LE(r.cover.match_count(), greedy.match_count()) << seed;
+    expect_exact_partition(g, r.cover);
+  }
+}
+
+TEST(ExactCoverTest, HonorsEnforcedAndPpoConstraints) {
+  const Graph g = lwm::dfglib::make_dsp_design("xc_cons", 10, 40, 14);
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  // Enforce the first composite match found.
+  Match enforced;
+  for (const Match& m : enumerate_matches(g, lib)) {
+    if (m.size() >= 2) {
+      enforced = m;
+      break;
+    }
+  }
+  ASSERT_GE(enforced.size(), 2);
+  ExactCoverOptions opts;
+  opts.constraints.enforced.push_back(enforced);
+  const ExactCoverResult r = exact_cover(g, lib, opts);
+  expect_exact_partition(g, r.cover);
+  bool found = false;
+  for (const Match& m : r.cover.matches) {
+    if (m.template_id == enforced.template_id && m.nodes == enforced.nodes) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExactCoverTest, NodeLimitReturnsValidCover) {
+  const Graph g = lwm::dfglib::make_dsp_design("xc_lim", 12, 60, 15);
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  ExactCoverOptions opts;
+  opts.node_limit = 5;
+  const ExactCoverResult r = exact_cover(g, lib, opts);
+  EXPECT_FALSE(r.optimal);
+  expect_exact_partition(g, r.cover);
+}
+
+TEST(ExactCoverTest, IncompleteLibraryThrows) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  TemplateLibrary lib;
+  Template only_add;
+  only_add.name = "add";
+  only_add.ops = {TemplateOp{cdfg::OpKind::kAdd, {}}};
+  lib.add(only_add);
+  EXPECT_THROW((void)exact_cover(g, lib), std::runtime_error);
+}
+
+TEST(ExactCoverTest, QuantifiesGreedyGap) {
+  // The reason this solver exists: measure how far greedy sits from the
+  // optimum on covering-ambiguous designs.
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  int greedy_total = 0;
+  int exact_total = 0;
+  for (const std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    const Graph g = lwm::dfglib::make_dsp_design(
+        "gap" + std::to_string(seed), 10, 36, seed);
+    greedy_total += greedy_cover(g, lib).match_count();
+    const ExactCoverResult r = exact_cover(g, lib);
+    if (!r.optimal) continue;
+    exact_total += r.cover.match_count();
+  }
+  EXPECT_LE(exact_total, greedy_total);
+}
+
+TEST(CountCoversTest, HandComputedChain) {
+  // x -> m(mul) -> a(add) -> out: covers are {mac} (1 match) or
+  // {mul, add} (2 matches).
+  cdfg::Builder b("chain");
+  const NodeId in = b.input("in");
+  const NodeId m = b.mul(in, in, "m");
+  const NodeId a = b.add(m, in, "a");
+  b.output("o", a);
+  const Graph g = std::move(b).build();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  EXPECT_EQ(count_covers(g, lib, 1).count, 1u) << "only {mac}";
+  EXPECT_EQ(count_covers(g, lib, 2).count, 1u) << "only {mul, add}";
+  EXPECT_EQ(count_covers(g, lib, 3).count, 0u);
+  EXPECT_EQ(count_covers(g, lib, 0).count, 0u);
+}
+
+TEST(CountCoversTest, ConstraintsShrinkTheCount) {
+  const Graph g = lwm::dfglib::make_dsp_design("cc", 10, 30, 31);
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const ExactCoverResult opt = exact_cover(g, lib);
+  ASSERT_TRUE(opt.optimal);
+  const int q = opt.cover.match_count();
+  const CoverCountResult all = count_covers(g, lib, q);
+  ASSERT_GT(all.count, 0u);
+  ASSERT_FALSE(all.saturated);
+
+  // Enforce one composite matching: the count can only shrink.
+  Match enforced;
+  for (const Match& m : enumerate_matches(g, lib)) {
+    if (m.size() >= 2) {
+      enforced = m;
+      break;
+    }
+  }
+  ASSERT_GE(enforced.size(), 2);
+  CoverOptions cons;
+  cons.enforced.push_back(enforced);
+  const CoverCountResult some = count_covers(g, lib, q, cons);
+  EXPECT_LE(some.count, all.count);
+}
+
+TEST(CountCoversTest, SaturationReported) {
+  const Graph g = lwm::dfglib::make_dsp_design("cc_sat", 10, 40, 32);
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const ExactCoverResult opt = exact_cover(g, lib);
+  const CoverCountResult r = count_covers(g, lib, opt.cover.match_count() + 2,
+                                          {}, 3);
+  EXPECT_TRUE(r.saturated || r.count <= 3);
+}
+
+}  // namespace
+}  // namespace lwm::tmatch

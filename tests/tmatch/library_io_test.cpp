@@ -1,0 +1,67 @@
+#include "tmatch/library_io.h"
+
+#include <gtest/gtest.h>
+
+namespace lwm::tmatch {
+namespace {
+
+TEST(LibraryIoTest, StandardRoundTripsExactly) {
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const std::string text = library_to_text(lib);
+  const TemplateLibrary back = library_from_text(text);
+  ASSERT_EQ(back.size(), lib.size());
+  for (int i = 0; i < lib.size(); ++i) {
+    EXPECT_EQ(back.at(i).name, lib.at(i).name);
+    EXPECT_DOUBLE_EQ(back.at(i).area, lib.at(i).area);
+    ASSERT_EQ(back.at(i).op_count(), lib.at(i).op_count());
+    for (int o = 0; o < lib.at(i).op_count(); ++o) {
+      EXPECT_EQ(back.at(i).ops[static_cast<std::size_t>(o)].kind,
+                lib.at(i).ops[static_cast<std::size_t>(o)].kind);
+      EXPECT_EQ(back.at(i).ops[static_cast<std::size_t>(o)].children,
+                lib.at(i).ops[static_cast<std::size_t>(o)].children);
+    }
+  }
+  EXPECT_EQ(library_to_text(back), text);
+}
+
+TEST(LibraryIoTest, HandWrittenLibraryParses) {
+  const TemplateLibrary lib = library_from_text(
+      "templates v1\n"
+      "# custom corporate kit\n"
+      "template madd3 5.2\n"
+      "op add 1 2\n"
+      "op mul\n"
+      "op mul\n"
+      "template inv 0.3\n"
+      "op not\n");
+  ASSERT_EQ(lib.size(), 2);
+  EXPECT_EQ(lib.at(0).name, "madd3");
+  EXPECT_EQ(lib.at(0).op_count(), 3);
+  EXPECT_EQ(lib.at(0).ops[0].children, (std::vector<int>{1, 2}));
+  EXPECT_EQ(lib.at(1).ops[0].kind, cdfg::OpKind::kNot);
+}
+
+TEST(LibraryIoTest, MalformedInputRejected) {
+  EXPECT_THROW((void)library_from_text(""), std::runtime_error);
+  EXPECT_THROW((void)library_from_text("wrong\n"), std::runtime_error);
+  EXPECT_THROW((void)library_from_text("templates v1\nop add\n"),
+               std::runtime_error)
+      << "op before template";
+  EXPECT_THROW((void)library_from_text("templates v1\ntemplate t\n"),
+               std::runtime_error)
+      << "missing area";
+  EXPECT_THROW(
+      (void)library_from_text("templates v1\ntemplate t 1.0\nop frob\n"),
+      std::runtime_error)
+      << "unknown kind";
+  EXPECT_THROW(
+      (void)library_from_text("templates v1\ntemplate t 1.0\nop add 5\n"),
+      std::runtime_error)
+      << "dangling child index (tree validation)";
+  EXPECT_THROW((void)library_from_text("templates v1\ntemplate t 1.0\n"),
+               std::runtime_error)
+      << "empty template";
+}
+
+}  // namespace
+}  // namespace lwm::tmatch

@@ -1,0 +1,154 @@
+#include "tmatch/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "cdfg/builder.h"
+#include "dfglib/iir4.h"
+
+namespace lwm::tmatch {
+namespace {
+
+using cdfg::Builder;
+using cdfg::Graph;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+int template_id(const TemplateLibrary& lib, const std::string& name) {
+  for (int i = 0; i < lib.size(); ++i) {
+    if (lib.at(i).name == name) return i;
+  }
+  return -1;
+}
+
+// x -> m(mul) -> a(add) -> out, plus c(add) -> a: a = m + c.
+Graph mac_graph() {
+  Builder b("mac");
+  const NodeId x = b.input("x");
+  const NodeId y = b.input("y");
+  const NodeId m = b.mul(x, y, "m");
+  const NodeId c = b.add(x, y, "c");
+  const NodeId a = b.add(m, c, "a");
+  b.output("o", a);
+  return std::move(b).build();
+}
+
+TEST(MatcherTest, FindsMacEmbedding) {
+  const Graph g = mac_graph();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const int mac = template_id(lib, "mac");
+  ASSERT_GE(mac, 0);
+  const auto matches = matches_at(g, lib, mac, g.find("a"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].nodes[0], g.find("a"));
+  EXPECT_EQ(matches[0].nodes[1], g.find("m"));
+}
+
+TEST(MatcherTest, FindsAdd2Embedding) {
+  const Graph g = mac_graph();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const int add2 = template_id(lib, "add2");
+  // a(add) fed by c(add): one embedding.
+  const auto matches = matches_at(g, lib, add2, g.find("a"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].nodes[1], g.find("c"));
+}
+
+TEST(MatcherTest, RootKindMustMatch) {
+  const Graph g = mac_graph();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const int mac = template_id(lib, "mac");
+  EXPECT_TRUE(matches_at(g, lib, mac, g.find("m")).empty())
+      << "mac root is an add, m is a mul";
+}
+
+TEST(MatcherTest, SharedInternalValueBlocksEmbedding) {
+  // m feeds both a and a second consumer: m cannot be hidden inside a mac.
+  Builder b("shared");
+  const NodeId x = b.input("x");
+  const NodeId m = b.mul(x, x, "m");
+  const NodeId a = b.add(m, x, "a");
+  const NodeId a2 = b.add(m, x, "a2");
+  b.output("o", a);
+  b.output("o2", a2);
+  const Graph g = std::move(b).build();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const int mac = template_id(lib, "mac");
+  EXPECT_TRUE(matches_at(g, lib, mac, g.find("a")).empty());
+  EXPECT_TRUE(matches_at(g, lib, mac, g.find("a2")).empty());
+}
+
+TEST(MatcherTest, PpoNodeCannotBeInternal) {
+  const Graph g = mac_graph();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const int mac = template_id(lib, "mac");
+  MatchConstraints cons;
+  cons.ppo.insert(g.find("m"));
+  EXPECT_TRUE(matches_at(g, lib, mac, g.find("a"), cons).empty())
+      << "a PPO value must stay visible";
+  // The PPO node can still root its own (single-op) match.
+  const int mul = template_id(lib, "mul");
+  EXPECT_EQ(matches_at(g, lib, mul, g.find("m"), cons).size(), 1u);
+}
+
+TEST(MatcherTest, ExcludedNodesUntouchable) {
+  const Graph g = mac_graph();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  MatchConstraints cons;
+  cons.excluded.insert(g.find("m"));
+  const int mac = template_id(lib, "mac");
+  EXPECT_TRUE(matches_at(g, lib, mac, g.find("a"), cons).empty());
+  const int mul = template_id(lib, "mul");
+  EXPECT_TRUE(matches_at(g, lib, mul, g.find("m"), cons).empty());
+}
+
+TEST(MatcherTest, EnumerateCoversEverySingleOp) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const auto all = enumerate_matches(g, lib);
+  // Every executable node is covered by at least its single-op template.
+  for (const NodeId n : g.node_ids()) {
+    if (!cdfg::is_executable(g.node(n).kind)) continue;
+    bool covered = false;
+    for (const Match& m : all) {
+      if (m.covers(n)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << g.node(n).name;
+  }
+}
+
+TEST(MatcherTest, IirHasChainedAdderMatches) {
+  // A1->A2, A2->A3, A3->A4 etc. are add-add chains; since intermediate
+  // adds feed exactly one consumer each, add2 embeddings exist.
+  const Graph g = lwm::dfglib::iir4_parallel();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const int add2 = template_id(lib, "add2");
+  int count = 0;
+  for (const Match& m : enumerate_matches(g, lib)) {
+    if (m.template_id == add2) ++count;
+  }
+  EXPECT_GE(count, 4);
+}
+
+TEST(MatcherTest, MatchesCoveringFindsAllRoles) {
+  const Graph g = mac_graph();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const auto covering_m = matches_covering(g, lib, g.find("m"));
+  // m appears as: single-op mul, internal of mac(a, m).
+  EXPECT_EQ(covering_m.size(), 2u);
+}
+
+TEST(MatcherTest, DescribeNamesTemplateAndNodes) {
+  const Graph g = mac_graph();
+  const TemplateLibrary lib = TemplateLibrary::standard();
+  const auto matches = matches_covering(g, lib, g.find("m"));
+  ASSERT_FALSE(matches.empty());
+  const std::string d = describe(g, lib, matches.front());
+  EXPECT_NE(d.find("m"), std::string::npos);
+  EXPECT_NE(d.find("("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lwm::tmatch

@@ -1,0 +1,145 @@
+#include "wm/color_constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "dfglib/synth.h"
+#include "regbind/interference.h"
+#include "sched/list_sched.h"
+
+namespace lwm::wm {
+namespace {
+
+crypto::Signature alice() { return {"alice", "alice-design-key-2001"}; }
+crypto::Signature eve() { return {"eve", "different-key"}; }
+
+color::UGraph test_graph() { return color::UGraph::random(80, 0.12, 404); }
+
+ColorWmOptions color_options() {
+  ColorWmOptions opts;
+  opts.radius = 2;
+  opts.pairs = 6;
+  opts.min_pairs = 3;
+  return opts;
+}
+
+TEST(OrderBallTest, RootFirstDeterministicComplete) {
+  const color::UGraph g = test_graph();
+  const auto a = order_ball(g, 5, 2);
+  const auto b = order_ball(g, 5, 2);
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.front(), 5) << "distance 0 sorts first";
+  EXPECT_THROW((void)order_ball(g, 5, 0), std::invalid_argument);
+}
+
+TEST(ColorWmTest, GhostEdgesAreNonAdjacentLocalityPairs) {
+  const color::UGraph g = test_graph();
+  const auto wm = plan_color_watermark(g, 10, alice(), color_options());
+  ASSERT_TRUE(wm.has_value());
+  EXPECT_GE(static_cast<int>(wm->ghost_edges.size()), 3);
+  for (const auto& [u, v] : wm->ghost_edges) {
+    EXPECT_FALSE(g.has_edge(u, v));
+    EXPECT_NE(u, v);
+  }
+  EXPECT_EQ(wm->ghost_edges.size(), wm->positions.size());
+}
+
+TEST(ColorWmTest, DeterministicAndSignatureKeyed) {
+  const color::UGraph g = test_graph();
+  const auto a1 = plan_color_watermark(g, 10, alice(), color_options());
+  const auto a2 = plan_color_watermark(g, 10, alice(), color_options());
+  const auto e = plan_color_watermark(g, 10, eve(), color_options());
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_EQ(a1->ghost_edges, a2->ghost_edges);
+  if (e) {
+    EXPECT_NE(a1->ghost_edges, e->ghost_edges);
+  }
+}
+
+TEST(ColorWmTest, ConstrainedColoringHonorsGhostEdges) {
+  const color::UGraph g = test_graph();
+  const auto marks = plan_color_watermarks(g, alice(), 3, color_options());
+  ASSERT_FALSE(marks.empty());
+  const color::ColorConstraints cons = to_color_constraints(marks);
+  const color::Coloring c = color::dsatur_coloring(g, cons);
+  EXPECT_TRUE(color::verify_coloring(g, c, cons).ok);
+  // Overhead: constrained coloring uses at most a couple extra colors.
+  const color::Coloring base = color::dsatur_coloring(g);
+  EXPECT_LE(c.colors_used, base.colors_used + 2);
+}
+
+TEST(ColorWmTest, DetectionRoundTripAndForgery) {
+  const color::UGraph g = test_graph();
+  const auto marks = plan_color_watermarks(g, alice(), 3, color_options());
+  ASSERT_FALSE(marks.empty());
+  const color::Coloring c =
+      color::dsatur_coloring(g, to_color_constraints(marks));
+
+  for (const auto& wm : marks) {
+    EXPECT_TRUE(detect_color_watermark(g, c, alice(), wm).detected());
+    EXPECT_FALSE(detect_color_watermark(g, c, eve(), wm).detected())
+        << "authorship binding rejects a foreign signature";
+  }
+}
+
+TEST(ColorWmTest, UnconstrainedColoringUsuallyBreaksSomeMark) {
+  const color::UGraph g = test_graph();
+  const auto marks = plan_color_watermarks(g, alice(), 4, color_options());
+  ASSERT_GE(marks.size(), 3u);
+  const color::Coloring free_coloring = color::dsatur_coloring(g);
+  int found = 0;
+  for (const auto& wm : marks) {
+    found += detect_color_watermark(g, free_coloring, alice(), wm).detected();
+  }
+  // Ghost edges hold with probability ~ (k-1)/k each; with >= 3 pairs per
+  // mark and several marks, at least one should break.  (This is the
+  // known weakness of coloring watermarks: per-edge strength is low.)
+  EXPECT_LT(found, static_cast<int>(marks.size()));
+}
+
+TEST(ColorWmTest, PcModelScalesWithEdges) {
+  const color::UGraph g = test_graph();
+  const auto one = plan_color_watermarks(g, alice(), 1, color_options());
+  const auto many = plan_color_watermarks(g, alice(), 4, color_options());
+  ASSERT_FALSE(one.empty());
+  ASSERT_GT(many.size(), one.size());
+  const color::Coloring c = color::dsatur_coloring(g);
+  EXPECT_LT(log10_color_pc(c, many), log10_color_pc(c, one));
+  EXPECT_LT(log10_color_pc(c, one), 0.0);
+}
+
+TEST(ColorWmTest, WorksOnRealInterferenceGraphs) {
+  // The §III story end to end: register allocation as graph coloring,
+  // watermark embedded in a random subgraph of the interference graph.
+  const cdfg::Graph design = lwm::dfglib::make_dsp_design("cwm", 14, 160, 405);
+  const sched::Schedule s = sched::list_schedule(design);
+  const auto lifetimes = regbind::compute_lifetimes(design, s);
+  const auto ig = regbind::build_interference_graph(lifetimes);
+
+  ColorWmOptions opts;
+  opts.radius = 2;
+  opts.pairs = 5;
+  opts.min_pairs = 2;
+  const auto marks = plan_color_watermarks(ig.graph, alice(), 3, opts);
+  ASSERT_FALSE(marks.empty());
+  const color::Coloring c =
+      color::dsatur_coloring(ig.graph, to_color_constraints(marks));
+  EXPECT_TRUE(color::verify_coloring(ig.graph, c, to_color_constraints(marks)).ok);
+  // The constrained coloring is still a legal register binding.
+  const regbind::Binding b = regbind::binding_from_coloring(ig, c);
+  EXPECT_TRUE(regbind::verify_binding(lifetimes, b).ok);
+  for (const auto& wm : marks) {
+    EXPECT_TRUE(detect_color_watermark(ig.graph, c, alice(), wm).detected());
+  }
+}
+
+TEST(ColorWmTest, BadParametersThrow) {
+  const color::UGraph g = test_graph();
+  ColorWmOptions opts = color_options();
+  opts.pairs = 0;
+  EXPECT_THROW((void)plan_color_watermark(g, 0, alice(), opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lwm::wm
