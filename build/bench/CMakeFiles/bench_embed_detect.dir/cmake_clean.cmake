@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embed_detect.dir/bench_embed_detect.cpp.o"
+  "CMakeFiles/bench_embed_detect.dir/bench_embed_detect.cpp.o.d"
+  "bench_embed_detect"
+  "bench_embed_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embed_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regbind.dir/bench_regbind.cpp.o"
+  "CMakeFiles/bench_regbind.dir/bench_regbind.cpp.o.d"
+  "bench_regbind"
+  "bench_regbind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regbind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispute_resolution.dir/dispute_resolution.cpp.o"
+  "CMakeFiles/dispute_resolution.dir/dispute_resolution.cpp.o.d"
+  "dispute_resolution"
+  "dispute_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispute_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

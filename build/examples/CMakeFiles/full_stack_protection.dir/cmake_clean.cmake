@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_stack_protection.dir/full_stack_protection.cpp.o"
+  "CMakeFiles/full_stack_protection.dir/full_stack_protection.cpp.o.d"
+  "full_stack_protection"
+  "full_stack_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_stack_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

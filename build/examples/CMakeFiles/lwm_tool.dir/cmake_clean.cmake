@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_tool.dir/lwm_tool.cpp.o"
+  "CMakeFiles/lwm_tool.dir/lwm_tool.cpp.o.d"
+  "lwm_tool"
+  "lwm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_binding_demo.dir/register_binding_demo.cpp.o"
+  "CMakeFiles/register_binding_demo.dir/register_binding_demo.cpp.o.d"
+  "register_binding_demo"
+  "register_binding_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_binding_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

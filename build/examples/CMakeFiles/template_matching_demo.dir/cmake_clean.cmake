@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_matching_demo.dir/template_matching_demo.cpp.o"
+  "CMakeFiles/template_matching_demo.dir/template_matching_demo.cpp.o.d"
+  "template_matching_demo"
+  "template_matching_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_matching_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdfg/analysis.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/analysis.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/analysis.cpp.o.d"
+  "/root/repo/src/cdfg/builder.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/builder.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/builder.cpp.o.d"
+  "/root/repo/src/cdfg/dot.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/dot.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/dot.cpp.o.d"
+  "/root/repo/src/cdfg/graph.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/graph.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/graph.cpp.o.d"
+  "/root/repo/src/cdfg/normalize.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/normalize.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/normalize.cpp.o.d"
+  "/root/repo/src/cdfg/op.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/op.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/op.cpp.o.d"
+  "/root/repo/src/cdfg/serialize.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/serialize.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/serialize.cpp.o.d"
+  "/root/repo/src/cdfg/stats.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/stats.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/stats.cpp.o.d"
+  "/root/repo/src/cdfg/subgraph.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/subgraph.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/subgraph.cpp.o.d"
+  "/root/repo/src/cdfg/validate.cpp" "src/CMakeFiles/lwm_cdfg.dir/cdfg/validate.cpp.o" "gcc" "src/CMakeFiles/lwm_cdfg.dir/cdfg/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

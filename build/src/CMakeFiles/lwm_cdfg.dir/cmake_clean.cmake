@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_cdfg.dir/cdfg/analysis.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/analysis.cpp.o.d"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/builder.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/builder.cpp.o.d"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/dot.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/dot.cpp.o.d"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/graph.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/graph.cpp.o.d"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/normalize.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/normalize.cpp.o.d"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/op.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/op.cpp.o.d"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/serialize.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/serialize.cpp.o.d"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/stats.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/stats.cpp.o.d"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/subgraph.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/subgraph.cpp.o.d"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/validate.cpp.o"
+  "CMakeFiles/lwm_cdfg.dir/cdfg/validate.cpp.o.d"
+  "liblwm_cdfg.a"
+  "liblwm_cdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_color.dir/color/graph_color.cpp.o"
+  "CMakeFiles/lwm_color.dir/color/graph_color.cpp.o.d"
+  "liblwm_color.a"
+  "liblwm_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

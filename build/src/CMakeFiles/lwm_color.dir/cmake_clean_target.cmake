@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblwm_color.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_crypto.dir/crypto/bitstream.cpp.o"
+  "CMakeFiles/lwm_crypto.dir/crypto/bitstream.cpp.o.d"
+  "CMakeFiles/lwm_crypto.dir/crypto/rc4.cpp.o"
+  "CMakeFiles/lwm_crypto.dir/crypto/rc4.cpp.o.d"
+  "CMakeFiles/lwm_crypto.dir/crypto/signature.cpp.o"
+  "CMakeFiles/lwm_crypto.dir/crypto/signature.cpp.o.d"
+  "liblwm_crypto.a"
+  "liblwm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

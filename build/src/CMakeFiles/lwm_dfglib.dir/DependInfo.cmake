@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfglib/designs.cpp" "src/CMakeFiles/lwm_dfglib.dir/dfglib/designs.cpp.o" "gcc" "src/CMakeFiles/lwm_dfglib.dir/dfglib/designs.cpp.o.d"
+  "/root/repo/src/dfglib/iir4.cpp" "src/CMakeFiles/lwm_dfglib.dir/dfglib/iir4.cpp.o" "gcc" "src/CMakeFiles/lwm_dfglib.dir/dfglib/iir4.cpp.o.d"
+  "/root/repo/src/dfglib/kernels.cpp" "src/CMakeFiles/lwm_dfglib.dir/dfglib/kernels.cpp.o" "gcc" "src/CMakeFiles/lwm_dfglib.dir/dfglib/kernels.cpp.o.d"
+  "/root/repo/src/dfglib/mediabench.cpp" "src/CMakeFiles/lwm_dfglib.dir/dfglib/mediabench.cpp.o" "gcc" "src/CMakeFiles/lwm_dfglib.dir/dfglib/mediabench.cpp.o.d"
+  "/root/repo/src/dfglib/synth.cpp" "src/CMakeFiles/lwm_dfglib.dir/dfglib/synth.cpp.o" "gcc" "src/CMakeFiles/lwm_dfglib.dir/dfglib/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_dfglib.dir/dfglib/designs.cpp.o"
+  "CMakeFiles/lwm_dfglib.dir/dfglib/designs.cpp.o.d"
+  "CMakeFiles/lwm_dfglib.dir/dfglib/iir4.cpp.o"
+  "CMakeFiles/lwm_dfglib.dir/dfglib/iir4.cpp.o.d"
+  "CMakeFiles/lwm_dfglib.dir/dfglib/kernels.cpp.o"
+  "CMakeFiles/lwm_dfglib.dir/dfglib/kernels.cpp.o.d"
+  "CMakeFiles/lwm_dfglib.dir/dfglib/mediabench.cpp.o"
+  "CMakeFiles/lwm_dfglib.dir/dfglib/mediabench.cpp.o.d"
+  "CMakeFiles/lwm_dfglib.dir/dfglib/synth.cpp.o"
+  "CMakeFiles/lwm_dfglib.dir/dfglib/synth.cpp.o.d"
+  "liblwm_dfglib.a"
+  "liblwm_dfglib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_dfglib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lwm_dfglib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_hls.dir/hls/datapath.cpp.o"
+  "CMakeFiles/lwm_hls.dir/hls/datapath.cpp.o.d"
+  "liblwm_hls.a"
+  "liblwm_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_regbind.dir/regbind/binding.cpp.o"
+  "CMakeFiles/lwm_regbind.dir/regbind/binding.cpp.o.d"
+  "CMakeFiles/lwm_regbind.dir/regbind/interference.cpp.o"
+  "CMakeFiles/lwm_regbind.dir/regbind/interference.cpp.o.d"
+  "CMakeFiles/lwm_regbind.dir/regbind/lifetime.cpp.o"
+  "CMakeFiles/lwm_regbind.dir/regbind/lifetime.cpp.o.d"
+  "liblwm_regbind.a"
+  "liblwm_regbind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_regbind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

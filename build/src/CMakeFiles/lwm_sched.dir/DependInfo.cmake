@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bnb.cpp" "src/CMakeFiles/lwm_sched.dir/sched/bnb.cpp.o" "gcc" "src/CMakeFiles/lwm_sched.dir/sched/bnb.cpp.o.d"
+  "/root/repo/src/sched/enumerate.cpp" "src/CMakeFiles/lwm_sched.dir/sched/enumerate.cpp.o" "gcc" "src/CMakeFiles/lwm_sched.dir/sched/enumerate.cpp.o.d"
+  "/root/repo/src/sched/force_directed.cpp" "src/CMakeFiles/lwm_sched.dir/sched/force_directed.cpp.o" "gcc" "src/CMakeFiles/lwm_sched.dir/sched/force_directed.cpp.o.d"
+  "/root/repo/src/sched/list_sched.cpp" "src/CMakeFiles/lwm_sched.dir/sched/list_sched.cpp.o" "gcc" "src/CMakeFiles/lwm_sched.dir/sched/list_sched.cpp.o.d"
+  "/root/repo/src/sched/resources.cpp" "src/CMakeFiles/lwm_sched.dir/sched/resources.cpp.o" "gcc" "src/CMakeFiles/lwm_sched.dir/sched/resources.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/lwm_sched.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/lwm_sched.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/schedule_io.cpp" "src/CMakeFiles/lwm_sched.dir/sched/schedule_io.cpp.o" "gcc" "src/CMakeFiles/lwm_sched.dir/sched/schedule_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

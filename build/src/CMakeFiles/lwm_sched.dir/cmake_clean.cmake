@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_sched.dir/sched/bnb.cpp.o"
+  "CMakeFiles/lwm_sched.dir/sched/bnb.cpp.o.d"
+  "CMakeFiles/lwm_sched.dir/sched/enumerate.cpp.o"
+  "CMakeFiles/lwm_sched.dir/sched/enumerate.cpp.o.d"
+  "CMakeFiles/lwm_sched.dir/sched/force_directed.cpp.o"
+  "CMakeFiles/lwm_sched.dir/sched/force_directed.cpp.o.d"
+  "CMakeFiles/lwm_sched.dir/sched/list_sched.cpp.o"
+  "CMakeFiles/lwm_sched.dir/sched/list_sched.cpp.o.d"
+  "CMakeFiles/lwm_sched.dir/sched/resources.cpp.o"
+  "CMakeFiles/lwm_sched.dir/sched/resources.cpp.o.d"
+  "CMakeFiles/lwm_sched.dir/sched/schedule.cpp.o"
+  "CMakeFiles/lwm_sched.dir/sched/schedule.cpp.o.d"
+  "CMakeFiles/lwm_sched.dir/sched/schedule_io.cpp.o"
+  "CMakeFiles/lwm_sched.dir/sched/schedule_io.cpp.o.d"
+  "liblwm_sched.a"
+  "liblwm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

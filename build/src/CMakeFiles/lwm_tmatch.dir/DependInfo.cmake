@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmatch/cover.cpp" "src/CMakeFiles/lwm_tmatch.dir/tmatch/cover.cpp.o" "gcc" "src/CMakeFiles/lwm_tmatch.dir/tmatch/cover.cpp.o.d"
+  "/root/repo/src/tmatch/exact_cover.cpp" "src/CMakeFiles/lwm_tmatch.dir/tmatch/exact_cover.cpp.o" "gcc" "src/CMakeFiles/lwm_tmatch.dir/tmatch/exact_cover.cpp.o.d"
+  "/root/repo/src/tmatch/library_io.cpp" "src/CMakeFiles/lwm_tmatch.dir/tmatch/library_io.cpp.o" "gcc" "src/CMakeFiles/lwm_tmatch.dir/tmatch/library_io.cpp.o.d"
+  "/root/repo/src/tmatch/matcher.cpp" "src/CMakeFiles/lwm_tmatch.dir/tmatch/matcher.cpp.o" "gcc" "src/CMakeFiles/lwm_tmatch.dir/tmatch/matcher.cpp.o.d"
+  "/root/repo/src/tmatch/template_lib.cpp" "src/CMakeFiles/lwm_tmatch.dir/tmatch/template_lib.cpp.o" "gcc" "src/CMakeFiles/lwm_tmatch.dir/tmatch/template_lib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_tmatch.dir/tmatch/cover.cpp.o"
+  "CMakeFiles/lwm_tmatch.dir/tmatch/cover.cpp.o.d"
+  "CMakeFiles/lwm_tmatch.dir/tmatch/exact_cover.cpp.o"
+  "CMakeFiles/lwm_tmatch.dir/tmatch/exact_cover.cpp.o.d"
+  "CMakeFiles/lwm_tmatch.dir/tmatch/library_io.cpp.o"
+  "CMakeFiles/lwm_tmatch.dir/tmatch/library_io.cpp.o.d"
+  "CMakeFiles/lwm_tmatch.dir/tmatch/matcher.cpp.o"
+  "CMakeFiles/lwm_tmatch.dir/tmatch/matcher.cpp.o.d"
+  "CMakeFiles/lwm_tmatch.dir/tmatch/template_lib.cpp.o"
+  "CMakeFiles/lwm_tmatch.dir/tmatch/template_lib.cpp.o.d"
+  "liblwm_tmatch.a"
+  "liblwm_tmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_tmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

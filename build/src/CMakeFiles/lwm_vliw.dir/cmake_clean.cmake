@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_vliw.dir/vliw/machine.cpp.o"
+  "CMakeFiles/lwm_vliw.dir/vliw/machine.cpp.o.d"
+  "CMakeFiles/lwm_vliw.dir/vliw/vliw_sched.cpp.o"
+  "CMakeFiles/lwm_vliw.dir/vliw/vliw_sched.cpp.o.d"
+  "liblwm_vliw.a"
+  "liblwm_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wm/attack.cpp" "src/CMakeFiles/lwm_wm.dir/wm/attack.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/attack.cpp.o.d"
+  "/root/repo/src/wm/color_constraints.cpp" "src/CMakeFiles/lwm_wm.dir/wm/color_constraints.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/color_constraints.cpp.o.d"
+  "/root/repo/src/wm/detector.cpp" "src/CMakeFiles/lwm_wm.dir/wm/detector.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/detector.cpp.o.d"
+  "/root/repo/src/wm/domain.cpp" "src/CMakeFiles/lwm_wm.dir/wm/domain.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/domain.cpp.o.d"
+  "/root/repo/src/wm/fingerprint.cpp" "src/CMakeFiles/lwm_wm.dir/wm/fingerprint.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/fingerprint.cpp.o.d"
+  "/root/repo/src/wm/pc.cpp" "src/CMakeFiles/lwm_wm.dir/wm/pc.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/pc.cpp.o.d"
+  "/root/repo/src/wm/protocol.cpp" "src/CMakeFiles/lwm_wm.dir/wm/protocol.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/protocol.cpp.o.d"
+  "/root/repo/src/wm/records_io.cpp" "src/CMakeFiles/lwm_wm.dir/wm/records_io.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/records_io.cpp.o.d"
+  "/root/repo/src/wm/reg_constraints.cpp" "src/CMakeFiles/lwm_wm.dir/wm/reg_constraints.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/reg_constraints.cpp.o.d"
+  "/root/repo/src/wm/sched_constraints.cpp" "src/CMakeFiles/lwm_wm.dir/wm/sched_constraints.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/sched_constraints.cpp.o.d"
+  "/root/repo/src/wm/tm_constraints.cpp" "src/CMakeFiles/lwm_wm.dir/wm/tm_constraints.cpp.o" "gcc" "src/CMakeFiles/lwm_wm.dir/wm/tm_constraints.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lwm_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_tmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_regbind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_color.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

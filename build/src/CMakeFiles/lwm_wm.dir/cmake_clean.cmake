@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwm_wm.dir/wm/attack.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/attack.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/color_constraints.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/color_constraints.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/detector.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/detector.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/domain.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/domain.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/fingerprint.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/fingerprint.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/pc.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/pc.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/protocol.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/protocol.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/records_io.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/records_io.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/reg_constraints.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/reg_constraints.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/sched_constraints.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/sched_constraints.cpp.o.d"
+  "CMakeFiles/lwm_wm.dir/wm/tm_constraints.cpp.o"
+  "CMakeFiles/lwm_wm.dir/wm/tm_constraints.cpp.o.d"
+  "liblwm_wm.a"
+  "liblwm_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwm_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cdfg/analysis_test.cpp" "tests/CMakeFiles/cdfg_test.dir/cdfg/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/cdfg_test.dir/cdfg/analysis_test.cpp.o.d"
+  "/root/repo/tests/cdfg/graph_test.cpp" "tests/CMakeFiles/cdfg_test.dir/cdfg/graph_test.cpp.o" "gcc" "tests/CMakeFiles/cdfg_test.dir/cdfg/graph_test.cpp.o.d"
+  "/root/repo/tests/cdfg/normalize_test.cpp" "tests/CMakeFiles/cdfg_test.dir/cdfg/normalize_test.cpp.o" "gcc" "tests/CMakeFiles/cdfg_test.dir/cdfg/normalize_test.cpp.o.d"
+  "/root/repo/tests/cdfg/op_test.cpp" "tests/CMakeFiles/cdfg_test.dir/cdfg/op_test.cpp.o" "gcc" "tests/CMakeFiles/cdfg_test.dir/cdfg/op_test.cpp.o.d"
+  "/root/repo/tests/cdfg/serialize_test.cpp" "tests/CMakeFiles/cdfg_test.dir/cdfg/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/cdfg_test.dir/cdfg/serialize_test.cpp.o.d"
+  "/root/repo/tests/cdfg/stats_test.cpp" "tests/CMakeFiles/cdfg_test.dir/cdfg/stats_test.cpp.o" "gcc" "tests/CMakeFiles/cdfg_test.dir/cdfg/stats_test.cpp.o.d"
+  "/root/repo/tests/cdfg/subgraph_test.cpp" "tests/CMakeFiles/cdfg_test.dir/cdfg/subgraph_test.cpp.o" "gcc" "tests/CMakeFiles/cdfg_test.dir/cdfg/subgraph_test.cpp.o.d"
+  "/root/repo/tests/cdfg/validate_test.cpp" "tests/CMakeFiles/cdfg_test.dir/cdfg/validate_test.cpp.o" "gcc" "tests/CMakeFiles/cdfg_test.dir/cdfg/validate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lwm_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_tmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_regbind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_dfglib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdfg_test.dir/cdfg/analysis_test.cpp.o"
+  "CMakeFiles/cdfg_test.dir/cdfg/analysis_test.cpp.o.d"
+  "CMakeFiles/cdfg_test.dir/cdfg/graph_test.cpp.o"
+  "CMakeFiles/cdfg_test.dir/cdfg/graph_test.cpp.o.d"
+  "CMakeFiles/cdfg_test.dir/cdfg/normalize_test.cpp.o"
+  "CMakeFiles/cdfg_test.dir/cdfg/normalize_test.cpp.o.d"
+  "CMakeFiles/cdfg_test.dir/cdfg/op_test.cpp.o"
+  "CMakeFiles/cdfg_test.dir/cdfg/op_test.cpp.o.d"
+  "CMakeFiles/cdfg_test.dir/cdfg/serialize_test.cpp.o"
+  "CMakeFiles/cdfg_test.dir/cdfg/serialize_test.cpp.o.d"
+  "CMakeFiles/cdfg_test.dir/cdfg/stats_test.cpp.o"
+  "CMakeFiles/cdfg_test.dir/cdfg/stats_test.cpp.o.d"
+  "CMakeFiles/cdfg_test.dir/cdfg/subgraph_test.cpp.o"
+  "CMakeFiles/cdfg_test.dir/cdfg/subgraph_test.cpp.o.d"
+  "CMakeFiles/cdfg_test.dir/cdfg/validate_test.cpp.o"
+  "CMakeFiles/cdfg_test.dir/cdfg/validate_test.cpp.o.d"
+  "cdfg_test"
+  "cdfg_test.pdb"
+  "cdfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

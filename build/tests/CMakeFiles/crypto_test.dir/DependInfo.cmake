@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/bitstream_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/bitstream_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/bitstream_test.cpp.o.d"
+  "/root/repo/tests/crypto/rc4_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/rc4_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/rc4_test.cpp.o.d"
+  "/root/repo/tests/crypto/signature_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/signature_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/signature_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lwm_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_tmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_regbind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_dfglib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto/bitstream_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/bitstream_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/rc4_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/rc4_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/signature_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/signature_test.cpp.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

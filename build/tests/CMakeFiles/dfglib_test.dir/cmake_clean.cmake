@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfglib_test.dir/dfglib/dfglib_test.cpp.o"
+  "CMakeFiles/dfglib_test.dir/dfglib/dfglib_test.cpp.o.d"
+  "CMakeFiles/dfglib_test.dir/dfglib/kernels_test.cpp.o"
+  "CMakeFiles/dfglib_test.dir/dfglib/kernels_test.cpp.o.d"
+  "dfglib_test"
+  "dfglib_test.pdb"
+  "dfglib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfglib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

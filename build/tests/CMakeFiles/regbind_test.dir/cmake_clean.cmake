@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regbind_test.dir/regbind/interference_test.cpp.o"
+  "CMakeFiles/regbind_test.dir/regbind/interference_test.cpp.o.d"
+  "CMakeFiles/regbind_test.dir/regbind/regbind_test.cpp.o"
+  "CMakeFiles/regbind_test.dir/regbind/regbind_test.cpp.o.d"
+  "regbind_test"
+  "regbind_test.pdb"
+  "regbind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regbind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/bnb_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/bnb_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/enumerate_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/enumerate_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/force_directed_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/force_directed_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/list_sched_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/list_sched_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/min_units_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/min_units_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/schedule_io_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/schedule_io_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/schedule_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/schedule_test.cpp.o.d"
+  "sched_test"
+  "sched_test.pdb"
+  "sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmatch_test.dir/tmatch/cover_test.cpp.o"
+  "CMakeFiles/tmatch_test.dir/tmatch/cover_test.cpp.o.d"
+  "CMakeFiles/tmatch_test.dir/tmatch/exact_cover_test.cpp.o"
+  "CMakeFiles/tmatch_test.dir/tmatch/exact_cover_test.cpp.o.d"
+  "CMakeFiles/tmatch_test.dir/tmatch/library_io_test.cpp.o"
+  "CMakeFiles/tmatch_test.dir/tmatch/library_io_test.cpp.o.d"
+  "CMakeFiles/tmatch_test.dir/tmatch/matcher_test.cpp.o"
+  "CMakeFiles/tmatch_test.dir/tmatch/matcher_test.cpp.o.d"
+  "CMakeFiles/tmatch_test.dir/tmatch/template_lib_test.cpp.o"
+  "CMakeFiles/tmatch_test.dir/tmatch/template_lib_test.cpp.o.d"
+  "tmatch_test"
+  "tmatch_test.pdb"
+  "tmatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

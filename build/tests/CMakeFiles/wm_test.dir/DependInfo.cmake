@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wm/attack_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/attack_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/attack_test.cpp.o.d"
+  "/root/repo/tests/wm/batch_detect_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/batch_detect_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/batch_detect_test.cpp.o.d"
+  "/root/repo/tests/wm/color_wm_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/color_wm_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/color_wm_test.cpp.o.d"
+  "/root/repo/tests/wm/detector_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/detector_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/detector_test.cpp.o.d"
+  "/root/repo/tests/wm/domain_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/domain_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/domain_test.cpp.o.d"
+  "/root/repo/tests/wm/fingerprint_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/fingerprint_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/fingerprint_test.cpp.o.d"
+  "/root/repo/tests/wm/pc_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/pc_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/pc_test.cpp.o.d"
+  "/root/repo/tests/wm/protocol_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/protocol_test.cpp.o.d"
+  "/root/repo/tests/wm/records_io_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/records_io_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/records_io_test.cpp.o.d"
+  "/root/repo/tests/wm/reg_wm_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/reg_wm_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/reg_wm_test.cpp.o.d"
+  "/root/repo/tests/wm/sched_wm_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/sched_wm_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/sched_wm_test.cpp.o.d"
+  "/root/repo/tests/wm/tm_wm_test.cpp" "tests/CMakeFiles/wm_test.dir/wm/tm_wm_test.cpp.o" "gcc" "tests/CMakeFiles/wm_test.dir/wm/tm_wm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lwm_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_tmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_regbind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_dfglib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lwm_cdfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

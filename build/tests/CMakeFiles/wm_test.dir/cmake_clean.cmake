@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_test.dir/wm/attack_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/attack_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/batch_detect_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/batch_detect_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/color_wm_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/color_wm_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/detector_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/detector_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/domain_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/domain_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/fingerprint_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/fingerprint_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/pc_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/pc_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/protocol_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/protocol_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/records_io_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/records_io_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/reg_wm_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/reg_wm_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/sched_wm_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/sched_wm_test.cpp.o.d"
+  "CMakeFiles/wm_test.dir/wm/tm_wm_test.cpp.o"
+  "CMakeFiles/wm_test.dir/wm/tm_wm_test.cpp.o.d"
+  "wm_test"
+  "wm_test.pdb"
+  "wm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cdfg_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/vliw_test[1]_include.cmake")
+include("/root/repo/build/tests/tmatch_test[1]_include.cmake")
+include("/root/repo/build/tests/color_test[1]_include.cmake")
+include("/root/repo/build/tests/regbind_test[1]_include.cmake")
+include("/root/repo/build/tests/hls_test[1]_include.cmake")
+include("/root/repo/build/tests/wm_test[1]_include.cmake")
+include("/root/repo/build/tests/dfglib_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
