@@ -6,8 +6,10 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_io.h"
 #include "cdfg/subgraph.h"
 #include "dfglib/synth.h"
+#include "exec/thread_pool.h"
 #include "sched/list_sched.h"
 #include "table.h"
 #include "wm/detector.h"
@@ -41,8 +43,15 @@ Scenario run(const std::string& name, int total, F&& detect_one) {
 
 }  // namespace
 
-int main() {
-  std::printf("== Detection under cut-and-embed (paper SI requirements) ==\n\n");
+int main(int argc, char** argv) {
+  const bench::Args args =
+      bench::parse_args(argc, argv, "BENCH_embed_detect.json");
+  exec::ThreadPool pool(args.threads);
+  exec::ThreadPool* parallel = args.threads > 1 ? &pool : nullptr;
+  const bench::Stopwatch wall;
+
+  std::printf("== Detection under cut-and-embed (paper SI requirements) ==\n");
+  std::printf("threads: %d\n\n", args.threads);
 
   const crypto::Signature author("author", "embed-detect-key");
   cdfg::Graph core = dfglib::make_dsp_design("core", 16, 300, 4545);
@@ -67,7 +76,8 @@ int main() {
 
   // (a) whole design.
   rows.push_back(run("whole design", static_cast<int>(marks.size()), [&](int i) {
-    return wm::detect_sched_watermark(core, schedule, author, records[i])
+    return wm::detect_sched_watermark(core, schedule, author, records[i],
+                                      parallel)
         .detected();
   }));
 
@@ -85,7 +95,8 @@ int main() {
         cut.set_start(pn, schedule.start_of(n));
       }
     }
-    return wm::detect_sched_watermark(part.graph, cut, author, records[i])
+    return wm::detect_sched_watermark(part.graph, cut, author, records[i],
+                                      parallel)
         .detected();
   }));
 
@@ -100,7 +111,8 @@ int main() {
   }
   rows.push_back(run("embedded in 3x host", static_cast<int>(marks.size()),
                      [&](int i) {
-    return wm::detect_sched_watermark(host, host_sched, author, records[i])
+    return wm::detect_sched_watermark(host, host_sched, author, records[i],
+                                      parallel)
         .detected();
   }));
 
@@ -108,7 +120,8 @@ int main() {
   const crypto::Signature stranger("eve", "some-other-key");
   rows.push_back(run("foreign signature (control)",
                      static_cast<int>(marks.size()), [&](int i) {
-    return wm::detect_sched_watermark(core, schedule, stranger, records[i])
+    return wm::detect_sched_watermark(core, schedule, stranger, records[i],
+                                      parallel)
         .detected();
   }));
 
@@ -125,5 +138,13 @@ int main() {
   std::printf("  * partition detection finds every mark whose locality "
               "survived the cut\n");
   std::printf("  * the foreign signature finds nothing\n");
-  return 0;
+
+  int detected_total = 0;
+  for (const Scenario& s : rows) detected_total += s.detected;
+  bench::JsonObject json;
+  json.add("bench", std::string("embed_detect"));
+  json.add("threads", args.threads);
+  json.add("wall_ms", wall.elapsed_ms());
+  json.add("count", detected_total);
+  return json.write(args.json_path) ? 0 : 1;
 }

@@ -1,0 +1,106 @@
+// bench_io.h — shared CLI + JSON plumbing for the bench binaries.
+//
+// Every bench accepts `--threads N` (pool concurrency; 1 = serial) and
+// `--json PATH` (override the default BENCH_<name>.json), and emits a
+// small flat JSON object — wall time, thread count, and the headline
+// counts — so successive PRs can chart the perf trajectory from the
+// same artifacts.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lwm::bench {
+
+struct Args {
+  int threads = 1;
+  std::string json_path;
+};
+
+inline Args parse_args(int argc, char** argv, const char* default_json) {
+  Args args;
+  args.json_path = default_json;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = std::atoi(argv[++i]);
+      if (args.threads < 1) args.threads = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--json PATH]\n"
+                   "  unknown argument: %s\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Flat JSON object writer: numbers and strings only, insertion order.
+class JsonObject {
+ public:
+  void add(const std::string& key, double v) { fields_.emplace_back(key, v); }
+  void add(const std::string& key, long long v) { fields_.emplace_back(key, v); }
+  void add(const std::string& key, unsigned long long v) {
+    fields_.emplace_back(key, v);
+  }
+  void add(const std::string& key, int v) {
+    fields_.emplace_back(key, static_cast<long long>(v));
+  }
+  void add(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, v);
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) std::fprintf(f, ",");
+      std::fprintf(f, "\n  \"%s\": ", fields_[i].first.c_str());
+      const Value& v = fields_[i].second;
+      if (const auto* d = std::get_if<double>(&v)) {
+        std::fprintf(f, "%.6f", *d);
+      } else if (const auto* ll = std::get_if<long long>(&v)) {
+        std::fprintf(f, "%lld", *ll);
+      } else if (const auto* ull = std::get_if<unsigned long long>(&v)) {
+        std::fprintf(f, "%llu", *ull);
+      } else {
+        // Keys and values are bench-controlled ASCII; no escaping needed.
+        std::fprintf(f, "\"%s\"", std::get<std::string>(v).c_str());
+      }
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Value = std::variant<double, long long, unsigned long long, std::string>;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+}  // namespace lwm::bench

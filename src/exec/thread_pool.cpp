@@ -1,0 +1,116 @@
+#include "exec/thread_pool.h"
+
+namespace lwm::exec {
+
+namespace {
+
+// Which queue the current thread owns, so submits from inside a worker
+// stay local to its deque.  One pool is the overwhelmingly common case;
+// the pool pointer disambiguates when several coexist.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_queue = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int concurrency) {
+  const int total = concurrency < 1 ? 1 : concurrency;
+  queues_.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(total - 1));
+  for (int i = 1; i < total; ++i) {
+    workers_.emplace_back(
+        [this, i] { worker_main(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Drain anything still queued (only possible if a user submitted raw
+  // tasks without waiting on them; parallel_for always drains first).
+  Task task;
+  while (try_pop(0, task)) task();
+}
+
+int ThreadPool::hardware_concurrency() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::submit(Task task) {
+  std::size_t home;
+  if (tls_pool == this) {
+    home = tls_queue;
+  } else {
+    home = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[home]->mutex);
+    queues_[home]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Pairing the notify with the wake mutex closes the race where a
+    // worker has checked `pending_` and is about to sleep.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t home, Task& out) {
+  const std::size_t n = queues_.size();
+  {
+    Queue& own = *queues_[home];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());  // LIFO on the owner's deque
+      own.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (std::size_t off = 1; off < n; ++off) {
+    Queue& victim = *queues_[(home + off) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());  // FIFO steal
+      victim.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::run_one() {
+  const std::size_t home = tls_pool == this ? tls_queue : 0;
+  Task task;
+  if (!try_pop(home, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_main(std::size_t queue_index) {
+  tls_pool = this;
+  tls_queue = queue_index;
+  for (;;) {
+    Task task;
+    if (try_pop(queue_index, task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+}  // namespace lwm::exec

@@ -1,8 +1,15 @@
 #include "sched/enumerate.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <numeric>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 
 namespace lwm::sched {
 
@@ -13,12 +20,33 @@ using cdfg::NodeId;
 
 namespace {
 
+std::atomic<std::uint64_t> g_enumeration_calls{0};
+
+/// `extra` indexed by endpoint, so every per-node loop is O(degree)
+/// instead of a rescan of the whole span (O(V·|extra|) -> O(V+|extra|)).
+struct ExtraAdjacency {
+  std::vector<std::vector<NodeId>> successors;    // by .before
+  std::vector<std::vector<NodeId>> predecessors;  // by .after
+};
+
+ExtraAdjacency index_extra(std::size_t node_capacity,
+                           std::span<const ExtraPrecedence> extra) {
+  ExtraAdjacency adj;
+  adj.successors.resize(node_capacity);
+  adj.predecessors.resize(node_capacity);
+  for (const ExtraPrecedence& x : extra) {
+    adj.successors[x.before.value].push_back(x.after);
+    adj.predecessors[x.after.value].push_back(x.before);
+  }
+  return adj;
+}
+
 /// Delay-weighted longest-path separation from `src` to every node over
-/// edges accepted by `filter` plus `extra` pairs; -1 if unreachable.
+/// edges accepted by `filter` plus the extra pairs; -1 if unreachable.
 /// Separation d means: start(dst) >= start(src) + d in any legal schedule.
 std::vector<int> separations_from(const Graph& g, NodeId src,
                                   const std::vector<NodeId>& order,
-                                  std::span<const ExtraPrecedence> extra,
+                                  const ExtraAdjacency& adj,
                                   EdgeFilter filter) {
   std::vector<int> sep(g.node_capacity(), -1);
   sep[src.value] = 0;
@@ -30,18 +58,15 @@ std::vector<int> separations_from(const Graph& g, NodeId src,
       if (!filter.accepts(ed.kind)) continue;
       sep[ed.dst.value] = std::max(sep[ed.dst.value], out);
     }
-    for (const ExtraPrecedence& x : extra) {
-      if (x.before == n) {
-        sep[x.after.value] = std::max(sep[x.after.value], out);
-      }
+    for (const NodeId d : adj.successors[n.value]) {
+      sep[d.value] = std::max(sep[d.value], out);
     }
   }
   return sep;
 }
 
 /// Topological order of live nodes under filter + extra; throws on cycle.
-std::vector<NodeId> topo_with_extra(const Graph& g,
-                                    std::span<const ExtraPrecedence> extra,
+std::vector<NodeId> topo_with_extra(const Graph& g, const ExtraAdjacency& adj,
                                     EdgeFilter filter) {
   std::vector<int> indegree(g.node_capacity(), 0);
   const std::vector<NodeId> nodes = g.node_ids();
@@ -49,8 +74,8 @@ std::vector<NodeId> topo_with_extra(const Graph& g,
     for (EdgeId e : g.fanin(n)) {
       if (filter.accepts(g.edge(e).kind)) ++indegree[n.value];
     }
+    indegree[n.value] += static_cast<int>(adj.predecessors[n.value].size());
   }
-  for (const ExtraPrecedence& x : extra) ++indegree[x.after.value];
   std::vector<NodeId> ready;
   for (NodeId n : nodes) {
     if (indegree[n.value] == 0) ready.push_back(n);
@@ -68,9 +93,7 @@ std::vector<NodeId> topo_with_extra(const Graph& g,
       const cdfg::Edge& ed = g.edge(e);
       if (filter.accepts(ed.kind)) relax(ed.dst);
     }
-    for (const ExtraPrecedence& x : extra) {
-      if (x.before == n) relax(x.after);
-    }
+    for (const NodeId d : adj.successors[n.value]) relax(d);
   }
   if (order.size() != nodes.size()) {
     throw std::runtime_error(
@@ -79,30 +102,144 @@ std::vector<NodeId> topo_with_extra(const Graph& g,
   return order;
 }
 
-struct Counter {
-  std::uint64_t limit;
-  std::uint64_t count = 0;
-  bool saturated = false;
+constexpr std::uint64_t kUnlimited = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kUnlimited / b) return kUnlimited;
+  return a * b;
+}
+
+/// Drains private leaf counts into the shared budget in batches; flips
+/// `stop` once the budget (the saturation limit) is exhausted, which
+/// every in-flight branch observes on its next check.  The total is
+/// clamped to the limit afterwards, so the interleaving of flushes never
+/// shows in the result.
+struct BranchCounter {
+  std::atomic<std::uint64_t>& total;
+  std::atomic<bool>& stop;
+  std::uint64_t limit;  // 0 = unlimited
+  std::uint64_t local = 0;
+  static constexpr std::uint64_t kBatch = 1024;
 
   bool bump() {
-    ++count;
-    if (limit != 0 && count >= limit) {
-      saturated = true;
-      return false;
+    if (++local < kBatch) return true;
+    return flush();
+  }
+
+  bool flush() {
+    if (local != 0) {
+      const std::uint64_t t =
+          total.fetch_add(local, std::memory_order_relaxed) + local;
+      local = 0;
+      if (limit != 0 && t >= limit) {
+        stop.store(true, std::memory_order_relaxed);
+        return false;
+      }
     }
-    return true;
+    return !stop.load(std::memory_order_relaxed);
   }
 };
 
+/// One independent precedence component, windows already tightened.
+struct Component {
+  std::vector<std::size_t> members;  // indices into `nodes`, topo order
+};
+
+struct ComponentCount {
+  std::uint64_t count = 0;
+  bool capped = false;  ///< counting stopped at the limit
+};
+
+/// DFS over the component's nodes in topo order; at depth d the lower
+/// bound from every already-assigned predecessor is explicit via the
+/// separation sub-matrix.  Returns false iff counting was cut short.
+bool component_dfs(std::size_t depth, std::size_t m,
+                   const std::vector<int>& sep, const std::vector<int>& lo,
+                   const std::vector<int>& hi, std::vector<int>& assigned,
+                   BranchCounter& counter) {
+  if (depth == m) return counter.bump();
+  if (counter.stop.load(std::memory_order_relaxed)) return false;
+  int earliest = lo[depth];
+  for (std::size_t j = 0; j < depth; ++j) {
+    const int s = sep[j * m + depth];
+    if (s >= 0) earliest = std::max(earliest, assigned[j] + s);
+  }
+  for (int t = earliest; t <= hi[depth]; ++t) {
+    assigned[depth] = t;
+    if (!component_dfs(depth + 1, m, sep, lo, hi, assigned, counter)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ComponentCount count_component(const Component& comp,
+                               const std::vector<std::vector<int>>& sep,
+                               const std::vector<int>& lo,
+                               const std::vector<int>& hi, std::uint64_t limit,
+                               exec::ThreadPool* pool) {
+  const std::size_t m = comp.members.size();
+  // Component-local copies: separation sub-matrix (flattened) + windows.
+  std::vector<int> csep(m * m, -1);
+  std::vector<int> clo(m), chi(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    clo[a] = lo[comp.members[a]];
+    chi[a] = hi[comp.members[a]];
+    for (std::size_t b = 0; b < m; ++b) {
+      csep[a * m + b] = sep[comp.members[a]][comp.members[b]];
+    }
+  }
+
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<bool> stop{false};
+
+  const int first_width = chi[0] - clo[0] + 1;
+  const bool parallel = pool != nullptr && pool->concurrency() > 1 &&
+                        first_width > 1 && m >= 2;
+  if (!parallel) {
+    BranchCounter counter{total, stop, limit};
+    std::vector<int> assigned(m, 0);
+    (void)component_dfs(0, m, csep, clo, chi, assigned, counter);
+    (void)counter.flush();
+  } else {
+    // Split the first enumeration level: one task per start step of the
+    // first node; each keeps a private counter drained into `total`.
+    exec::parallel_for(pool, static_cast<std::size_t>(first_width),
+                       [&](std::size_t b) {
+                         if (stop.load(std::memory_order_relaxed)) return;
+                         BranchCounter counter{total, stop, limit};
+                         std::vector<int> assigned(m, 0);
+                         assigned[0] = clo[0] + static_cast<int>(b);
+                         (void)component_dfs(1, m, csep, clo, chi, assigned,
+                                             counter);
+                         (void)counter.flush();
+                       });
+  }
+
+  const std::uint64_t grand = total.load(std::memory_order_relaxed);
+  ComponentCount result;
+  result.capped = limit != 0 && grand >= limit;
+  result.count = result.capped ? limit : grand;
+  return result;
+}
+
 }  // namespace
+
+std::uint64_t enumeration_calls() noexcept {
+  return g_enumeration_calls.load(std::memory_order_relaxed);
+}
 
 EnumerationResult count_schedules(const Graph& g,
                                   std::span<const NodeId> subset,
                                   std::span<const ExtraPrecedence> extra,
                                   const EnumerationOptions& opts) {
+  g_enumeration_calls.fetch_add(1, std::memory_order_relaxed);
+
   // Windows from the *constrained* relation (filter + extra), so ASAP/ALAP
   // already account for the watermark edges under consideration.
-  const std::vector<NodeId> order = topo_with_extra(g, extra, opts.filter);
+  const ExtraAdjacency adj = index_extra(g.node_capacity(), extra);
+  const std::vector<NodeId> order = topo_with_extra(g, adj, opts.filter);
 
   // ASAP over filter + extra.
   std::vector<int> asap(g.node_capacity(), 0);
@@ -114,10 +251,8 @@ EnumerationResult count_schedules(const Graph& g,
       if (!opts.filter.accepts(ed.kind)) continue;
       lo = std::max(lo, asap[ed.src.value] + g.node(ed.src).delay);
     }
-    for (const ExtraPrecedence& x : extra) {
-      if (x.after == n) {
-        lo = std::max(lo, asap[x.before.value] + g.node(x.before).delay);
-      }
+    for (const NodeId p : adj.predecessors[n.value]) {
+      lo = std::max(lo, asap[p.value] + g.node(p).delay);
     }
     asap[n.value] = lo;
     cp = std::max(cp, lo + g.node(n).delay);
@@ -141,10 +276,8 @@ EnumerationResult count_schedules(const Graph& g,
       if (!opts.filter.accepts(ed.kind)) continue;
       hi = std::min(hi, alap[ed.dst.value] - g.node(n).delay);
     }
-    for (const ExtraPrecedence& x : extra) {
-      if (x.before == n) {
-        hi = std::min(hi, alap[x.after.value] - g.node(n).delay);
-      }
+    for (const NodeId d : adj.successors[n.value]) {
+      hi = std::min(hi, alap[d.value] - g.node(n).delay);
     }
     alap[n.value] = hi;
   }
@@ -169,50 +302,113 @@ EnumerationResult count_schedules(const Graph& g,
   }
   if (nodes.empty()) return EnumerationResult{1, false};
 
-  // Pairwise separations among enumerated nodes (earlier topo -> later).
+  // Pairwise separations among enumerated nodes (earlier topo -> later),
+  // rows computed independently across the pool.
   const std::size_t k = nodes.size();
-  std::unordered_map<std::uint32_t, std::size_t> index;
-  for (std::size_t i = 0; i < k; ++i) index[nodes[i].value] = i;
   std::vector<std::vector<int>> sep(k, std::vector<int>(k, -1));
-  for (std::size_t i = 0; i < k; ++i) {
+  exec::parallel_for(opts.pool, k, [&](std::size_t i) {
     const std::vector<int> d =
-        separations_from(g, nodes[i], order, extra, opts.filter);
+        separations_from(g, nodes[i], order, adj, opts.filter);
     for (std::size_t j = 0; j < k; ++j) {
       if (i != j) sep[i][j] = d[nodes[j].value];
     }
+  });
+
+  // Prune 1 — window tightening.  The separation matrix is transitively
+  // closed (longest paths), so one forward and one backward sweep reach
+  // the fixed point: lo[j] >= lo[i] + sep(i,j) and hi[i] <= hi[j] -
+  // sep(i,j) for every related pair.  This lets the DFS fail at the
+  // shallowest depth a conflict is implied instead of deep in the tree.
+  std::vector<int> lo(k), hi(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    lo[i] = asap[nodes[i].value];
+    hi[i] = alap[nodes[i].value];
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (sep[i][j] >= 0) lo[j] = std::max(lo[j], lo[i] + sep[i][j]);
+    }
+  }
+  for (std::size_t i = k; i-- > 0;) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (sep[i][j] >= 0) hi[i] = std::min(hi[i], hi[j] - sep[i][j]);
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    if (lo[i] > hi[i]) return EnumerationResult{0, false};
   }
 
-  Counter counter{opts.limit};
-  std::vector<int> assigned(k, 0);
-  // DFS over nodes in topo order; at depth i the lower bound from every
-  // already-assigned predecessor is explicit.
-  auto dfs = [&](auto&& self, std::size_t i) -> bool {
-    if (i == k) return counter.bump();
-    const NodeId n = nodes[i];
-    int lo = asap[n.value];
-    for (std::size_t j = 0; j < i; ++j) {
-      if (sep[j][i] >= 0) lo = std::max(lo, assigned[j] + sep[j][i]);
+  // Prune 2 — factor the subset into independent precedence components;
+  // unrelated components multiply, so the DFS depth collapses from k to
+  // the largest component size.
+  std::vector<std::size_t> parent(k);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t a) {
+    while (parent[a] != a) {
+      parent[a] = parent[parent[a]];
+      a = parent[a];
     }
-    for (int t = lo; t <= alap[n.value]; ++t) {
-      assigned[i] = t;
-      if (!self(self, i + 1)) return false;
-    }
-    return true;
+    return a;
   };
-  (void)dfs(dfs, 0);
-  return EnumerationResult{counter.count, counter.saturated};
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (sep[i][j] >= 0 || sep[j][i] >= 0) parent[find(i)] = find(j);
+    }
+  }
+  std::vector<Component> components;
+  std::unordered_map<std::size_t, std::size_t> component_of_root;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t root = find(i);
+    auto [it, inserted] = component_of_root.try_emplace(root, components.size());
+    if (inserted) components.emplace_back();
+    components[it->second].members.push_back(i);  // ascending => topo order
+  }
+
+  // Count per component under the shared limit; the product saturates at
+  // the limit exactly like the sequential enumeration did.  A zero
+  // component zeroes the product regardless of caps elsewhere.
+  std::uint64_t product = 1;
+  bool capped = false;
+  for (const Component& comp : components) {
+    const ComponentCount c =
+        count_component(comp, sep, lo, hi, opts.limit, opts.pool);
+    if (c.count == 0) return EnumerationResult{0, false};
+    capped = capped || c.capped;
+    product = saturating_mul(product, c.count);
+  }
+  if (opts.limit != 0 && (capped || product >= opts.limit)) {
+    return EnumerationResult{opts.limit, true};
+  }
+  return EnumerationResult{product, false};
 }
 
 PsiCounts psi_counts(const Graph& g, std::span<const NodeId> subset,
                      NodeId src, NodeId dst, const EnumerationOptions& opts) {
-  PsiCounts psi;
-  const EnumerationResult no_mark = count_schedules(g, subset, {}, opts);
   const ExtraPrecedence edge[] = {{src, dst}};
-  const EnumerationResult with_mark = count_schedules(g, subset, edge, opts);
-  psi.psi_n = no_mark.count;
-  psi.psi_w = with_mark.count;
-  psi.saturated = no_mark.saturated || with_mark.saturated;
-  return psi;
+  return psi_counts_batch(g, subset, edge, opts).front();
+}
+
+std::vector<PsiCounts> psi_counts_batch(const Graph& g,
+                                        std::span<const NodeId> subset,
+                                        std::span<const ExtraPrecedence> edges,
+                                        const EnumerationOptions& opts) {
+  std::vector<PsiCounts> out(edges.size());
+  if (edges.empty()) return out;
+  // psi_N depends only on (subset, options): enumerate it once and share
+  // it across the whole batch.
+  const EnumerationResult no_mark = count_schedules(g, subset, {}, opts);
+  // The batch parallelizes across edges; the nested enumerations run
+  // serially so the pool's lanes aren't oversubscribed.
+  EnumerationOptions inner = opts;
+  inner.pool = nullptr;
+  exec::parallel_for(opts.pool, edges.size(), [&](std::size_t i) {
+    const ExtraPrecedence one[] = {edges[i]};
+    const EnumerationResult with_mark = count_schedules(g, subset, one, inner);
+    out[i].psi_w = with_mark.count;
+    out[i].psi_n = no_mark.count;
+    out[i].saturated = no_mark.saturated || with_mark.saturated;
+  });
+  return out;
 }
 
 }  // namespace lwm::sched

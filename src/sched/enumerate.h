@@ -14,6 +14,15 @@
 // is honored with the correct delay-weighted separation.  Counting over S
 // rather than the whole graph is what makes the subtree-local numbers of
 // the paper well defined.
+//
+// Performance.  The counter (a) factors S into independent precedence
+// components and multiplies their counts, (b) tightens every window to
+// the fixed point of the pairwise separation matrix before descending,
+// and (c) optionally splits the first enumeration level across a
+// work-stealing thread pool (`EnumerationOptions::pool`), each branch
+// keeping a private counter that drains into a shared atomic saturation
+// budget.  Results — counts *and* saturation flags — are identical at
+// every thread count.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +31,10 @@
 
 #include "cdfg/analysis.h"
 #include "cdfg/graph.h"
+
+namespace lwm::exec {
+class ThreadPool;
+}
 
 namespace lwm::sched {
 
@@ -40,6 +53,9 @@ struct EnumerationOptions {
   cdfg::EdgeFilter filter = cdfg::EdgeFilter::specification();
   /// Counting stops (saturates) at this many solutions; 0 = unlimited.
   std::uint64_t limit = 1'000'000'000;
+  /// Non-owning; null runs serially.  With a pool, the separation matrix
+  /// and the first enumeration level are computed across its lanes.
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct EnumerationResult {
@@ -55,6 +71,11 @@ struct EnumerationResult {
     std::span<const ExtraPrecedence> extra = {},
     const EnumerationOptions& opts = {});
 
+/// Total count_schedules invocations in this process (monotonic, relaxed).
+/// Exposed so tests can assert how many enumerations an API performed —
+/// e.g. that psi_counts_batch computes psi_N exactly once per batch.
+[[nodiscard]] std::uint64_t enumeration_calls() noexcept;
+
 /// psi counts for one candidate temporal edge e(src -> dst) over `subset`:
 /// psi_n — schedules with no watermark constraints; psi_w — schedules in
 /// which src finishes before dst starts (i.e. the edge is satisfied).
@@ -67,5 +88,15 @@ struct PsiCounts {
                                    std::span<const cdfg::NodeId> subset,
                                    cdfg::NodeId src, cdfg::NodeId dst,
                                    const EnumerationOptions& opts = {});
+
+/// Batched psi counts for K candidate edges over one (subset, options)
+/// pair: the unconstrained count psi_N is enumerated exactly once and
+/// shared, and the K constrained counts are evaluated concurrently on
+/// `opts.pool` (results index-aligned with `edges`, identical at every
+/// thread count).  This is the P_c ≈ Π psi_W(e_i)/psi_N(e_i) hot path.
+[[nodiscard]] std::vector<PsiCounts> psi_counts_batch(
+    const cdfg::Graph& g, std::span<const cdfg::NodeId> subset,
+    std::span<const ExtraPrecedence> edges,
+    const EnumerationOptions& opts = {});
 
 }  // namespace lwm::sched

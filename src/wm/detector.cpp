@@ -2,10 +2,25 @@
 
 #include <algorithm>
 
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+
 namespace lwm::wm {
 
 using cdfg::Graph;
 using cdfg::NodeId;
+
+namespace {
+
+std::vector<NodeId> executable_roots(const Graph& g) {
+  std::vector<NodeId> roots;
+  for (NodeId n : g.node_ids()) {
+    if (cdfg::is_executable(g.node(n).kind)) roots.push_back(n);
+  }
+  return roots;
+}
+
+}  // namespace
 
 SchedRecord SchedRecord::from(const SchedWatermark& wm, const cdfg::Graph& g) {
   SchedRecord r;
@@ -63,26 +78,53 @@ SchedHit verify_sched_watermark_at(const Graph& suspect,
 SchedDetectionReport detect_sched_watermark(const Graph& suspect,
                                             const sched::Schedule& schedule,
                                             const crypto::Signature& sig,
-                                            const SchedRecord& record) {
+                                            const SchedRecord& record,
+                                            exec::ThreadPool* pool) {
+  const std::vector<NodeId> roots = executable_roots(suspect);
+
+  // One partial scan per chunk of roots; merging in chunk order keeps the
+  // serial semantics: best_root is the earliest root with the strictly
+  // greatest satisfied count.
+  struct Part {
+    std::vector<SchedHit> hits;
+    int best_satisfied = -1;
+    NodeId best_root{};
+  };
+  const Part merged = exec::parallel_reduce(
+      pool, roots.size(), exec::suggested_chunks(pool, roots.size()), Part{},
+      [&](std::size_t begin, std::size_t end) {
+        Part part;
+        for (std::size_t i = begin; i < end; ++i) {
+          const SchedHit hit = verify_sched_watermark_at(suspect, schedule,
+                                                         sig, record, roots[i]);
+          if (hit.full()) part.hits.push_back(hit);
+          if (hit.satisfied > part.best_satisfied) {
+            part.best_satisfied = hit.satisfied;
+            part.best_root = roots[i];
+          }
+        }
+        return part;
+      },
+      [](Part acc, Part next) {
+        acc.hits.insert(acc.hits.end(), next.hits.begin(), next.hits.end());
+        if (next.best_satisfied > acc.best_satisfied) {
+          acc.best_satisfied = next.best_satisfied;
+          acc.best_root = next.best_root;
+        }
+        return acc;
+      });
+
   SchedDetectionReport report;
-  int best_satisfied = -1;
-  for (NodeId n : suspect.node_ids()) {
-    if (!cdfg::is_executable(suspect.node(n).kind)) continue;
-    ++report.roots_scanned;
-    const SchedHit hit =
-        verify_sched_watermark_at(suspect, schedule, sig, record, n);
-    if (hit.full()) report.hits.push_back(hit);
-    if (hit.satisfied > best_satisfied) {
-      best_satisfied = hit.satisfied;
-      report.best_root = n;
-    }
-  }
+  report.hits = merged.hits;
+  report.best_root = merged.best_root;
+  report.roots_scanned = static_cast<int>(roots.size());
   return report;
 }
 
 std::vector<SchedDetectionReport> detect_sched_watermarks(
     const Graph& suspect, const sched::Schedule& schedule,
-    const crypto::Signature& sig, std::span<const SchedRecord> records) {
+    const crypto::Signature& sig, std::span<const SchedRecord> records,
+    exec::ThreadPool* pool) {
   std::vector<SchedDetectionReport> reports(records.size());
   if (records.empty()) return reports;
 
@@ -109,48 +151,85 @@ std::vector<SchedDetectionReport> detect_sched_watermarks(
     home->record_idx.push_back(i);
   }
 
-  std::vector<int> best_satisfied(records.size(), -1);
-  for (NodeId n : suspect.node_ids()) {
-    if (!cdfg::is_executable(suspect.node(n).kind)) continue;
-    for (auto& report : reports) ++report.roots_scanned;
-    for (const Group& grp : groups) {
-      const Domain d = select_domain(suspect, n, sig, grp.key);
-      for (const std::size_t i : grp.record_idx) {
-        const SchedRecord& record = records[i];
-        // Structural gate (same checks as verify_sched_watermark_at).
-        if (d.selected.size() != record.subtree_ops.size()) continue;
-        bool structural = true;
-        for (std::size_t p = 0; p < d.selected.size(); ++p) {
-          if (cdfg::functional_id(suspect.node(d.selected[p]).kind) !=
-              record.subtree_ops[p]) {
-            structural = false;
-            break;
+  const std::vector<NodeId> roots = executable_roots(suspect);
+
+  // Per-chunk partials, one slot per record; merged in chunk order so the
+  // per-record hits and best-root tie-breaks match the serial scan.
+  struct Part {
+    std::vector<std::vector<SchedHit>> hits;
+    std::vector<int> best_satisfied;
+    std::vector<NodeId> best_root;
+  };
+  Part init;
+  init.hits.resize(records.size());
+  init.best_satisfied.assign(records.size(), -1);
+  init.best_root.resize(records.size());
+  const Part merged = exec::parallel_reduce(
+      pool, roots.size(), exec::suggested_chunks(pool, roots.size()), init,
+      [&](std::size_t begin, std::size_t end) {
+        Part part;
+        part.hits.resize(records.size());
+        part.best_satisfied.assign(records.size(), -1);
+        part.best_root.resize(records.size());
+        for (std::size_t r = begin; r < end; ++r) {
+          const NodeId n = roots[r];
+          for (const Group& grp : groups) {
+            const Domain d = select_domain(suspect, n, sig, grp.key);
+            for (const std::size_t i : grp.record_idx) {
+              const SchedRecord& record = records[i];
+              // Structural gate (same checks as verify_sched_watermark_at).
+              if (d.selected.size() != record.subtree_ops.size()) continue;
+              bool structural = true;
+              for (std::size_t p = 0; p < d.selected.size(); ++p) {
+                if (cdfg::functional_id(suspect.node(d.selected[p]).kind) !=
+                    record.subtree_ops[p]) {
+                  structural = false;
+                  break;
+                }
+              }
+              if (!structural) continue;
+              SchedHit hit;
+              hit.root = n;
+              for (const auto& [src_pos, dst_pos] : record.positions) {
+                if (src_pos >= static_cast<int>(d.selected.size()) ||
+                    dst_pos >= static_cast<int>(d.selected.size())) {
+                  continue;
+                }
+                ++hit.total;
+                const NodeId src = d.selected[static_cast<std::size_t>(src_pos)];
+                const NodeId dst = d.selected[static_cast<std::size_t>(dst_pos)];
+                if (schedule.is_scheduled(src) && schedule.is_scheduled(dst) &&
+                    schedule.start_of(src) + suspect.node(src).delay <=
+                        schedule.start_of(dst)) {
+                  ++hit.satisfied;
+                }
+              }
+              if (hit.full()) part.hits[i].push_back(hit);
+              if (hit.satisfied > part.best_satisfied[i]) {
+                part.best_satisfied[i] = hit.satisfied;
+                part.best_root[i] = n;
+              }
+            }
           }
         }
-        if (!structural) continue;
-        SchedHit hit;
-        hit.root = n;
-        for (const auto& [src_pos, dst_pos] : record.positions) {
-          if (src_pos >= static_cast<int>(d.selected.size()) ||
-              dst_pos >= static_cast<int>(d.selected.size())) {
-            continue;
-          }
-          ++hit.total;
-          const NodeId src = d.selected[static_cast<std::size_t>(src_pos)];
-          const NodeId dst = d.selected[static_cast<std::size_t>(dst_pos)];
-          if (schedule.is_scheduled(src) && schedule.is_scheduled(dst) &&
-              schedule.start_of(src) + suspect.node(src).delay <=
-                  schedule.start_of(dst)) {
-            ++hit.satisfied;
+        return part;
+      },
+      [&](Part acc, Part next) {
+        for (std::size_t i = 0; i < records.size(); ++i) {
+          acc.hits[i].insert(acc.hits[i].end(), next.hits[i].begin(),
+                             next.hits[i].end());
+          if (next.best_satisfied[i] > acc.best_satisfied[i]) {
+            acc.best_satisfied[i] = next.best_satisfied[i];
+            acc.best_root[i] = next.best_root[i];
           }
         }
-        if (hit.full()) reports[i].hits.push_back(hit);
-        if (hit.satisfied > best_satisfied[i]) {
-          best_satisfied[i] = hit.satisfied;
-          reports[i].best_root = n;
-        }
-      }
-    }
+        return acc;
+      });
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    reports[i].hits = merged.hits[i];
+    reports[i].best_root = merged.best_root[i];
+    reports[i].roots_scanned = static_cast<int>(roots.size());
   }
   return reports;
 }

@@ -24,6 +24,10 @@
 #include "wm/sched_constraints.h"
 #include "wm/tm_constraints.h"
 
+namespace lwm::exec {
+class ThreadPool;
+}
+
 namespace lwm::wm {
 
 /// Graph-independent record of one scheduling watermark (what the
@@ -63,10 +67,15 @@ struct SchedDetectionReport {
 
 /// Scans every executable node of `suspect` as a candidate root.  A hit
 /// requires all `record.positions` to map inside the carved subtree and
-/// every mapped constraint to hold in `schedule`.
+/// every mapped constraint to hold in `schedule`.  With a pool the roots
+/// are scanned across its lanes; partial results merge in root order, so
+/// hits, best_root, and every tie-break are identical at any thread
+/// count (best_root = the earliest root attaining the maximum satisfied
+/// count, exactly as the serial scan picks it).
 [[nodiscard]] SchedDetectionReport detect_sched_watermark(
     const cdfg::Graph& suspect, const sched::Schedule& schedule,
-    const crypto::Signature& sig, const SchedRecord& record);
+    const crypto::Signature& sig, const SchedRecord& record,
+    exec::ThreadPool* pool = nullptr);
 
 /// Verifies a specific already-known locality (fast path when the
 /// suspect is believed to be the unmodified design): maps positions at
@@ -85,7 +94,8 @@ struct SchedDetectionReport {
 /// with `records`.
 [[nodiscard]] std::vector<SchedDetectionReport> detect_sched_watermarks(
     const cdfg::Graph& suspect, const sched::Schedule& schedule,
-    const crypto::Signature& sig, std::span<const SchedRecord> records);
+    const crypto::Signature& sig, std::span<const SchedRecord> records,
+    exec::ThreadPool* pool = nullptr);
 
 /// Template-matching detection: re-plans the watermark on the suspect
 /// graph with the author's signature and checks that every enforced

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "cdfg/analysis.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "tmatch/exact_cover.h"
 
 namespace lwm::wm {
@@ -100,7 +102,8 @@ PcEstimate sched_pc_window_model(const Graph& g,
 
 PcEstimate sched_pc_sampled(const Graph& g,
                             std::span<const SchedWatermark> marks, int trials,
-                            std::uint64_t seed, int latency) {
+                            std::uint64_t seed, int latency,
+                            exec::ThreadPool* pool) {
   if (trials <= 0) {
     throw std::invalid_argument("sched_pc_sampled: need trials > 0");
   }
@@ -109,36 +112,55 @@ PcEstimate sched_pc_sampled(const Graph& g,
   const std::vector<NodeId> order =
       cdfg::topo_order(g, cdfg::EdgeFilter::specification());
 
-  std::mt19937_64 rng(seed);
-  int satisfied_all = 0;
-  std::vector<int> start(g.node_capacity(), 0);
-  for (int t = 0; t < trials; ++t) {
-    // Random feasible schedule: walk in topological order; each node
-    // draws uniformly from [earliest-from-preds, ALAP].
-    for (const NodeId n : order) {
-      int lo = timing.asap[n.value];
-      for (const cdfg::EdgeId e : g.fanin(n)) {
-        const cdfg::Edge& ed = g.edge(e);
-        if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
-        lo = std::max(lo, start[ed.src.value] + g.node(ed.src).delay);
-      }
-      const int hi = timing.alap[n.value];
-      start[n.value] =
-          lo >= hi ? lo
-                   : lo + static_cast<int>(rng() % static_cast<unsigned>(hi - lo + 1));
-    }
-    bool all_ok = true;
-    for (const SchedWatermark& wm : marks) {
-      for (const TemporalConstraint& c : wm.constraints) {
-        if (start[c.src.value] + g.node(c.src).delay > start[c.dst.value]) {
-          all_ok = false;
-          break;
+  // Fixed-size chunks with per-chunk RNG streams: the chunk layout is a
+  // function of `trials` alone, so serial and parallel runs agree bit for
+  // bit, and any thread count gives the same estimate.
+  constexpr int kChunkTrials = 512;
+  const std::size_t chunks =
+      (static_cast<std::size_t>(trials) + kChunkTrials - 1) / kChunkTrials;
+  const int satisfied_all = exec::parallel_reduce(
+      pool, static_cast<std::size_t>(trials), chunks, 0,
+      [&](std::size_t begin, std::size_t end) {
+        // splitmix64-style mix of (seed, chunk id) keeps streams disjoint.
+        std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (begin + 1);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        std::mt19937_64 rng(z ^ (z >> 31));
+        int hits = 0;
+        std::vector<int> start(g.node_capacity(), 0);
+        for (std::size_t t = begin; t < end; ++t) {
+          // Random feasible schedule: walk in topological order; each node
+          // draws uniformly from [earliest-from-preds, ALAP].
+          for (const NodeId n : order) {
+            int lo = timing.asap[n.value];
+            for (const cdfg::EdgeId e : g.fanin(n)) {
+              const cdfg::Edge& ed = g.edge(e);
+              if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
+              lo = std::max(lo, start[ed.src.value] + g.node(ed.src).delay);
+            }
+            const int hi = timing.alap[n.value];
+            start[n.value] =
+                lo >= hi
+                    ? lo
+                    : lo + static_cast<int>(
+                               rng() % static_cast<unsigned>(hi - lo + 1));
+          }
+          bool all_ok = true;
+          for (const SchedWatermark& wm : marks) {
+            for (const TemporalConstraint& c : wm.constraints) {
+              if (start[c.src.value] + g.node(c.src).delay >
+                  start[c.dst.value]) {
+                all_ok = false;
+                break;
+              }
+            }
+            if (!all_ok) break;
+          }
+          if (all_ok) ++hits;
         }
-      }
-      if (!all_ok) break;
-    }
-    if (all_ok) ++satisfied_all;
-  }
+        return hits;
+      },
+      [](int acc, int part) { return acc + part; });
   PcEstimate est;
   est.exact = false;
   est.degenerate = satisfied_all == 0;

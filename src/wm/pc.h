@@ -25,6 +25,10 @@
 #include "wm/sched_constraints.h"
 #include "wm/tm_constraints.h"
 
+namespace lwm::exec {
+class ThreadPool;
+}
+
 namespace lwm::wm {
 
 struct PcEstimate {
@@ -59,10 +63,16 @@ struct PcEstimate {
 /// yields a finite log.  This is the estimator to quote when the exact
 /// enumeration is intractable and the independence assumption of the
 /// window model is in doubt.
+///
+/// Trials are drawn in fixed 512-trial chunks, each chunk's RNG seeded
+/// from (seed, chunk index); with a pool the chunks run across its
+/// lanes.  Because the chunk boundaries don't depend on the pool, the
+/// estimate is bit-identical at every thread count (including serial).
 [[nodiscard]] PcEstimate sched_pc_sampled(const cdfg::Graph& g,
                                           std::span<const SchedWatermark> marks,
                                           int trials, std::uint64_t seed,
-                                          int latency = -1);
+                                          int latency = -1,
+                                          exec::ThreadPool* pool = nullptr);
 
 /// Per-edge window-model probability (exposed for tests and ablations).
 [[nodiscard]] double edge_order_probability(const cdfg::TimingInfo& timing,

@@ -79,7 +79,10 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
   // Draw temporal edges: each n_i targets a later T'' member with an
   // overlapping window; adding n_i -> n_k must not close a cycle through
   // graph edges, earlier embedded watermarks, or the edges planned so
-  // far.  BFS over the combined relation (graph ∪ planned constraints).
+  // far.  BFS over the combined relation (graph ∪ planned constraints);
+  // planned edges are kept indexed by source so each visited node costs
+  // its out-degree, not a rescan of every constraint drawn so far.
+  std::vector<std::vector<NodeId>> planned_out(g.node_capacity());
   auto reaches_with_planned = [&](NodeId src, NodeId dst) {
     if (src == dst) return true;
     std::vector<bool> seen(g.node_capacity(), false);
@@ -99,8 +102,8 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
       for (cdfg::EdgeId e : g.fanout(n)) {
         if (visit(g.edge(e).dst)) return true;
       }
-      for (const TemporalConstraint& c : wm.constraints) {
-        if (c.src == n && visit(c.dst)) return true;
+      for (const NodeId next : planned_out[n.value]) {
+        if (visit(next)) return true;
       }
     }
     return false;
@@ -123,6 +126,7 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
         partners[stream.next_uint(static_cast<std::uint32_t>(partners.size()))];
     wm.constraints.push_back(
         TemporalConstraint{ni, nk, position.at(ni), position.at(nk)});
+    planned_out[ni.value].push_back(nk);
   }
   if (static_cast<int>(wm.constraints.size()) < std::max(1, opts.min_edges)) {
     return std::nullopt;

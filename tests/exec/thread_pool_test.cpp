@@ -1,0 +1,102 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/parallel.h"
+
+namespace lwm::exec {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(&pool, kN, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SerialFallbacksCoverAllIndices) {
+  // Null pool and single-lane pool must both degrade to a plain loop.
+  ThreadPool single(1);
+  for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &single}) {
+    std::vector<int> visits(777, 0);
+    parallel_for(pool, visits.size(), [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      ASSERT_EQ(visits[i], 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReduceFoldsInChunkOrder) {
+  // A non-commutative fold (string concatenation) exposes any reordering:
+  // the parallel result must equal the serial left-to-right fold.
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 100;
+  const auto map = [](std::size_t begin, std::size_t end) {
+    std::string s;
+    for (std::size_t i = begin; i < end; ++i) s += std::to_string(i) + ",";
+    return s;
+  };
+  const auto fold = [](std::string acc, std::string part) {
+    return acc + part;
+  };
+  const std::string serial =
+      parallel_reduce(nullptr, kN, std::size_t{16}, std::string(), map, fold);
+  const std::string parallel =
+      parallel_reduce(&pool, kN, std::size_t{16}, std::string(), map, fold);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial.substr(0, 8), "0,1,2,3,");
+}
+
+TEST(ThreadPoolTest, NestedParallelSectionsComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  parallel_for(&pool, 8, [&](std::size_t) {
+    parallel_for(&pool, 8, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToTheCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(&pool, 64,
+                   [&](std::size_t i) {
+                     if (i == 33) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ConcurrencyClampsToAtLeastOne) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.concurrency(), 1);
+  EXPECT_GE(ThreadPool::hardware_concurrency(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunOneDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // Help until everything submitted has run (workers race us; both fine).
+  while (ran.load(std::memory_order_relaxed) < 16) {
+    (void)pool.run_one();
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+}  // namespace
+}  // namespace lwm::exec

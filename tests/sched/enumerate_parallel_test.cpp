@@ -1,0 +1,187 @@
+// Determinism of the parallel/pruned schedule enumerator: identical
+// counts and saturation flags at every thread count, including the
+// exact-limit saturation edge case, plus the psi_counts_batch contract
+// (exactly one psi_N enumeration per batch).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cdfg/builder.h"
+#include "dfglib/iir4.h"
+#include "dfglib/synth.h"
+#include "exec/thread_pool.h"
+#include "sched/enumerate.h"
+
+namespace lwm::sched {
+namespace {
+
+using cdfg::Builder;
+using cdfg::Graph;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+Graph two_free_ops() {
+  Builder b("two");
+  const NodeId in = b.input("in");
+  const NodeId x = b.op(OpKind::kAdd, "a", {in, in});
+  const NodeId y = b.op(OpKind::kMul, "b", {in, in});
+  b.output("oa", x);
+  b.output("ob", y);
+  return std::move(b).build();
+}
+
+// Runs one enumeration serially and at each pool size; asserts every run
+// agrees with the serial result, then returns it.
+EnumerationResult enumerate_everywhere(const Graph& g,
+                                       std::span<const NodeId> subset,
+                                       std::span<const ExtraPrecedence> extra,
+                                       EnumerationOptions opts) {
+  opts.pool = nullptr;
+  const EnumerationResult serial = count_schedules(g, subset, extra, opts);
+  for (const int threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    opts.pool = &pool;
+    const EnumerationResult r = count_schedules(g, subset, extra, opts);
+    EXPECT_EQ(r.count, serial.count) << "threads = " << threads;
+    EXPECT_EQ(r.saturated, serial.saturated) << "threads = " << threads;
+  }
+  return serial;
+}
+
+TEST(EnumerateParallelTest, Iir4SubtreeCountsAreThreadCountInvariant) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  EnumerationOptions opts;
+  opts.latency = cdfg::critical_path_length(g) + 2;
+  std::vector<NodeId> subtree;
+  for (const char* name : {"C1", "C2", "A1", "A2", "C3", "C4", "A3"}) {
+    subtree.push_back(g.find(name));
+  }
+  const EnumerationResult free_count =
+      enumerate_everywhere(g, subtree, {}, opts);
+  EXPECT_GT(free_count.count, 0u);
+  EXPECT_FALSE(free_count.saturated);
+
+  const std::vector<ExtraPrecedence> wm_edges = {
+      {g.find("C1"), g.find("C3")},
+      {g.find("C2"), g.find("C4")},
+  };
+  const EnumerationResult marked =
+      enumerate_everywhere(g, subtree, wm_edges, opts);
+  EXPECT_GT(marked.count, 0u);
+  EXPECT_LT(marked.count, free_count.count);
+}
+
+TEST(EnumerateParallelTest, SyntheticCdfgCountsAreThreadCountInvariant) {
+  const Graph g = lwm::dfglib::make_dsp_design("par_det", 14, 120, 97);
+  EnumerationOptions opts;
+  opts.latency = cdfg::critical_path_length(g) + 1;
+  // A slice of executable nodes keeps the space enumerable but non-trivial.
+  std::vector<NodeId> subset;
+  for (const NodeId n : g.node_ids()) {
+    if (cdfg::is_executable(g.node(n).kind)) subset.push_back(n);
+    if (subset.size() == 12) break;
+  }
+  ASSERT_EQ(subset.size(), 12u);
+  const EnumerationResult r = enumerate_everywhere(g, subset, {}, opts);
+  EXPECT_GT(r.count, 1u);
+}
+
+TEST(EnumerateParallelTest, ExactLimitSaturationIsThreadCountInvariant) {
+  const Graph g = two_free_ops();
+  EnumerationOptions opts;
+  opts.latency = 3;  // 3 x 3 = exactly 9 schedules
+
+  opts.limit = 9;  // exact hit: must saturate at precisely the limit
+  const EnumerationResult at = enumerate_everywhere(g, {}, {}, opts);
+  EXPECT_TRUE(at.saturated);
+  EXPECT_EQ(at.count, 9u);
+
+  opts.limit = 10;  // one above: must not saturate
+  const EnumerationResult above = enumerate_everywhere(g, {}, {}, opts);
+  EXPECT_FALSE(above.saturated);
+  EXPECT_EQ(above.count, 9u);
+
+  opts.limit = 5;  // below: clamps to the limit
+  const EnumerationResult below = enumerate_everywhere(g, {}, {}, opts);
+  EXPECT_TRUE(below.saturated);
+  EXPECT_EQ(below.count, 5u);
+}
+
+TEST(EnumerateParallelTest, IndependentComponentsMultiply) {
+  // Two unrelated ops at latency 3: the factored count must equal the
+  // brute product 3 * 3 (the old single-DFS semantics).
+  const Graph g = two_free_ops();
+  EnumerationOptions opts;
+  opts.latency = 3;
+  EXPECT_EQ(enumerate_everywhere(g, {}, {}, opts).count, 9u);
+
+  // Chained ops stay one component with the separation honored.
+  Builder b("chain");
+  const NodeId in = b.input("in");
+  const NodeId x = b.op(OpKind::kAdd, "x", {in, in});
+  const NodeId m = b.op(OpKind::kMul, "m", {x});
+  const NodeId y = b.op(OpKind::kAdd, "y", {m});
+  b.output("o", y);
+  const Graph chain = std::move(b).build();
+  EnumerationOptions copts;
+  copts.latency = 4;
+  const std::vector<NodeId> subset = {chain.find("x"), chain.find("y")};
+  EXPECT_EQ(enumerate_everywhere(chain, subset, {}, copts).count, 3u);
+}
+
+TEST(PsiBatchTest, OnePsiNEnumerationPerBatch) {
+  const Graph g = two_free_ops();
+  EnumerationOptions opts;
+  opts.latency = 3;
+  const std::vector<ExtraPrecedence> edges = {
+      {g.find("a"), g.find("b")},
+      {g.find("b"), g.find("a")},
+  };
+  const std::uint64_t before = enumeration_calls();
+  const std::vector<PsiCounts> batch = psi_counts_batch(g, {}, edges, opts);
+  const std::uint64_t after = enumeration_calls();
+  // K constrained enumerations + exactly one shared psi_N.
+  EXPECT_EQ(after - before, edges.size() + 1);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].psi_n, 9u);
+  EXPECT_EQ(batch[0].psi_w, 3u);
+  EXPECT_EQ(batch[1].psi_n, 9u);
+  EXPECT_EQ(batch[1].psi_w, 3u);
+}
+
+TEST(PsiBatchTest, BatchMatchesPerEdgePsiAtEveryThreadCount) {
+  const Graph g = lwm::dfglib::iir4_parallel();
+  EnumerationOptions opts;
+  opts.latency = cdfg::critical_path_length(g) + 1;
+  std::vector<NodeId> subset;
+  for (const char* name : {"C1", "C2", "A1", "A2", "C3", "C4"}) {
+    subset.push_back(g.find(name));
+  }
+  const std::vector<ExtraPrecedence> edges = {
+      {g.find("C1"), g.find("C3")},
+      {g.find("C2"), g.find("C4")},
+      {g.find("A1"), g.find("A2")},
+  };
+  std::vector<PsiCounts> reference;
+  for (const ExtraPrecedence& e : edges) {
+    reference.push_back(psi_counts(g, subset, e.before, e.after, opts));
+  }
+  for (const int threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    EnumerationOptions popts = opts;
+    popts.pool = &pool;
+    const std::vector<PsiCounts> batch =
+        psi_counts_batch(g, subset, edges, popts);
+    ASSERT_EQ(batch.size(), reference.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].psi_w, reference[i].psi_w) << "threads " << threads;
+      EXPECT_EQ(batch[i].psi_n, reference[i].psi_n) << "threads " << threads;
+      EXPECT_EQ(batch[i].saturated, reference[i].saturated);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lwm::sched

@@ -1,0 +1,105 @@
+// Parallel detector scan parity: hits, best_root, and roots_scanned must
+// match the serial scan exactly at every pool size (deterministic
+// best-root tie-break = earliest root with the maximum satisfied count).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dfglib/synth.h"
+#include "exec/thread_pool.h"
+#include "sched/list_sched.h"
+#include "wm/detector.h"
+#include "wm/sched_constraints.h"
+
+namespace lwm::wm {
+namespace {
+
+constexpr int kThreadCounts[] = {2, 8};
+
+struct Fixture {
+  cdfg::Graph design;
+  sched::Schedule schedule;
+  crypto::Signature author;
+  std::vector<SchedRecord> records;
+
+  Fixture()
+      : design(lwm::dfglib::make_dsp_design("det_par", 15, 260, 2024)),
+        schedule(design),
+        author("author", "detector-parallel-key") {
+    SchedWmOptions opts;
+    opts.domain.tau = 5;
+    opts.k = 3;
+    opts.epsilon = 0.3;
+    const std::vector<SchedWatermark> marks =
+        embed_local_watermarks(design, author, 4, opts);
+    EXPECT_GE(marks.size(), 2u);
+    for (const SchedWatermark& m : marks) {
+      records.push_back(SchedRecord::from(m, design));
+    }
+    schedule = sched::list_schedule(design);
+    design.strip_temporal_edges();
+  }
+};
+
+void expect_same_report(const SchedDetectionReport& serial,
+                        const SchedDetectionReport& parallel, int threads) {
+  EXPECT_EQ(parallel.roots_scanned, serial.roots_scanned) << threads;
+  EXPECT_EQ(parallel.best_root.value, serial.best_root.value) << threads;
+  ASSERT_EQ(parallel.hits.size(), serial.hits.size()) << threads;
+  for (std::size_t h = 0; h < serial.hits.size(); ++h) {
+    EXPECT_EQ(parallel.hits[h].root.value, serial.hits[h].root.value);
+    EXPECT_EQ(parallel.hits[h].satisfied, serial.hits[h].satisfied);
+    EXPECT_EQ(parallel.hits[h].total, serial.hits[h].total);
+  }
+}
+
+TEST(DetectorParallelTest, SingleRecordScanMatchesSerial) {
+  Fixture f;
+  for (const SchedRecord& record : f.records) {
+    const SchedDetectionReport serial =
+        detect_sched_watermark(f.design, f.schedule, f.author, record);
+    EXPECT_TRUE(serial.detected());
+    for (const int threads : kThreadCounts) {
+      exec::ThreadPool pool(threads);
+      const SchedDetectionReport parallel = detect_sched_watermark(
+          f.design, f.schedule, f.author, record, &pool);
+      expect_same_report(serial, parallel, threads);
+    }
+  }
+}
+
+TEST(DetectorParallelTest, BatchScanMatchesSerial) {
+  Fixture f;
+  const std::vector<SchedDetectionReport> serial =
+      detect_sched_watermarks(f.design, f.schedule, f.author, f.records);
+  for (const int threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    const std::vector<SchedDetectionReport> parallel = detect_sched_watermarks(
+        f.design, f.schedule, f.author, f.records, &pool);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_same_report(serial[i], parallel[i], threads);
+    }
+  }
+}
+
+TEST(DetectorParallelTest, ForeignSignatureScanMatchesSerial) {
+  // Eve's signature carves different subtrees, so most roots fail the
+  // structural gate; whether a coincidental hit survives is a property of
+  // the fixture, but the parallel scan must report byte-identical results.
+  Fixture f;
+  const crypto::Signature eve("eve", "not-the-author");
+  for (const SchedRecord& record : f.records) {
+    const SchedDetectionReport serial =
+        detect_sched_watermark(f.design, f.schedule, eve, record);
+    for (const int threads : kThreadCounts) {
+      exec::ThreadPool pool(threads);
+      const SchedDetectionReport parallel =
+          detect_sched_watermark(f.design, f.schedule, eve, record, &pool);
+      expect_same_report(serial, parallel, threads);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lwm::wm
