@@ -42,8 +42,13 @@ class TaskGroup {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!error_) error_ = std::current_exception();
       }
+      // The decrement must happen under mutex_: the waiter re-locks mutex_
+      // after its loop, so it cannot return (and destroy this TaskGroup)
+      // until the finishing task has released the lock — otherwise a waiter
+      // observing pending_==0 between our fetch_sub and notify would free
+      // the mutex/cv out from under us.
+      std::lock_guard<std::mutex> lock(mutex_);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex_);
         cv_.notify_all();
       }
     });

@@ -50,11 +50,14 @@ void ThreadPool::submit(Task task) {
   } else {
     home = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   }
+  // Count the task before publishing it: if a spinning worker popped it
+  // first, the fetch_sub in try_pop would transiently wrap the unsigned
+  // counter below zero.
+  pending_.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(queues_[home]->mutex);
     queues_[home]->tasks.push_back(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_release);
   {
     // Pairing the notify with the wake mutex closes the race where a
     // worker has checked `pending_` and is about to sleep.

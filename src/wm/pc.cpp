@@ -112,16 +112,17 @@ PcEstimate sched_pc_sampled(const Graph& g,
   const std::vector<NodeId> order =
       cdfg::topo_order(g, cdfg::EdgeFilter::specification());
 
-  // Fixed-size chunks with per-chunk RNG streams: the chunk layout is a
-  // function of `trials` alone, so serial and parallel runs agree bit for
-  // bit, and any thread count gives the same estimate.
+  // Per-chunk RNG streams over chunks of roughly kChunkTrials each: the
+  // chunk boundaries (and the seed, mixed from each chunk's start offset)
+  // are a function of `trials` alone, so serial and parallel runs agree
+  // bit for bit, and any thread count gives the same estimate.
   constexpr int kChunkTrials = 512;
   const std::size_t chunks =
       (static_cast<std::size_t>(trials) + kChunkTrials - 1) / kChunkTrials;
   const int satisfied_all = exec::parallel_reduce(
       pool, static_cast<std::size_t>(trials), chunks, 0,
       [&](std::size_t begin, std::size_t end) {
-        // splitmix64-style mix of (seed, chunk id) keeps streams disjoint.
+        // splitmix64-style mix of (seed, chunk start) keeps streams disjoint.
         std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (begin + 1);
         z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
         z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;

@@ -64,10 +64,11 @@ struct PcEstimate {
 /// enumeration is intractable and the independence assumption of the
 /// window model is in doubt.
 ///
-/// Trials are drawn in fixed 512-trial chunks, each chunk's RNG seeded
-/// from (seed, chunk index); with a pool the chunks run across its
-/// lanes.  Because the chunk boundaries don't depend on the pool, the
-/// estimate is bit-identical at every thread count (including serial).
+/// Trials are drawn in chunks of roughly 512 whose boundaries are a pure
+/// function of `trials`, each chunk's RNG seeded from (seed, chunk start
+/// offset); with a pool the chunks run across its lanes.  Because the
+/// chunk layout doesn't depend on the pool, the estimate is bit-identical
+/// at every thread count (including serial).
 [[nodiscard]] PcEstimate sched_pc_sampled(const cdfg::Graph& g,
                                           std::span<const SchedWatermark> marks,
                                           int trials, std::uint64_t seed,
