@@ -6,7 +6,9 @@
 // T' (fewer, weaker constraints).  This bench quantifies that tradeoff —
 // the design decision DESIGN.md calls out.
 #include <cstdio>
+#include <vector>
 
+#include "bench_io.h"
 #include "cdfg/analysis.h"
 #include "dfglib/synth.h"
 #include "table.h"
@@ -14,18 +16,26 @@
 
 using namespace lwm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args =
+      bench::parse_args(argc, argv, "BENCH_ablation_eps.json");
+  const bench::Stopwatch wall;
   std::printf("== Ablation: epsilon (laxity margin) vs candidate pool and "
               "overhead ==\n\n");
 
   const crypto::Signature author("author", "ablation-eps-key");
-  const cdfg::Graph g = dfglib::make_dsp_design("ablate_eps", 16, 260, 4444);
+  const cdfg::Graph g =
+      dfglib::make_dsp_design("ablate_eps", 16, args.smoke ? 90 : 260, 4444);
   const cdfg::TimingInfo timing =
       cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
 
   bench::Table t({"epsilon", "laxity bound", "qualified ops", "watermarks",
                   "edges", "log10 Pc", "latency OH (2 ALU/1 MUL)"});
-  for (const double eps : {0.1, 0.2, 0.3, 0.5, 0.7}) {
+  double last_pc = 0.0;
+  const std::vector<double> eps_values =
+      args.smoke ? std::vector<double>{0.3}
+                 : std::vector<double>{0.1, 0.2, 0.3, 0.5, 0.7};
+  for (const double eps : eps_values) {
     // Pool size: executable ops passing the laxity filter design-wide.
     const double bound = timing.critical_path * (1.0 - eps);
     int qualified = 0;
@@ -44,6 +54,7 @@ int main() {
     const wm::SchedProtocolResult r = wm::run_sched_protocol(g, author, cfg);
     int edges = 0;
     for (const auto& m : r.marks) edges += static_cast<int>(m.constraints.size());
+    last_pc = r.pc.log10_pc;
 
     t.add_row({bench::fmt("%.1f", eps), bench::fmt("%.1f", bound),
                bench::fmt_int(qualified),
@@ -57,5 +68,13 @@ int main() {
   std::printf("  * the qualified pool shrinks monotonically with epsilon\n");
   std::printf("  * large epsilon starves the watermark (fewer edges, weaker "
               "proof) but keeps overhead at zero\n");
-  return 0;
+
+  bench::JsonObject json;
+  json.add("bench", std::string("ablation_eps"));
+  json.add("threads", args.threads);
+  json.add("ops", static_cast<long long>(g.operation_count()));
+  json.add("eps_values", static_cast<long long>(eps_values.size()));
+  json.add("log10_pc_at_max_eps", last_pc);
+  json.add("wall_ms", wall.elapsed_ms());
+  return json.write(args.json_path) ? 0 : 1;
 }

@@ -6,25 +6,34 @@
 // reporting proof strength (log10 P_c) against latency overhead on a
 // resource-constrained datapath schedule and cycle overhead on the VLIW.
 #include <cstdio>
+#include <vector>
 
+#include "bench_io.h"
 #include "dfglib/synth.h"
 #include "table.h"
 #include "wm/protocol.h"
 
 using namespace lwm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_ablation_k.json");
+  const bench::Stopwatch wall;
   std::printf("== Ablation: K (edges per watermark) vs proof strength and "
               "overhead ==\n\n");
 
   const crypto::Signature author("author", "ablation-k-key");
-  const cdfg::Graph g = dfglib::make_dsp_design("ablate_k", 16, 260, 4343);
+  const cdfg::Graph g =
+      dfglib::make_dsp_design("ablate_k", 16, args.smoke ? 90 : 260, 4343);
   std::printf("design: %zu ops, critical path %d\n\n", g.operation_count(),
               cdfg::critical_path_length(g));
 
   bench::Table t({"K", "watermarks", "edges", "log10 Pc",
                   "latency OH (2 ALU/1 MUL)", "VLIW cycle OH"});
-  for (const int k : {2, 3, 4, 8, 12}) {  // k=1 cannot draw an edge (needs a later partner in T'')
+  double last_pc = 0.0;
+  // k=1 cannot draw an edge (needs a later partner in T'')
+  const std::vector<int> ks =
+      args.smoke ? std::vector<int>{4} : std::vector<int>{2, 3, 4, 8, 12};
+  for (const int k : ks) {
     wm::SchedProtocolConfig cfg;
     cfg.wm.domain.tau = 6;
     cfg.wm.k = k;
@@ -38,6 +47,7 @@ int main() {
 
     int edges = 0;
     for (const auto& m : r.marks) edges += static_cast<int>(m.constraints.size());
+    last_pc = r.pc.log10_pc;
     t.add_row({bench::fmt_int(k),
                bench::fmt_int(static_cast<long long>(r.marks.size())),
                bench::fmt_int(edges), bench::fmt("%.2f", r.pc.log10_pc),
@@ -51,5 +61,13 @@ int main() {
               "total edges\n");
   std::printf("  * overhead grows slowly — the laxity filter keeps the "
               "constraints off the critical path\n");
-  return 0;
+
+  bench::JsonObject json;
+  json.add("bench", std::string("ablation_k"));
+  json.add("threads", args.threads);
+  json.add("ops", static_cast<long long>(g.operation_count()));
+  json.add("k_values", static_cast<long long>(ks.size()));
+  json.add("log10_pc_at_max_k", last_pc);
+  json.add("wall_ms", wall.elapsed_ms());
+  return json.write(args.json_path) ? 0 : 1;
 }

@@ -12,8 +12,11 @@
 // escalating random legal schedule perturbations, and measure surviving
 // constraints + detection.
 #include <cstdio>
+#include <vector>
 
+#include "bench_io.h"
 #include "dfglib/synth.h"
+#include "exec/thread_pool.h"
 #include "sched/list_sched.h"
 #include "table.h"
 #include "wm/attack.h"
@@ -21,7 +24,11 @@
 
 using namespace lwm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_attack.json");
+  const bench::Stopwatch wall;
+  exec::ThreadPool pool(args.threads);
+  exec::ThreadPool* parallel = args.threads > 1 ? &pool : nullptr;
   std::printf("== Attack resistance (paper SIV-A discussion) ==\n\n");
 
   // --- Analytic table -----------------------------------------------------
@@ -42,7 +49,8 @@ int main() {
   // --- Simulated attack ---------------------------------------------------
   std::printf("\nsimulated schedule-perturbation attack "
               "(synthetic design, 3 local watermarks):\n");
-  cdfg::Graph g = dfglib::make_dsp_design("attack_sim", 14, 220, 4242);
+  cdfg::Graph g =
+      dfglib::make_dsp_design("attack_sim", 14, args.smoke ? 80 : 220, 4242);
   const crypto::Signature author("author", "attack-bench-key");
   wm::SchedWmOptions opts;
   opts.domain.tau = 5;
@@ -56,7 +64,10 @@ int main() {
 
   bench::Table sim({"moves", "pairs reordered", "constraints surviving",
                     "watermarks detected"});
-  for (const int moves : {0, 10, 50, 200, 1000, 5000}) {
+  int detected_max_moves = 0;
+  const std::vector<int> move_counts =
+      args.smoke ? std::vector<int>{0, 50} : std::vector<int>{0, 10, 50, 200, 1000, 5000};
+  for (const int moves : move_counts) {
     const wm::PerturbResult attacked =
         wm::perturb_schedule(g, clean, moves, 777);
     double surviving = 0.0;
@@ -64,10 +75,11 @@ int main() {
     for (std::size_t i = 0; i < marks.size(); ++i) {
       surviving += wm::constraints_surviving(g, attacked.schedule, marks[i]);
       detected += wm::detect_sched_watermark(g, attacked.schedule, author,
-                                             records[i])
+                                             records[i], parallel)
                       .detected();
     }
     surviving /= static_cast<double>(marks.size());
+    detected_max_moves = detected;
     sim.add_row({bench::fmt_int(moves),
                  bench::fmt_int(attacked.pairs_reordered),
                  bench::fmt("%.0f%%", 100 * surviving),
@@ -86,7 +98,7 @@ int main() {
   int survive_resched = 0;
   for (std::size_t i = 0; i < marks.size(); ++i) {
     survive_resched +=
-        wm::detect_sched_watermark(g, rescheduled, author, records[i])
+        wm::detect_sched_watermark(g, rescheduled, author, records[i], parallel)
             .detected();
   }
   std::printf("\nfull re-scheduling attack (repeat the design process): "
@@ -98,5 +110,14 @@ int main() {
               "all pairs\n");
   std::printf("  * light local edits leave most constraints (and "
               "detection) intact\n");
-  return 0;
+
+  bench::JsonObject json;
+  json.add("bench", std::string("attack"));
+  json.add("threads", args.threads);
+  json.add("marks", static_cast<long long>(marks.size()));
+  json.add("max_moves", move_counts.back());
+  json.add("detected_at_max_moves", detected_max_moves);
+  json.add("detected_after_reschedule", survive_resched);
+  json.add("wall_ms", wall.elapsed_ms());
+  return json.write(args.json_path) ? 0 : 1;
 }

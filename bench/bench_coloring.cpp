@@ -9,7 +9,9 @@
 // wholly unlike the scheduling protocol, where a single before-order
 // edge carries ~0.3-0.5 decades.
 #include <cstdio>
+#include <vector>
 
+#include "bench_io.h"
 #include "dfglib/synth.h"
 #include "regbind/interference.h"
 #include "sched/list_sched.h"
@@ -18,7 +20,9 @@
 
 using namespace lwm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_coloring.json");
+  const bench::Stopwatch wall;
   std::printf("== Graph-coloring local watermarks (paper SIII example) ==\n\n");
 
   const crypto::Signature author("author", "coloring-bench-key");
@@ -27,7 +31,9 @@ int main() {
   std::printf("random graphs (n=120):\n");
   bench::Table t({"density", "base colors", "marks", "ghost edges",
                   "wm colors", "log10 Pc", "detected"});
-  for (const double density : {0.05, 0.1, 0.2, 0.4}) {
+  const std::vector<double> densities =
+      args.smoke ? std::vector<double>{0.1} : std::vector<double>{0.05, 0.1, 0.2, 0.4};
+  for (const double density : densities) {
     const color::UGraph g = color::UGraph::random(120, density, 6001);
     const color::Coloring base = color::dsatur_coloring(g);
 
@@ -56,7 +62,8 @@ int main() {
   // --- a real instance: register interference ---------------------------------
   std::printf("\nregister-interference instance (coloring = register "
               "allocation):\n");
-  const cdfg::Graph design = dfglib::make_dsp_design("color_core", 16, 240, 6002);
+  const cdfg::Graph design =
+      dfglib::make_dsp_design("color_core", 16, args.smoke ? 80 : 240, 6002);
   const sched::Schedule s = sched::list_schedule(design);
   const auto lifetimes = regbind::compute_lifetimes(design, s);
   const auto ig = regbind::build_interference_graph(lifetimes);
@@ -83,5 +90,17 @@ int main() {
   std::printf("  * per-edge proof is weak (log10 (k-1)/k) but compounds over "
               "many ghost edges\n");
   std::printf("  * color/register overhead stays within a couple of colors\n");
-  return 0;
+
+  bench::JsonObject json;
+  json.add("bench", std::string("coloring"));
+  json.add("threads", args.threads);
+  json.add("densities", static_cast<long long>(densities.size()));
+  json.add("interference_vars", ig.graph.vertex_count());
+  json.add("registers_base", base.colors_used);
+  json.add("registers_marked", marked.colors_used);
+  json.add("marks", static_cast<long long>(marks.size()));
+  json.add("detected", detected);
+  json.add("log10_pc", wm::log10_color_pc(marked, marks));
+  json.add("wall_ms", wall.elapsed_ms());
+  return json.write(args.json_path) ? 0 : 1;
 }

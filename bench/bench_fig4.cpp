@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_io.h"
 #include "cdfg/analysis.h"
 #include "dfglib/iir4.h"
 #include "table.h"
@@ -19,7 +20,9 @@
 
 using namespace lwm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_fig4.json");
+  const bench::Stopwatch wall;
   std::printf("== Fig. 4: local watermarking of template matching "
               "(4th-order parallel IIR) ==\n\n");
 
@@ -60,7 +63,12 @@ int main() {
     // The IIR's tight slack can leave nothing but near-critical adds;
     // fall back to a larger epsilon exclusion so the demo still runs.
     std::printf("no enforceable matching at epsilon=%.2f\n", opts.epsilon);
-    return 0;
+    bench::JsonObject json;
+    json.add("bench", std::string("fig4"));
+    json.add("threads", args.threads);
+    json.add("enforced", 0);
+    json.add("wall_ms", wall.elapsed_ms());
+    return json.write(args.json_path) ? 0 : 1;
   }
 
   std::printf("\nenforced matchings (paper: {(A5,A6),(A9,A7),(A8,C7)}):\n");
@@ -102,5 +110,17 @@ int main() {
   const tmatch::Cover marked = tmatch::greedy_cover(g, lib, wm::cover_options(*wm));
   std::printf("\ncover size: %d matches unwatermarked, %d watermarked\n",
               base.match_count(), marked.match_count());
-  return 0;
+
+  bench::JsonObject json;
+  json.add("bench", std::string("fig4"));
+  json.add("threads", args.threads);
+  json.add("matchings", static_cast<long long>(all.size()));
+  json.add("composite", composite);
+  json.add("enforced", static_cast<long long>(wm->enforced.size()));
+  json.add("log10_pc_approx", pc.log10_pc);
+  json.add("log10_pc_exact", exact.log10_pc);
+  json.add("cover_base", base.match_count());
+  json.add("cover_marked", marked.match_count());
+  json.add("wall_ms", wall.elapsed_ms());
+  return json.write(args.json_path) ? 0 : 1;
 }

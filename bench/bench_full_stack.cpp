@@ -6,7 +6,9 @@
 // units, registers, steering muxes, estimated area.  Sweeps the stack:
 // none -> scheduling marks -> + register marks, at two budgets.
 #include <cstdio>
+#include <vector>
 
+#include "bench_io.h"
 #include "cdfg/stats.h"
 #include "dfglib/synth.h"
 #include "hls/datapath.h"
@@ -17,14 +19,21 @@
 
 using namespace lwm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_full_stack.json");
+  const bench::Stopwatch wall;
   std::printf("== Full-stack protection: combined datapath overhead ==\n\n");
 
-  cdfg::Graph original = dfglib::make_dsp_design("stack_core", 18, 300, 888);
+  cdfg::Graph original =
+      dfglib::make_dsp_design("stack_core", 18, args.smoke ? 100 : 300, 888);
   const crypto::Signature vendor("vendor", "full-stack-key");
   std::printf("design: %s\n\n", cdfg::compute_stats(original).to_string().c_str());
 
-  for (const int budget_factor : {1, 2}) {
+  double last_overhead_pct = 0.0;
+  double last_pc = 0.0;
+  const std::vector<int> budget_factors =
+      args.smoke ? std::vector<int>{1} : std::vector<int>{1, 2};
+  for (const int budget_factor : budget_factors) {
     const int cp = cdfg::critical_path_length(original);
     const int budget = budget_factor * cp;
     std::printf("--- control-step budget: %d (= %dx critical path) ---\n",
@@ -79,11 +88,23 @@ int main() {
     row("+ reg marks", sched_pc + reg_pc, dp2, opts2);
     t.print();
     std::printf("\n");
+    last_overhead_pct =
+        100.0 * (dp2.area(opts2) - dp0.area(opts0)) / dp0.area(opts0);
+    last_pc = sched_pc + reg_pc;
   }
 
   std::printf("shape checks:\n");
   std::printf("  * combined proof strength multiplies across layers\n");
   std::printf("  * total area overhead stays in low single digits at both "
               "budgets\n");
-  return 0;
+
+  bench::JsonObject json;
+  json.add("bench", std::string("full_stack"));
+  json.add("threads", args.threads);
+  json.add("ops", static_cast<long long>(original.operation_count()));
+  json.add("budgets", static_cast<long long>(budget_factors.size()));
+  json.add("full_stack_area_overhead_pct", last_overhead_pct);
+  json.add("full_stack_log10_pc", last_pc);
+  json.add("wall_ms", wall.elapsed_ms());
+  return json.write(args.json_path) ? 0 : 1;
 }

@@ -1,10 +1,11 @@
 // bench_io.h — shared CLI + JSON plumbing for the bench binaries.
 //
-// Every bench accepts `--threads N` (pool concurrency; 1 = serial) and
-// `--json PATH` (override the default BENCH_<name>.json), and emits a
-// small flat JSON object — wall time, thread count, and the headline
-// counts — so successive PRs can chart the perf trajectory from the
-// same artifacts.
+// Every bench accepts `--threads N` (pool concurrency; 1 = serial),
+// `--json PATH` (override the default BENCH_<name>.json), and `--smoke`
+// (shrink the sweep to a seconds-long sanity pass — the `bench-smoke`
+// ctest label runs every bench this way), and emits a small flat JSON
+// object — wall time, thread count, and the headline counts — so
+// successive PRs can chart the perf trajectory from the same artifacts.
 #pragma once
 
 #include <chrono>
@@ -19,6 +20,7 @@ namespace lwm::bench {
 
 struct Args {
   int threads = 1;
+  bool smoke = false;
   std::string json_path;
 };
 
@@ -31,9 +33,11 @@ inline Args parse_args(int argc, char** argv, const char* default_json) {
       if (args.threads < 1) args.threads = 1;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--json PATH]\n"
+                   "usage: %s [--threads N] [--json PATH] [--smoke]\n"
                    "  unknown argument: %s\n",
                    argv[0], argv[i]);
       std::exit(2);

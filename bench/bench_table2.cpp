@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_io.h"
 #include "cdfg/analysis.h"
 #include "dfglib/designs.h"
 #include "table.h"
@@ -29,21 +30,29 @@ constexpr double kPaperOverhead[][2] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_table2.json");
+  const bench::Stopwatch wall;
   std::printf("== Table II: local watermarking applied to template "
               "matching ==\n");
   std::printf("(designs reconstructed from the paper's critical-path / "
               "variable columns)\n\n");
 
   const tmatch::TemplateLibrary lib = tmatch::TemplateLibrary::standard();
-  constexpr int kSignatures = 9;  // cells averaged over distinct authors
+  // Cells averaged over distinct authors; smoke keeps one author and the
+  // two smallest designs.
+  const int signatures = args.smoke ? 1 : 9;
 
   bench::Table t({"Design", "Steps", "CritPath", "Vars", "% enf.",
                   "inst base", "inst wm", "area base", "area wm",
                   "ours area OH", "paper OH"});
 
+  double sum_overhead = 0.0;
+  int overhead_rows = 0;
   const auto& designs = dfglib::table2_designs();
-  for (std::size_t i = 0; i < designs.size(); ++i) {
+  const std::size_t design_count =
+      args.smoke ? std::min<std::size_t>(2, designs.size()) : designs.size();
+  for (std::size_t i = 0; i < design_count; ++i) {
     const auto& d = designs[i];
     const cdfg::Graph g = dfglib::make_table2_design(d);
     for (int row = 0; row < 2; ++row) {
@@ -58,7 +67,7 @@ int main() {
 
       double pct_enf = 0, base_inst = 0, wm_inst = 0, base_area = 0, wm_area = 0;
       int ok = 0;
-      for (int s = 0; s < kSignatures; ++s) {
+      for (int s = 0; s < signatures; ++s) {
         const crypto::Signature author("author" + std::to_string(s),
                                        "table2-key-" + std::to_string(s));
         try {
@@ -86,6 +95,8 @@ int main() {
       wm_inst /= ok;
       base_area /= ok;
       wm_area /= ok;
+      sum_overhead += 100.0 * (wm_area - base_area) / base_area;
+      ++overhead_rows;
       t.add_row({d.name, bench::fmt_int(budget),
                  bench::fmt_int(d.critical_path), bench::fmt_int(d.variables),
                  bench::fmt("%.1f%%", pct_enf),
@@ -100,5 +111,14 @@ int main() {
   std::printf("\nshape checks:\n");
   std::printf("  * overhead falls when the control-step budget doubles\n");
   std::printf("  * small designs pay more (sparser sharing opportunities)\n");
-  return 0;
+
+  bench::JsonObject json;
+  json.add("bench", std::string("table2"));
+  json.add("threads", args.threads);
+  json.add("designs", static_cast<long long>(design_count));
+  json.add("signatures", signatures);
+  json.add("mean_area_overhead_pct",
+           overhead_rows > 0 ? sum_overhead / overhead_rows : 0.0);
+  json.add("wall_ms", wall.elapsed_ms());
+  return json.write(args.json_path) ? 0 : 1;
 }

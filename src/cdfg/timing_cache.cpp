@@ -1,0 +1,297 @@
+#include "cdfg/timing_cache.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+namespace lwm::cdfg {
+
+namespace {
+
+constexpr std::uint64_t bit_mask(std::size_t v) noexcept {
+  return std::uint64_t{1} << (v % 64);
+}
+
+}  // namespace
+
+TimingCache::TimingCache(const Graph& g, int latency, EdgeFilter filter,
+                         bool with_reachability)
+    : g_(&g), filter_(filter), with_reach_(with_reachability) {
+  const std::size_t cap = g.node_capacity();
+  topo_ = topo_order(g, filter);
+  pos_.assign(cap, -1);
+  for (std::size_t i = 0; i < topo_.size(); ++i) {
+    pos_[topo_[i].value] = static_cast<int>(i);
+  }
+  lo_.assign(cap, -1);
+  hi_.assign(cap, -1);
+  pinned_.assign(cap, -1);
+  extra_out_.assign(cap, {});
+  extra_in_.assign(cap, {});
+  changed_mark_.assign(cap, false);
+
+  // Forward longest path (ASAP) — same recurrence as compute_timing().
+  int cp = 0;
+  for (NodeId n : topo_) {
+    int start = 0;
+    for (EdgeId e : g.fanin(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      start = std::max(start, lo_[ed.src.value] + g.node(ed.src).delay);
+    }
+    lo_[n.value] = start;
+    cp = std::max(cp, start + g.node(n).delay);
+  }
+  critical_path_ = cp;
+  if (latency < 0) {
+    latency = cp;
+  } else if (latency < cp) {
+    throw std::invalid_argument("TimingCache: latency " +
+                                std::to_string(latency) +
+                                " below critical path " + std::to_string(cp) +
+                                " in '" + g.name() + "'");
+  }
+  latency_ = latency;
+
+  // Backward longest path (ALAP).
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const NodeId n = *it;
+    int latest = latency - g.node(n).delay;
+    for (EdgeId e : g.fanout(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      latest = std::min(latest, hi_[ed.dst.value] - g.node(n).delay);
+    }
+    hi_[n.value] = latest;
+  }
+
+  if (with_reach_) {
+    words_ = (cap + 63) / 64;
+    desc_.assign(cap * words_, 0);
+    // Reverse topological order: every successor's row is final before it
+    // is unioned in, so one pass per node suffices.
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const NodeId n = *it;
+      std::uint64_t* mine = desc_.data() + row(n.value);
+      for (EdgeId e : g.fanout(n)) {
+        const Edge& ed = g.edge(e);
+        if (!filter.accepts(ed.kind)) continue;
+        const std::uint64_t* theirs = desc_.data() + row(ed.dst.value);
+        for (std::size_t w = 0; w < words_; ++w) mine[w] |= theirs[w];
+        mine[ed.dst.value / 64] |= bit_mask(ed.dst.value);
+      }
+    }
+  }
+}
+
+int TimingCache::compute_lo(NodeId n) const {
+  int start = 0;
+  for (EdgeId e : g_->fanin(n)) {
+    const Edge& ed = g_->edge(e);
+    if (!filter_.accepts(ed.kind)) continue;
+    start = std::max(start, lo_[ed.src.value] + g_->node(ed.src).delay);
+  }
+  for (NodeId p : extra_in_[n.value]) {
+    start = std::max(start, lo_[p.value] + g_->node(p).delay);
+  }
+  return start;
+}
+
+int TimingCache::compute_hi(NodeId n) const {
+  const int delay = g_->node(n).delay;
+  int latest = latency_ - delay;
+  for (EdgeId e : g_->fanout(n)) {
+    const Edge& ed = g_->edge(e);
+    if (!filter_.accepts(ed.kind)) continue;
+    latest = std::min(latest, hi_[ed.dst.value] - delay);
+  }
+  for (NodeId s : extra_out_[n.value]) {
+    latest = std::min(latest, hi_[s.value] - delay);
+  }
+  return latest;
+}
+
+void TimingCache::note_changed(NodeId n) {
+  if (!changed_mark_[n.value]) {
+    changed_mark_[n.value] = true;
+    changed_.push_back(n);
+  }
+}
+
+// Monotone worklist: lo values only rise, so recomputing a node from its
+// current predecessors and re-queueing its successors whenever the value
+// moved converges to the unique fixed point in any pop order.  The heap
+// pops in topological position so, absent extra edges that run against
+// the stored order, each node is recomputed at most once.
+void TimingCache::propagate_lo(std::vector<NodeId> seeds) {
+  std::priority_queue<int, std::vector<int>, std::greater<int>> heap;
+  std::vector<bool> queued(pos_.size(), false);
+  const auto push = [&](NodeId n) {
+    const int p = pos_[n.value];
+    if (p >= 0 && !queued[n.value]) {
+      queued[n.value] = true;
+      heap.push(p);
+    }
+  };
+  for (NodeId s : seeds) push(s);
+  while (!heap.empty()) {
+    const NodeId n = topo_[static_cast<std::size_t>(heap.top())];
+    heap.pop();
+    queued[n.value] = false;
+    ++update_work_;
+    const int nl = compute_lo(n);
+    if (pinned_[n.value] >= 0) {
+      // A pinned window never moves; it can only become untenable when an
+      // extra edge pushed a predecessor past it.
+      if (nl > pinned_[n.value]) feasible_ = false;
+      continue;
+    }
+    if (nl <= lo_[n.value]) continue;
+    lo_[n.value] = nl;
+    if (nl > hi_[n.value]) feasible_ = false;
+    note_changed(n);
+    for (EdgeId e : g_->fanout(n)) {
+      const Edge& ed = g_->edge(e);
+      if (filter_.accepts(ed.kind)) push(ed.dst);
+    }
+    for (NodeId s : extra_out_[n.value]) push(s);
+  }
+}
+
+void TimingCache::propagate_hi(std::vector<NodeId> seeds) {
+  std::priority_queue<int> heap;  // reverse topological order
+  std::vector<bool> queued(pos_.size(), false);
+  const auto push = [&](NodeId n) {
+    const int p = pos_[n.value];
+    if (p >= 0 && !queued[n.value]) {
+      queued[n.value] = true;
+      heap.push(p);
+    }
+  };
+  for (NodeId s : seeds) push(s);
+  while (!heap.empty()) {
+    const NodeId n = topo_[static_cast<std::size_t>(heap.top())];
+    heap.pop();
+    queued[n.value] = false;
+    ++update_work_;
+    const int nh = compute_hi(n);
+    if (pinned_[n.value] >= 0) {
+      if (nh < pinned_[n.value]) feasible_ = false;
+      continue;
+    }
+    if (nh >= hi_[n.value]) continue;
+    hi_[n.value] = nh;
+    if (nh < lo_[n.value]) feasible_ = false;
+    note_changed(n);
+    for (EdgeId e : g_->fanin(n)) {
+      const Edge& ed = g_->edge(e);
+      if (filter_.accepts(ed.kind)) push(ed.src);
+    }
+    for (NodeId p : extra_in_[n.value]) push(p);
+  }
+}
+
+void TimingCache::pin(NodeId n, int step) {
+  if (pos_[n.value] < 0) throw std::out_of_range("TimingCache::pin: dead node");
+  if (pinned_[n.value] >= 0) {
+    throw std::logic_error("TimingCache::pin: node '" + g_->node(n).name +
+                           "' already pinned");
+  }
+  if (step < lo_[n.value] || step > hi_[n.value]) {
+    throw std::logic_error("TimingCache::pin: step " + std::to_string(step) +
+                           " outside window [" + std::to_string(lo_[n.value]) +
+                           ", " + std::to_string(hi_[n.value]) + "] of '" +
+                           g_->node(n).name + "'");
+  }
+  changed_.clear();
+  std::fill(changed_mark_.begin(), changed_mark_.end(), false);
+
+  const int old_lo = lo_[n.value];
+  const int old_hi = hi_[n.value];
+  pinned_[n.value] = step;
+  lo_[n.value] = step;
+  hi_[n.value] = step;
+  // The consumer contract: the pinned node is always reported, even when
+  // its window was already the single step (its pinned state changed).
+  note_changed(n);
+
+  if (step > old_lo) {
+    std::vector<NodeId> seeds;
+    for (EdgeId e : g_->fanout(n)) {
+      const Edge& ed = g_->edge(e);
+      if (filter_.accepts(ed.kind)) seeds.push_back(ed.dst);
+    }
+    for (NodeId s : extra_out_[n.value]) seeds.push_back(s);
+    propagate_lo(std::move(seeds));
+  }
+  if (step < old_hi) {
+    std::vector<NodeId> seeds;
+    for (EdgeId e : g_->fanin(n)) {
+      const Edge& ed = g_->edge(e);
+      if (filter_.accepts(ed.kind)) seeds.push_back(ed.src);
+    }
+    for (NodeId p : extra_in_[n.value]) seeds.push_back(p);
+    propagate_hi(std::move(seeds));
+  }
+}
+
+void TimingCache::union_descendants(NodeId src, NodeId dst) {
+  // New descendants flowing into src: dst itself plus dst's row.  Walk up
+  // src's ancestors, stopping wherever the row is already a superset.
+  std::vector<std::uint64_t> add(desc_.begin() + static_cast<std::ptrdiff_t>(row(dst.value)),
+                                 desc_.begin() + static_cast<std::ptrdiff_t>(row(dst.value) + words_));
+  add[dst.value / 64] |= bit_mask(dst.value);
+
+  std::vector<NodeId> stack{src};
+  while (!stack.empty()) {
+    const NodeId a = stack.back();
+    stack.pop_back();
+    std::uint64_t* mine = desc_.data() + row(a.value);
+    bool grew = false;
+    for (std::size_t w = 0; w < words_; ++w) {
+      const std::uint64_t next = mine[w] | add[w];
+      if (next != mine[w]) {
+        mine[w] = next;
+        grew = true;
+      }
+    }
+    if (!grew) continue;
+    for (EdgeId e : g_->fanin(a)) {
+      const Edge& ed = g_->edge(e);
+      if (filter_.accepts(ed.kind)) stack.push_back(ed.src);
+    }
+    for (NodeId p : extra_in_[a.value]) stack.push_back(p);
+  }
+}
+
+void TimingCache::add_extra_edge(NodeId src, NodeId dst) {
+  if (pos_[src.value] < 0 || pos_[dst.value] < 0) {
+    throw std::out_of_range("TimingCache::add_extra_edge: dead endpoint");
+  }
+  if (src == dst || (with_reach_ && reaches(dst, src))) {
+    throw std::logic_error("TimingCache::add_extra_edge: edge '" +
+                           g_->node(src).name + "' -> '" + g_->node(dst).name +
+                           "' would close a cycle");
+  }
+  extra_out_[src.value].push_back(dst);
+  extra_in_[dst.value].push_back(src);
+  if (with_reach_) union_descendants(src, dst);
+
+  changed_.clear();
+  std::fill(changed_mark_.begin(), changed_mark_.end(), false);
+  propagate_lo({dst});
+  propagate_hi({src});
+}
+
+bool TimingCache::reaches(NodeId src, NodeId dst) const {
+  if (!with_reach_) {
+    throw std::logic_error(
+        "TimingCache::reaches: constructed without reachability");
+  }
+  if (pos_[src.value] < 0 || pos_[dst.value] < 0) return false;
+  if (src == dst) return true;
+  return (desc_[row(src.value) + dst.value / 64] & bit_mask(dst.value)) != 0;
+}
+
+}  // namespace lwm::cdfg

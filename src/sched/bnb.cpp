@@ -1,11 +1,18 @@
 #include "sched/bnb.h"
 
 #include <algorithm>
-#include <cmath>
+#include <array>
+#include <atomic>
+#include <climits>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
+#include "cdfg/timing_cache.h"
+#include "exec/parallel.h"
 #include "sched/list_sched.h"
 
 namespace lwm::sched {
@@ -16,76 +23,345 @@ using cdfg::NodeId;
 
 namespace {
 
-struct Searcher {
-  const Graph& g;
-  const BnbOptions& opts;
-  std::vector<NodeId> ops;              // executable nodes, topo order
-  std::vector<std::vector<NodeId>> preds;  // executable predecessors (transitive through pseudo-ops collapsed to direct)
-  std::vector<int> tail;                // longest delay-weighted path to any sink, per node value
-  Schedule best;
-  int best_latency = 0;
-  Schedule current;
-  std::uint64_t nodes_visited = 0;
-  bool truncated = false;
+// Everything about (graph, filter) the search needs but no search step
+// mutates — built once and shared by every branch and, in bnb_min_units,
+// every candidate unit vector.
+struct SearchContext {
+  const Graph* g = nullptr;
+  int critical_path = 0;
+  std::vector<NodeId> ops;                    // executable nodes, topo order
+  std::vector<int> delay, tail;               // by op index
+  std::vector<std::size_t> cls;               // by op index
+  std::vector<std::vector<std::size_t>> succ; // by op index: dependent ops
+};
 
-  // DFS over ops in topo order: assign each op the set of feasible steps
-  // from its earliest (data-ready, resource-feasible) upward, bounded by
-  // best_latency - 1 - tail.
-  void dfs(std::size_t idx, std::vector<std::vector<int>>& usage) {
-    if (truncated) return;
-    if (opts.node_limit != 0 && nodes_visited >= opts.node_limit) {
-      truncated = true;
-      return;
+SearchContext build_context(const Graph& g, cdfg::EdgeFilter filter) {
+  SearchContext ctx;
+  ctx.g = &g;
+
+  const cdfg::TimingCache timing(g, -1, filter);
+  ctx.critical_path = timing.critical_path();
+
+  // Executable ops in topo order; predecessors collapsed through
+  // pseudo-ops (a pseudo-op has zero delay, so its own executable
+  // predecessors constrain its consumers directly).
+  std::vector<std::vector<NodeId>> preds(g.node_capacity());
+  std::vector<std::size_t> index_of(g.node_capacity(), 0);
+  for (NodeId n : timing.topo()) {
+    if (cdfg::is_executable(g.node(n).kind)) {
+      index_of[n.value] = ctx.ops.size();
+      ctx.ops.push_back(n);
     }
-    ++nodes_visited;
-    if (idx == ops.size()) {
-      const int len = current.length(g);
-      if (len < best_latency) {
-        best_latency = len;
-        best = current;
+    for (EdgeId e : g.fanin(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      if (cdfg::is_executable(g.node(ed.src).kind)) {
+        preds[n.value].push_back(ed.src);
+      } else {
+        for (NodeId pp : preds[ed.src.value]) preds[n.value].push_back(pp);
       }
+    }
+  }
+  const std::size_t count = ctx.ops.size();
+  ctx.delay.resize(count);
+  ctx.tail.resize(count);
+  ctx.cls.resize(count);
+  ctx.succ.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId n = ctx.ops[i];
+    ctx.delay[i] = g.node(n).delay;
+    // latency - alap(n) = delay(n) + longest tail after completion.
+    ctx.tail[i] = timing.latency() - timing.hi(n);
+    ctx.cls[i] = static_cast<std::size_t>(cdfg::unit_class(g.node(n).kind));
+    for (NodeId p : preds[n.value]) ctx.succ[index_of[p.value]].push_back(i);
+  }
+  return ctx;
+}
+
+// Incumbent shared by every branch of one search.  The packed key orders
+// (latency, branch index) lexicographically; it only ever decreases, and
+// all writes happen under the mutex.
+struct Incumbent {
+  static constexpr int kBranchShift = 32;
+  std::atomic<std::uint64_t> key;
+  std::mutex mutex;
+  Schedule best;
+
+  explicit Incumbent(int bound_init)
+      : key(static_cast<std::uint64_t>(bound_init) << kBranchShift) {}
+};
+
+// Shared node budget with batched draining (the enumerate.cpp idiom):
+// branches count locally and settle a quantum at a time, so the atomic is
+// touched rarely with generous limits but the stop still fires promptly
+// with tiny ones.
+struct Budget {
+  std::uint64_t limit = 0;  // 0 = unlimited
+  std::uint64_t quantum = 1024;
+  std::atomic<std::uint64_t> used{0};
+  std::atomic<bool> stop{false};
+
+  explicit Budget(std::uint64_t node_limit) : limit(node_limit) {
+    if (limit != 0) quantum = std::clamp<std::uint64_t>(limit / 8, 1, 1024);
+  }
+  void settle(std::uint64_t n) {
+    if (n == 0) return;
+    const std::uint64_t total =
+        used.fetch_add(n, std::memory_order_acq_rel) + n;
+    if (limit != 0 && total >= limit) {
+      stop.store(true, std::memory_order_release);
+    }
+  }
+};
+
+struct VectorHash {
+  std::size_t operator()(const std::vector<int>& v) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    for (const int x : v) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// Depth-first search of one first-level branch.  Mirrors the historical
+// serial searcher step for step; the only cross-branch coupling is the
+// shared incumbent (read for pruning, written under its mutex) and the
+// node budget.
+struct BranchSearcher {
+  const SearchContext& ctx;
+  const ResourceSet& resources;
+  Incumbent& inc;
+  Budget& budget;
+  std::uint64_t branch = 0;
+  bool first_leaf_exit = false;
+  // Memoize only the shallow levels: few search nodes live there, each
+  // pruned subtree is exponentially large, and the signature cost stays
+  // negligible next to the subtree it can save.  Deep levels churn
+  // through millions of tiny subtrees where building a signature costs
+  // more than the subtree itself.
+  std::size_t memo_max_idx = 0;
+
+  Schedule current;
+  std::vector<std::vector<int>> usage{cdfg::kNumUnitClasses};
+  std::vector<int> ready;  // partial ready time per op index
+  std::vector<std::pair<std::size_t, int>> ready_undo;
+  int prefix_end = 0;
+  std::uint64_t local_nodes = 0;
+  std::uint64_t total_nodes = 0;
+  bool found_leaf = false;
+
+  // Dominance memo: signature -> best prefix makespan seen.  Bounded so a
+  // pathological search cannot exhaust memory; lookups still prune after
+  // the cap, inserts stop.
+  static constexpr std::size_t kMemoCap = 1 << 20;
+  std::unordered_map<std::vector<int>, int, VectorHash> memo;
+  std::vector<int> key_buf;  // reused across lookups; copied only on insert
+
+  BranchSearcher(const SearchContext& c, const ResourceSet& res, Incumbent& i,
+                 Budget& b)
+      : ctx(c), resources(res), inc(i), budget(b), current(*c.g),
+        ready(c.ops.size(), 0) {}
+
+  [[nodiscard]] bool stopped() const {
+    return budget.stop.load(std::memory_order_acquire);
+  }
+
+  void count_node() {
+    ++local_nodes;
+    ++total_nodes;
+    if (local_nodes >= budget.quantum) {
+      budget.settle(local_nodes);
+      local_nodes = 0;
+    }
+  }
+
+  void finish() { budget.settle(local_nodes); local_nodes = 0; }
+
+  // (position, remaining ready times, usage suffix at/after the earliest
+  // step any remaining op can issue).  Two search states with equal
+  // signatures admit exactly the same completions, so the one entered
+  // with the higher prefix makespan cannot produce a strictly better (or
+  // equally good but earlier) leaf than the other.
+  [[nodiscard]] bool memo_allows(std::size_t idx) {
+    const std::size_t count = ctx.ops.size();
+    int s_min = INT_MAX;
+    for (std::size_t j = idx; j < count; ++j) s_min = std::min(s_min, ready[j]);
+    key_buf.clear();
+    key_buf.push_back(static_cast<int>(idx));
+    for (std::size_t j = idx; j < count; ++j) key_buf.push_back(ready[j]);
+    for (std::size_t c = 0; c < cdfg::kNumUnitClasses; ++c) {
+      if (resources.count(static_cast<cdfg::UnitClass>(c)) < 0) continue;
+      key_buf.push_back(-1);  // class separator
+      const std::vector<int>& row = usage[c];
+      std::size_t end = row.size();
+      while (end > static_cast<std::size_t>(s_min) && row[end - 1] == 0) --end;
+      for (std::size_t s = static_cast<std::size_t>(s_min); s < end; ++s) {
+        key_buf.push_back(row[s]);
+      }
+    }
+    const auto it = memo.find(key_buf);
+    if (it != memo.end()) {
+      if (it->second <= prefix_end) return false;
+      it->second = prefix_end;
+    } else if (memo.size() < kMemoCap) {
+      memo.emplace(key_buf, prefix_end);
+    }
+    return true;
+  }
+
+  void record_leaf() {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(prefix_end) << Incumbent::kBranchShift) |
+        branch;
+    if (packed < inc.key.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(inc.mutex);
+      if (packed < inc.key.load(std::memory_order_relaxed)) {
+        inc.best = current;
+        inc.key.store(packed, std::memory_order_release);
+      }
+    }
+    found_leaf = true;
+  }
+
+  // Occupies op `idx` at step t and recurses.  Returns false when the
+  // whole search should unwind (budget exhausted or first-leaf exit).
+  bool descend(std::size_t idx, int t) {
+    const std::size_t c = ctx.cls[idx];
+    const int limit = resources.count(static_cast<cdfg::UnitClass>(c));
+    const int delay = ctx.delay[idx];
+    if (limit >= 0) {
+      for (int d = 0; d < delay; ++d) {
+        const auto step = static_cast<std::size_t>(t + d);
+        if (step >= usage[c].size()) usage[c].resize(step + 1, 0);
+        ++usage[c][step];
+      }
+    }
+    current.set_start(ctx.ops[idx], t);
+    const std::size_t undo_base = ready_undo.size();
+    const int old_end = prefix_end;
+    for (const std::size_t j : ctx.succ[idx]) {
+      if (t + delay > ready[j]) {
+        ready_undo.emplace_back(j, ready[j]);
+        ready[j] = t + delay;
+      }
+    }
+    prefix_end = std::max(prefix_end, t + delay);
+
+    dfs(idx + 1);
+
+    prefix_end = old_end;
+    while (ready_undo.size() > undo_base) {
+      ready[ready_undo.back().first] = ready_undo.back().second;
+      ready_undo.pop_back();
+    }
+    if (limit >= 0) {
+      for (int d = 0; d < delay; ++d) {
+        --usage[c][static_cast<std::size_t>(t + d)];
+      }
+    }
+    return !(stopped() || (first_leaf_exit && found_leaf));
+  }
+
+  void dfs(std::size_t idx) {
+    if (stopped()) return;
+    count_node();
+    if (idx == ctx.ops.size()) {
+      record_leaf();
       return;
     }
-    const NodeId n = ops[idx];
-    const cdfg::Node& node = g.node(n);
-    const auto cls = static_cast<std::size_t>(cdfg::unit_class(node.kind));
-    const int limit = opts.resources.count(static_cast<cdfg::UnitClass>(cls));
-
-    int ready = 0;
-    for (NodeId p : preds[n.value]) {
-      ready = std::max(ready, current.start_of(p) + g.node(p).delay);
-    }
-    // Start steps bounded by the incumbent: t + tail(n) < best_latency.
-    for (int t = ready; t + tail[n.value] < best_latency; ++t) {
-      // Resource feasibility over [t, t+delay).
+    if (idx < memo_max_idx && !memo_allows(idx)) return;
+    const std::size_t c = ctx.cls[idx];
+    const int limit = resources.count(static_cast<cdfg::UnitClass>(c));
+    const int delay = ctx.delay[idx];
+    for (int t = ready[idx];; ++t) {
+      const std::uint64_t packed =
+          (static_cast<std::uint64_t>(t + ctx.tail[idx])
+           << Incumbent::kBranchShift) |
+          branch;
+      if (packed >= inc.key.load(std::memory_order_acquire)) break;
       bool fits = true;
       if (limit >= 0) {
-        for (int d = 0; d < node.delay && fits; ++d) {
-          const std::size_t step = static_cast<std::size_t>(t + d);
-          if (step < usage[cls].size() && usage[cls][step] >= limit) fits = false;
+        for (int d = 0; d < delay && fits; ++d) {
+          const auto step = static_cast<std::size_t>(t + d);
+          if (step < usage[c].size() && usage[c][step] >= limit) fits = false;
         }
       }
       if (!fits) continue;
-      // Occupy.
-      if (limit >= 0) {
-        for (int d = 0; d < node.delay; ++d) {
-          const std::size_t step = static_cast<std::size_t>(t + d);
-          if (step >= usage[cls].size()) usage[cls].resize(step + 1, 0);
-          ++usage[cls][step];
-        }
-      }
-      current.set_start(n, t);
-      dfs(idx + 1, usage);
-      if (limit >= 0) {
-        for (int d = 0; d < node.delay; ++d) {
-          --usage[cls][static_cast<std::size_t>(t + d)];
-        }
-      }
-      if (truncated) return;
+      if (!descend(idx, t)) return;
     }
-    current.set_start(n, Schedule::kUnscheduled);
+    current.set_start(ctx.ops[idx], Schedule::kUnscheduled);
   }
 };
+
+struct SolveOutcome {
+  Schedule best;
+  int latency = 0;
+  bool improved = false;
+  bool truncated = false;
+  std::uint64_t nodes = 0;
+};
+
+// Finds the minimum-latency schedule strictly below `bound_init`, or — if
+// `first_leaf_exit` — any schedule below it (the first one in canonical
+// DFS order).  first_leaf_exit requires pool == nullptr: with several
+// branches racing, "first leaf found" would depend on timing.
+SolveOutcome solve(const SearchContext& ctx, const ResourceSet& resources,
+                   int bound_init, std::uint64_t node_limit,
+                   exec::ThreadPool* pool, bool first_leaf_exit) {
+  SolveOutcome out;
+  out.best = Schedule(*ctx.g);
+  if (ctx.ops.empty()) {
+    // The empty leaf: latency 0, trivially below any positive bound.
+    out.improved = bound_init > 0;
+    out.latency = 0;
+    out.nodes = 1;
+    return out;
+  }
+
+  Incumbent inc(bound_init);
+  Budget budget(node_limit);
+
+  // First-level branches: each start step of ops[0] admitted by the
+  // initial bound.  ops[0] has no executable predecessors, so it is
+  // ready at step 0.
+  const std::size_t branches =
+      static_cast<std::size_t>(std::max(0, bound_init - ctx.tail[0]));
+  std::atomic<std::uint64_t> nodes_total{0};
+  exec::parallel_for(pool, branches, [&](std::size_t b) {
+    BranchSearcher s(ctx, resources, inc, budget);
+    s.memo_max_idx = ctx.ops.size() / 2;
+    s.branch = b;
+    s.first_leaf_exit = first_leaf_exit;
+    const int t = static_cast<int>(b);
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(t + ctx.tail[0])
+         << Incumbent::kBranchShift) |
+        b;
+    if (packed < inc.key.load(std::memory_order_acquire) && !s.stopped()) {
+      s.count_node();
+      // No resource check at the root: usage is empty, so any step fits
+      // (exactly the historical searcher's first iteration).
+      (void)s.descend(0, t);
+    }
+    s.finish();
+    nodes_total.fetch_add(s.total_nodes, std::memory_order_relaxed);
+  });
+
+  out.truncated = budget.stop.load(std::memory_order_acquire);
+  out.nodes = (out.truncated && node_limit != 0)
+                  ? node_limit
+                  : nodes_total.load(std::memory_order_relaxed);
+  const std::uint64_t final_key = inc.key.load(std::memory_order_acquire);
+  if (final_key < (static_cast<std::uint64_t>(bound_init)
+                   << Incumbent::kBranchShift)) {
+    out.improved = true;
+    out.latency = static_cast<int>(final_key >> Incumbent::kBranchShift);
+    out.best = inc.best;
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -97,61 +373,29 @@ BnbResult bnb_min_latency(const Graph& g, const BnbOptions& opts) {
   const Schedule seed = list_schedule(g, lopts);
   const int seed_latency = seed.length(g);
 
-  Searcher s{g, opts, {}, {}, {}, seed, seed_latency + 1, Schedule(g), 0, false};
-
-  // tail[n]: longest delay-weighted path from n's start to the end.
-  const cdfg::TimingInfo timing = cdfg::compute_timing(g, -1, opts.filter);
-  s.tail.assign(g.node_capacity(), 0);
-  for (NodeId n : g.node_ids()) {
-    // latency - alap(n) = delay(n) + longest tail after completion.
-    s.tail[n.value] = timing.latency - timing.alap[n.value];
-  }
-
-  // Executable ops in topo order; predecessors collapsed through pseudo-ops.
-  const std::vector<NodeId> order = cdfg::topo_order(g, opts.filter);
-  s.preds.assign(g.node_capacity(), {});
-  for (NodeId n : order) {
-    if (cdfg::is_executable(g.node(n).kind)) s.ops.push_back(n);
-    for (EdgeId e : g.fanin(n)) {
-      const cdfg::Edge& ed = g.edge(e);
-      if (!opts.filter.accepts(ed.kind)) continue;
-      if (cdfg::is_executable(g.node(ed.src).kind)) {
-        s.preds[n.value].push_back(ed.src);
-      } else {
-        // Inherit the pseudo-op's own executable predecessors.
-        for (NodeId pp : s.preds[ed.src.value]) s.preds[n.value].push_back(pp);
-      }
-    }
-  }
-
-  std::vector<std::vector<int>> usage(cdfg::kNumUnitClasses);
-  s.dfs(0, usage);
+  const SearchContext ctx = build_context(g, opts.filter);
+  const SolveOutcome sol = solve(ctx, opts.resources, seed_latency + 1,
+                                 opts.node_limit, opts.pool, false);
 
   BnbResult result;
-  if (s.best_latency == seed_latency + 1) {
-    // Search never improved nor confirmed; fall back to the seed.
+  result.search_nodes = sol.nodes;
+  result.optimal = !sol.truncated;
+  if (sol.truncated || !sol.improved) {
+    // Never improved on the seed (search ran dry: the seed is optimal),
+    // or the search was cut off (deterministic fallback; see bnb.h).
     result.schedule = seed;
     result.latency = seed_latency;
   } else {
-    result.schedule = s.best;
-    result.latency = s.best_latency;
-  }
-  // The seeded incumbent counts as confirmed only if the search ran dry.
-  result.optimal = !s.truncated;
-  result.search_nodes = s.nodes_visited;
-  // If the search exhausted without finding anything better than the seed,
-  // the seed itself is optimal; keep it.
-  if (result.latency > seed_latency) {
-    result.schedule = seed;
-    result.latency = seed_latency;
+    result.schedule = sol.best;
+    result.latency = sol.latency;
   }
   return result;
 }
 
 MinUnitsResult bnb_min_units(const cdfg::Graph& g, int latency,
                              const BnbOptions& opts) {
-  const cdfg::TimingInfo timing = cdfg::compute_timing(g, -1, opts.filter);
-  if (latency < timing.critical_path) {
+  const SearchContext ctx = build_context(g, opts.filter);
+  if (latency < ctx.critical_path) {
     throw std::invalid_argument("bnb_min_units: latency below critical path");
   }
 
@@ -171,48 +415,154 @@ MinUnitsResult bnb_min_units(const cdfg::Graph& g, int latency,
   }
 
   MinUnitsResult result;
+  if (classes.empty()) {
+    result.total_units = 0;
+    return result;
+  }
   int base_total = 0;
   for (const std::size_t c : classes) base_total += lower[c];
 
-  // Try totals ascending; for each total, enumerate distributions of the
-  // extra units over the used classes.
+  const auto make_resources = [&](const std::vector<int>& add) {
+    ResourceSet res = ResourceSet::unlimited();
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      res.set_count(static_cast<cdfg::UnitClass>(classes[i]),
+                    lower[classes[i]] + add[i]);
+    }
+    return res;
+  };
+
+  // Warm incumbent carried across failed totals: the shortest heuristic
+  // schedule seen so far.  When it fits a later vector's resources it
+  // replaces the per-vector list-scheduling run entirely.
+  std::optional<Schedule> warm;
+  UnitUsage warm_peak;
+  int warm_len = INT_MAX;
+
+  // Try totals ascending; for each total, evaluate all distributions of
+  // the extra units concurrently.  The winner is the lexicographically
+  // first feasible vector — every vector before it is always fully
+  // evaluated (aborts only fire above an already-feasible index), so the
+  // outcome is identical at any thread count.
   for (int extra = 0;; ++extra) {
+    // Compositions of `extra` into |classes| bins, in the historical
+    // enumeration order (first bin slowest-varying, last bin remainder).
+    std::vector<std::vector<int>> adds;
     std::vector<int> add(classes.size(), 0);
-    // Enumerate compositions of `extra` into |classes| bins.
-    std::function<bool(std::size_t, int)> place = [&](std::size_t idx,
-                                                      int left) -> bool {
+    const std::function<void(std::size_t, int)> place = [&](std::size_t idx,
+                                                            int left) {
       if (idx + 1 == classes.size()) {
         add[idx] = left;
-      } else {
-        for (int give = 0; give <= left; ++give) {
-          add[idx] = give;
-          if (place(idx + 1, left - give)) return true;
-        }
-        return false;
+        adds.push_back(add);
+        return;
       }
-      ResourceSet res = ResourceSet::unlimited();
-      for (std::size_t i = 0; i < classes.size(); ++i) {
-        res.set_count(static_cast<cdfg::UnitClass>(classes[i]),
-                      lower[classes[i]] + add[i]);
+      for (int give = 0; give <= left; ++give) {
+        add[idx] = give;
+        place(idx + 1, left - give);
       }
-      BnbOptions inner = opts;
-      inner.resources = res;
-      const BnbResult r = bnb_min_latency(g, inner);
-      result.search_nodes += r.search_nodes;
-      if (!r.optimal) result.optimal = false;
-      if (r.latency <= latency) {
-        result.resources = res;
-        result.schedule = r.schedule;
-        result.total_units = base_total + extra;
-        return true;
-      }
-      return false;
     };
-    if (classes.empty()) {
-      result.total_units = 0;
+    place(0, extra);
+
+    struct Eval {
+      bool feasible = false;
+      bool truncated = false;
+      bool ran_list = false;
+      int list_len = 0;
+      std::uint64_t nodes = 0;
+      Schedule witness;
+      Schedule list_sched;
+    };
+    std::vector<Eval> evals(adds.size());
+    std::atomic<int> winner{INT_MAX};
+    const auto offer_winner = [&](int i) {
+      int cur = winner.load(std::memory_order_acquire);
+      while (i < cur &&
+             !winner.compare_exchange_weak(cur, i, std::memory_order_acq_rel)) {
+      }
+    };
+
+    exec::parallel_for(opts.pool, adds.size(), [&](std::size_t i) {
+      if (winner.load(std::memory_order_acquire) < static_cast<int>(i)) return;
+      Eval& ev = evals[i];
+      const ResourceSet res = make_resources(adds[i]);
+
+      // Heuristic-first: reuse the warm incumbent when it fits these
+      // resources, otherwise list-schedule this vector.
+      const Schedule* h = nullptr;
+      int h_len = 0;
+      bool warm_fits = warm.has_value();
+      if (warm_fits) {
+        for (const std::size_t c : classes) {
+          const int cnt = res.count(static_cast<cdfg::UnitClass>(c));
+          if (cnt >= 0 && warm_peak.peak[c] > cnt) {
+            warm_fits = false;
+            break;
+          }
+        }
+      }
+      if (warm_fits) {
+        h = &*warm;
+        h_len = warm_len;
+      } else {
+        ListScheduleOptions lopts;
+        lopts.resources = res;
+        lopts.filter = opts.filter;
+        ev.list_sched = list_schedule(g, lopts);
+        ev.list_len = ev.list_sched.length(g);
+        ev.ran_list = true;
+        h = &ev.list_sched;
+        h_len = ev.list_len;
+      }
+      if (h_len <= latency) {
+        ev.feasible = true;
+        ev.witness = *h;
+        offer_winner(static_cast<int>(i));
+        return;
+      }
+      if (winner.load(std::memory_order_acquire) < static_cast<int>(i)) return;
+
+      // Feasibility search: incumbent latency + 1, stop at the first
+      // witness (serial inside — the vectors are the parallel axis).
+      const SolveOutcome sol = solve(ctx, res, latency + 1, opts.node_limit,
+                                     nullptr, /*first_leaf_exit=*/true);
+      ev.nodes = sol.nodes;
+      ev.truncated = sol.truncated;
+      if (sol.improved) {
+        ev.feasible = true;
+        ev.witness = sol.best;
+        offer_winner(static_cast<int>(i));
+      }
+    });
+
+    int w = -1;
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      if (evals[i].feasible) {
+        w = static_cast<int>(i);
+        break;
+      }
+    }
+    if (w >= 0) {
+      // Account only the deterministically-explored prefix [0, w]; later
+      // vectors may or may not have been aborted mid-flight.
+      for (int i = 0; i <= w; ++i) {
+        result.search_nodes += evals[i].nodes;
+        if (evals[i].truncated) result.optimal = false;
+      }
+      result.resources = make_resources(adds[static_cast<std::size_t>(w)]);
+      result.schedule = evals[static_cast<std::size_t>(w)].witness;
+      result.total_units = base_total + extra;
       return result;
     }
-    if (place(0, extra)) return result;
+
+    // No winner: nothing aborted, every vector was fully evaluated.
+    for (const Eval& ev : evals) {
+      result.search_nodes += ev.nodes;
+      if (ev.truncated) result.optimal = false;
+      if (ev.ran_list && ev.list_len < warm_len) {
+        warm = ev.list_sched;
+        warm_len = ev.list_len;
+        warm_peak = peak_usage(g, *warm);
+      }
+    }
     if (extra > static_cast<int>(g.operation_count())) {
       throw std::logic_error("bnb_min_units: runaway search");
     }

@@ -1,8 +1,13 @@
 #include "sched/force_directed.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
+
+#include "cdfg/timing_cache.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 
 namespace lwm::sched {
 
@@ -58,7 +63,8 @@ Windows compute_windows(const Graph& g, const std::vector<NodeId>& order,
 
 }  // namespace
 
-Schedule force_directed_schedule(const Graph& g, const FdsOptions& opts) {
+Schedule force_directed_schedule_reference(const Graph& g,
+                                           const FdsOptions& opts) {
   const cdfg::TimingInfo base = cdfg::compute_timing(g, -1, opts.filter);
   const int latency = opts.latency < 0 ? base.critical_path : opts.latency;
   if (latency < base.critical_path) {
@@ -176,6 +182,344 @@ Schedule force_directed_schedule(const Graph& g, const FdsOptions& opts) {
     unscheduled.erase(
         std::remove(unscheduled.begin(), unscheduled.end(), best_node),
         unscheduled.end());
+  }
+  return sched;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental engine.
+//
+// Bit-identity argument: the candidate selection below reads exactly three
+// inputs — the [lo, hi] windows, the pinned set, and the distribution
+// graphs — and evaluates the reference formulas in the reference's
+// floating-point summation order.  The TimingCache maintains the same
+// integer window fixed point compute_windows() solves, the DG is rebuilt
+// from scratch each iteration in the reference's node order (so its
+// doubles are bit-equal), and a cached force vector is only reused when
+// every value it read last time is unchanged — in which case recomputing
+// it would reproduce the identical doubles.  Parallelism only distributes
+// *which* cache entries get refilled; each entry is a pure function of
+// shared read-only state, so any thread count yields the same bits.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cached total force (self + neighbor terms) of one node, one entry per
+/// step of its window at fill time.
+struct ForceVector {
+  bool valid = false;
+  int lo = 0;
+  std::vector<double> force;
+};
+
+/// Per-step dirty mask of one distribution graph between consecutive
+/// iterations.  A bitmask, not an interval: one placement can move
+/// several disjoint windows (the pinned node plus its propagation cone),
+/// and the interval hull between them would invalidate every node whose
+/// read range falls in the untouched gap.
+struct DirtyBits {
+  std::vector<std::uint64_t> w;
+  void reset(std::size_t words) { w.assign(words, 0); }
+  void clear() { std::fill(w.begin(), w.end(), 0); }
+  void mark(std::size_t s) { w[s >> 6] |= std::uint64_t{1} << (s & 63); }
+  [[nodiscard]] bool intersects(int lo, int hi) const noexcept {
+    if (hi < lo) return false;
+    const std::size_t wl = static_cast<std::size_t>(lo) >> 6;
+    const std::size_t wh = static_cast<std::size_t>(hi) >> 6;
+    const std::uint64_t mask_l = ~std::uint64_t{0} << (lo & 63);
+    const std::uint64_t mask_h =
+        (hi & 63) == 63 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << ((hi & 63) + 1)) - 1;
+    if (wl == wh) return (w[wl] & mask_l & mask_h) != 0;
+    if ((w[wl] & mask_l) != 0) return true;
+    for (std::size_t k = wl + 1; k < wh; ++k) {
+      if (w[k] != 0) return true;
+    }
+    return (w[wh] & mask_h) != 0;
+  }
+};
+
+}  // namespace
+
+Schedule force_directed_schedule(const Graph& g, const FdsOptions& opts) {
+  const int cp = cdfg::critical_path_length(g, opts.filter);
+  const int latency = opts.latency < 0 ? cp : opts.latency;
+  if (latency < cp) {
+    throw std::invalid_argument("force_directed_schedule: latency " +
+                                std::to_string(opts.latency) +
+                                " below critical path " + std::to_string(cp));
+  }
+
+  cdfg::TimingCache cache(g, latency, opts.filter);
+  const std::vector<NodeId>& order = cache.topo();
+  const std::size_t cap = g.node_capacity();
+
+  std::vector<NodeId> unscheduled;
+  for (NodeId n : order) {
+    if (cdfg::is_executable(g.node(n).kind)) unscheduled.push_back(n);
+  }
+  // Every executable node in topo order — the reference's DG build order,
+  // which includes already-pinned nodes (their windows are one step wide).
+  const std::vector<NodeId> exec_order = unscheduled;
+
+  const auto steps = static_cast<std::size_t>(latency);
+  std::vector<std::vector<double>> dg(cdfg::kNumUnitClasses,
+                                      std::vector<double>(steps, 0.0));
+  std::vector<std::vector<double>> prev_dg;
+  std::vector<DirtyBits> dirty(cdfg::kNumUnitClasses);
+  for (auto& d : dirty) d.reset((steps + 63) / 64);
+  std::vector<ForceVector> fc(cap);
+  // Nodes whose window/pinned state moved in the previous placement.
+  std::vector<char> window_moved(cap, 0);
+
+  const auto cls_of = [&](NodeId n) {
+    return static_cast<std::size_t>(cdfg::unit_class(g.node(n).kind));
+  };
+
+  // Per-node flattened neighbor lists (accepted edge kind, executable
+  // endpoint) in the reference's term order: fanin edges first, then
+  // fanout edges, duplicates preserved.  Hoisting the edge walk, the
+  // filter checks, and the class/delay lookups out of the per-step loops
+  // is what makes a refill a pure stream of dg multiply-adds.
+  struct Nb {
+    std::uint32_t node;
+    std::uint32_t cls;
+    int delay;
+    bool pred;  // fanin edge: clip the tail; fanout edge: clip the head
+  };
+  struct NodeInfo {
+    std::uint32_t cls = 0;
+    int delay = 0;
+    std::size_t nb_begin = 0, nb_end = 0;
+  };
+  std::vector<NodeInfo> info(cap);
+  std::vector<Nb> nbs;
+  for (NodeId n : unscheduled) {
+    NodeInfo& ni = info[n.value];
+    ni.cls = static_cast<std::uint32_t>(cls_of(n));
+    ni.delay = g.node(n).delay;
+    ni.nb_begin = nbs.size();
+    for (EdgeId e : g.fanin(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!opts.filter.accepts(ed.kind)) continue;
+      if (!cdfg::is_executable(g.node(ed.src).kind)) continue;
+      nbs.push_back({ed.src.value, static_cast<std::uint32_t>(cls_of(ed.src)),
+                     g.node(ed.src).delay, true});
+    }
+    for (EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!opts.filter.accepts(ed.kind)) continue;
+      if (!cdfg::is_executable(g.node(ed.dst).kind)) continue;
+      nbs.push_back({ed.dst.value, static_cast<std::uint32_t>(cls_of(ed.dst)),
+                     g.node(ed.dst).delay, false});
+    }
+    ni.nb_end = nbs.size();
+  }
+
+  // Reads dg over [lo, hi + delay) — the exact index set the reference
+  // formulas touch for a node with the given window.
+  const auto reads_dirty = [&](NodeId n) {
+    const NodeInfo& ni = info[n.value];
+    const int lo = cache.lo(n);
+    const int hi = cache.hi(n) + ni.delay - 1;
+    return dirty[ni.cls].intersects(lo, hi);
+  };
+
+  // A neighbor's state, hoisted once per refill (pins and windows only
+  // move between placements, never during the refill fan-out).
+  struct Hot {
+    const double* row;
+    int mlo, mhi, delay;
+    double p_old;
+    bool pred;
+  };
+
+  // Fills fc[n] with the reference force of every step in n's window,
+  // replicating the reference's summation order term by term: self force,
+  // then fanin terms, then fanout terms, each an independently-zeroed
+  // accumulator exactly like the reference's clipped_force locals.
+  const auto refill = [&](NodeId n, std::vector<Hot>& hot) {
+    const NodeInfo& ni = info[n.value];
+    const int lo = cache.lo(n);
+    const int hi = cache.hi(n);
+    ForceVector& out = fc[n.value];
+    out.valid = true;
+    out.lo = lo;
+    out.force.resize(static_cast<std::size_t>(hi - lo + 1));
+
+    hot.clear();
+    for (std::size_t i = ni.nb_begin; i < ni.nb_end; ++i) {
+      const Nb& nb = nbs[i];
+      const NodeId m{nb.node};
+      if (cache.is_pinned(m)) continue;  // reference skips pinned neighbors
+      const int mlo = cache.lo(m);
+      const int mhi = cache.hi(m);
+      hot.push_back({dg[nb.cls].data(), mlo, mhi, nb.delay,
+                     1.0 / (mhi - mlo + 1), nb.pred});
+    }
+
+    // The segment-split loops below walk s in the same ascending order as
+    // the reference's branchy loops and add the same products — only the
+    // in-range test moves from a per-element branch to the loop bounds —
+    // so the accumulated doubles are bit-equal.  0.0 - p is exact, so the
+    // precomputed deltas match the reference's (p_new - p_old).
+    const double* srow = dg[ni.cls].data();
+    const double p_old = 1.0 / (hi - lo + 1);
+    const double d_at = 1.0 - p_old;   // delta at s == t
+    const double d_off = 0.0 - p_old;  // delta elsewhere
+    for (int t = lo; t <= hi; ++t) {
+      double force = 0.0;
+      if (ni.delay == 1) {
+        for (int s = lo; s < t; ++s) force += srow[s] * d_off;
+        force += srow[t] * d_at;
+        for (int s = t + 1; s <= hi; ++s) force += srow[s] * d_off;
+      } else {
+        for (int s = lo; s <= hi; ++s) {
+          const double delta = (s == t) ? d_at : d_off;
+          for (int d = 0; d < ni.delay; ++d) {
+            force += srow[static_cast<std::size_t>(s + d)] * delta;
+          }
+        }
+      }
+      for (const Hot& h : hot) {
+        const int new_lo = h.pred ? std::max(0, h.mlo) : std::max(t + ni.delay, h.mlo);
+        const int new_hi = h.pred ? std::min(t - h.delay, h.mhi) : std::min(latency, h.mhi);
+        if (new_lo > new_hi) {
+          force += 1e9;  // infeasible neighbor placement
+          continue;
+        }
+        const double q_in = 1.0 / (new_hi - new_lo + 1) - h.p_old;
+        const double q_out = 0.0 - h.p_old;
+        double f = 0.0;
+        if (h.delay == 1) {
+          for (int s = h.mlo; s < new_lo; ++s) f += h.row[s] * q_out;
+          for (int s = new_lo; s <= new_hi; ++s) f += h.row[s] * q_in;
+          for (int s = new_hi + 1; s <= h.mhi; ++s) f += h.row[s] * q_out;
+        } else {
+          for (int s = h.mlo; s <= h.mhi; ++s) {
+            const double q = (s >= new_lo && s <= new_hi) ? q_in : q_out;
+            for (int d = 0; d < h.delay; ++d) {
+              f += h.row[static_cast<std::size_t>(s + d)] * q;
+            }
+          }
+        }
+        force += f;
+      }
+      out.force[static_cast<std::size_t>(t - lo)] = force;
+    }
+  };
+
+  Schedule sched(g);
+  std::vector<NodeId> stale;
+  while (!unscheduled.empty()) {
+    // Rebuild the distribution graphs from scratch in the reference's
+    // exact order — O(N x window) per iteration, bit-equal by
+    // construction — then diff against the previous iteration to learn
+    // which steps of which class actually moved.
+    for (auto& row : dg) std::fill(row.begin(), row.end(), 0.0);
+    for (const NodeId n : exec_order) {
+      const NodeInfo& ni = info[n.value];
+      const int lo = cache.lo(n);
+      const int hi = cache.hi(n);
+      const double p = 1.0 / (hi - lo + 1);
+      double* row = dg[ni.cls].data();
+      for (int t = lo; t <= hi; ++t) {
+        for (int d = 0; d < ni.delay; ++d) {
+          row[static_cast<std::size_t>(t + d)] += p;
+        }
+      }
+    }
+    if (prev_dg.empty()) {
+      prev_dg = dg;
+    } else {
+      for (std::size_t c = 0; c < dg.size(); ++c) {
+        dirty[c].clear();
+        for (std::size_t s = 0; s < steps; ++s) {
+          if (dg[c][s] != prev_dg[c][s]) dirty[c].mark(s);
+        }
+        prev_dg[c] = dg[c];
+      }
+    }
+
+    // Invalidate: a cached vector survives only if nothing it read moved
+    // — not the node's own window, not a neighbor's window or pinned
+    // state, and no DG value inside either one's read range.  The
+    // newly-pinned node itself is in window_moved even when its window
+    // was already a single step, which is what drops its contribution
+    // from its neighbors' force sums.
+    stale.clear();
+    for (NodeId n : unscheduled) {
+      ForceVector& entry = fc[n.value];
+      if (entry.valid) {
+        bool invalid = window_moved[n.value] || reads_dirty(n);
+        if (!invalid) {
+          const NodeInfo& ni = info[n.value];
+          for (std::size_t i = ni.nb_begin; i < ni.nb_end; ++i) {
+            const Nb& nb = nbs[i];
+            const NodeId m{nb.node};
+            if (window_moved[m.value]) {
+              invalid = true;
+              break;
+            }
+            if (cache.is_pinned(m)) continue;
+            if (dirty[nb.cls].intersects(cache.lo(m),
+                                         cache.hi(m) + nb.delay - 1)) {
+              invalid = true;
+              break;
+            }
+          }
+        }
+        if (!invalid) continue;
+        entry.valid = false;
+      }
+      stale.push_back(n);
+    }
+
+    // Refill the stale entries — each is a pure function of (dg, windows,
+    // pinned), all read-only here, so the fan-out is embarrassingly
+    // parallel and thread-count-invariant.  One chunk per lane: this
+    // fork-join runs once per placement, so per-task overhead (not load
+    // balance) is what limits it — the refills are near-uniform.
+    const std::size_t lanes =
+        opts.pool == nullptr
+            ? 1
+            : static_cast<std::size_t>(opts.pool->concurrency());
+    exec::parallel_for_ranges(opts.pool, stale.size(), lanes,
+                              [&](std::size_t b, std::size_t e) {
+                                std::vector<Hot> scratch;
+                                for (std::size_t i = b; i < e; ++i) {
+                                  refill(stale[i], scratch);
+                                }
+                              });
+
+    // Candidate selection: the reference's scan order and strict-<
+    // tie-break over the cached (bit-identical) force values.
+    NodeId best_node;
+    int best_step = -1;
+    double best_force = 0.0;
+    bool have_best = false;
+    for (NodeId n : unscheduled) {
+      const ForceVector& entry = fc[n.value];
+      const int lo = cache.lo(n);
+      const int hi = cache.hi(n);
+      for (int t = lo; t <= hi; ++t) {
+        const double force = entry.force[static_cast<std::size_t>(t - lo)];
+        if (!have_best || force < best_force) {
+          have_best = true;
+          best_force = force;
+          best_node = n;
+          best_step = t;
+        }
+      }
+    }
+
+    cache.pin(best_node, best_step);
+    sched.set_start(best_node, best_step);
+    unscheduled.erase(
+        std::remove(unscheduled.begin(), unscheduled.end(), best_node),
+        unscheduled.end());
+    std::fill(window_moved.begin(), window_moved.end(), 0);
+    for (NodeId n : cache.last_changed()) window_moved[n.value] = 1;
   }
   return sched;
 }

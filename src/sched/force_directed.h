@@ -8,11 +8,27 @@
 // count.  It honors temporal watermark edges like any other precedence,
 // which is exactly how the watermarking protocol stays transparent to the
 // synthesis tool.
+//
+// Two implementations share this interface:
+//   * force_directed_schedule() — the incremental engine: windows come
+//     from a cdfg::TimingCache (only the pinned cone re-relaxed per
+//     iteration) and per-node force vectors are cached across iterations,
+//     recomputed — optionally in parallel — only when the last placement
+//     touched the node's window, a neighbor's window, or the distribution
+//     graph inside the steps the node reads.  Bit-identical to the
+//     reference at every thread count.
+//   * force_directed_schedule_reference() — the original from-scratch
+//     O(iterations x nodes x steps) loop, kept as the equivalence oracle
+//     for tests and the baseline for benchmarks.
 #pragma once
 
 #include "cdfg/analysis.h"
 #include "cdfg/graph.h"
 #include "sched/schedule.h"
+
+namespace lwm::exec {
+class ThreadPool;
+}  // namespace lwm::exec
 
 namespace lwm::sched {
 
@@ -20,11 +36,19 @@ struct FdsOptions {
   /// Latency bound (control steps). -1 means "critical path".
   int latency = -1;
   cdfg::EdgeFilter filter = cdfg::EdgeFilter::all();
+  /// Optional pool for the force-recompute fan-out; null runs serially.
+  /// The schedule is bit-identical at every concurrency.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Schedules every executable node of `g` within the latency bound.
 /// Throws std::invalid_argument if the bound is below the critical path.
 [[nodiscard]] Schedule force_directed_schedule(const cdfg::Graph& g,
                                                const FdsOptions& opts = {});
+
+/// The original from-scratch implementation (serial; ignores opts.pool).
+/// Exists as the oracle: force_directed_schedule() must match it exactly.
+[[nodiscard]] Schedule force_directed_schedule_reference(
+    const cdfg::Graph& g, const FdsOptions& opts = {});
 
 }  // namespace lwm::sched

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "cdfg/analysis.h"
+#include "cdfg/timing_cache.h"
 
 namespace lwm::wm {
 
@@ -79,37 +80,13 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
   // Draw temporal edges: each n_i targets a later T'' member with an
   // overlapping window; adding n_i -> n_k must not close a cycle through
   // graph edges, earlier embedded watermarks, or the edges planned so
-  // far.  BFS over the combined relation (graph ∪ planned constraints);
-  // planned edges are kept indexed by source so each visited node costs
-  // its out-degree, not a rescan of every constraint drawn so far.
-  std::vector<std::vector<NodeId>> planned_out(g.node_capacity());
-  auto reaches_with_planned = [&](NodeId src, NodeId dst) {
-    if (src == dst) return true;
-    std::vector<bool> seen(g.node_capacity(), false);
-    std::vector<NodeId> queue{src};
-    seen[src.value] = true;
-    while (!queue.empty()) {
-      const NodeId n = queue.back();
-      queue.pop_back();
-      auto visit = [&](NodeId next) {
-        if (next == dst) return true;
-        if (!seen[next.value]) {
-          seen[next.value] = true;
-          queue.push_back(next);
-        }
-        return false;
-      };
-      for (cdfg::EdgeId e : g.fanout(n)) {
-        if (visit(g.edge(e).dst)) return true;
-      }
-      for (const NodeId next : planned_out[n.value]) {
-        if (visit(next)) return true;
-      }
-    }
-    return false;
-  };
+  // far.  The TimingCache transitive closure answers each cycle check
+  // with an O(V/64) bitset probe, and every planned edge is folded into
+  // the closure once — no per-query traversal of graph ∪ planned edges.
+  cdfg::TimingCache closure(g, -1, cdfg::EdgeFilter::all(),
+                            /*with_reachability=*/true);
   auto creates_cycle = [&](NodeId from, NodeId to) {
-    return reaches_with_planned(to, from);
+    return closure.reaches(to, from);
   };
 
   for (std::size_t i = 0; i < t_second.size(); ++i) {
@@ -126,7 +103,7 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
         partners[stream.next_uint(static_cast<std::uint32_t>(partners.size()))];
     wm.constraints.push_back(
         TemporalConstraint{ni, nk, position.at(ni), position.at(nk)});
-    planned_out[ni.value].push_back(nk);
+    closure.add_extra_edge(ni, nk);
   }
   if (static_cast<int>(wm.constraints.size()) < std::max(1, opts.min_edges)) {
     return std::nullopt;
