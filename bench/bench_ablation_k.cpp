@@ -69,5 +69,6 @@ int main(int argc, char** argv) {
   json.add("k_values", static_cast<long long>(ks.size()));
   json.add("log10_pc_at_max_k", last_pc);
   json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

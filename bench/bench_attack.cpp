@@ -119,5 +119,6 @@ int main(int argc, char** argv) {
   json.add("detected_at_max_moves", detected_max_moves);
   json.add("detected_after_reschedule", survive_resched);
   json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

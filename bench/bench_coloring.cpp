@@ -102,5 +102,6 @@ int main(int argc, char** argv) {
   json.add("detected", detected);
   json.add("log10_pc", wm::log10_color_pc(marked, marks));
   json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

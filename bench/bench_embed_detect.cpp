@@ -146,5 +146,6 @@ int main(int argc, char** argv) {
   json.add("threads", args.threads);
   json.add("wall_ms", wall.elapsed_ms());
   json.add("count", detected_total);
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

@@ -153,5 +153,6 @@ int main(int argc, char** argv) {
   json.add("marked_count", static_cast<unsigned long long>(marked_count.count));
   json.add("edges", static_cast<long long>(wm->constraints.size()));
   json.add("log10_pc_exact", exact.log10_pc);
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
     json.add("threads", args.threads);
     json.add("enforced", 0);
     json.add("wall_ms", wall.elapsed_ms());
+    bench::attach_obs(json, args);
     return json.write(args.json_path) ? 0 : 1;
   }
 
@@ -122,5 +123,6 @@ int main(int argc, char** argv) {
   json.add("cover_base", base.match_count());
   json.add("cover_marked", marked.match_count());
   json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

@@ -106,5 +106,6 @@ int main(int argc, char** argv) {
   json.add("full_stack_area_overhead_pct", last_overhead_pct);
   json.add("full_stack_log10_pc", last_pc);
   json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

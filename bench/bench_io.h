@@ -1,11 +1,15 @@
 // bench_io.h — shared CLI + JSON plumbing for the bench binaries.
 //
 // Every bench accepts `--threads N` (pool concurrency; 1 = serial),
-// `--json PATH` (override the default BENCH_<name>.json), and `--smoke`
+// `--json PATH` (override the default BENCH_<name>.json), `--smoke`
 // (shrink the sweep to a seconds-long sanity pass — the `bench-smoke`
-// ctest label runs every bench this way), and emits a small flat JSON
-// object — wall time, thread count, and the headline counts — so
-// successive PRs can chart the perf trajectory from the same artifacts.
+// ctest label runs every bench this way), and `--trace PATH` (write a
+// Chrome trace_event JSON of every span recorded during the run; needs
+// a build with LWM_OBS=ON).  Each bench emits a small flat JSON object
+// — wall time, thread count, and the headline counts — so successive
+// PRs can chart the perf trajectory from the same artifacts.  With
+// LWM_OBS=ON the object also carries the whole observability registry
+// under an "obs" key (see attach_obs).
 #pragma once
 
 #include <chrono>
@@ -16,12 +20,18 @@
 #include <variant>
 #include <vector>
 
+#include "obs/obs.h"
+#if LWM_OBS_ENABLED
+#include "obs/export.h"
+#endif
+
 namespace lwm::bench {
 
 struct Args {
   int threads = 1;
   bool smoke = false;
   std::string json_path;
+  std::string trace_path;  // empty = no trace requested
 };
 
 inline Args parse_args(int argc, char** argv, const char* default_json) {
@@ -33,16 +43,29 @@ inline Args parse_args(int argc, char** argv, const char* default_json) {
       if (args.threads < 1) args.threads = 1;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       args.smoke = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--json PATH] [--smoke]\n"
+                   "usage: %s [--threads N] [--json PATH] [--smoke]"
+                   " [--trace PATH]\n"
                    "  unknown argument: %s\n",
                    argv[0], argv[i]);
       std::exit(2);
     }
   }
+#if LWM_OBS_ENABLED
+  if (!args.trace_path.empty()) {
+    lwm::obs::Registry::instance().enable_tracing(true);
+  }
+#else
+  if (!args.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "warning: --trace ignored (built with LWM_OBS=OFF)\n");
+  }
+#endif
   return args;
 }
 
@@ -59,7 +82,36 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Flat JSON object writer: numbers and strings only, insertion order.
+/// Escapes `s` for placement inside a JSON string literal: quotes,
+/// backslashes, and control characters (the three classes RFC 8259
+/// forbids raw).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Flat JSON object writer: numbers, strings, and pre-rendered JSON
+/// values, in insertion order.
 class JsonObject {
  public:
   void add(const std::string& key, double v) { fields_.emplace_back(key, v); }
@@ -73,6 +125,39 @@ class JsonObject {
   void add(const std::string& key, const std::string& v) {
     fields_.emplace_back(key, v);
   }
+  /// Splices `json_text` in verbatim as the value — the caller promises
+  /// it is already well-formed JSON (an object, array, or literal).
+  void add_raw(const std::string& key, std::string json_text) {
+    fields_.emplace_back(key, RawJson{std::move(json_text)});
+  }
+
+  /// Renders the object; exposed separately from write() so tests can
+  /// round-trip the output without the filesystem.
+  [[nodiscard]] std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\n  \"" + json_escape(fields_[i].first) + "\": ";
+      const Value& v = fields_[i].second;
+      char buf[32];
+      if (const auto* d = std::get_if<double>(&v)) {
+        std::snprintf(buf, sizeof buf, "%.6f", *d);
+        out += buf;
+      } else if (const auto* ll = std::get_if<long long>(&v)) {
+        std::snprintf(buf, sizeof buf, "%lld", *ll);
+        out += buf;
+      } else if (const auto* ull = std::get_if<unsigned long long>(&v)) {
+        std::snprintf(buf, sizeof buf, "%llu", *ull);
+        out += buf;
+      } else if (const auto* raw = std::get_if<RawJson>(&v)) {
+        out += raw->text;
+      } else {
+        out += "\"" + json_escape(std::get<std::string>(v)) + "\"";
+      }
+    }
+    out += "\n}\n";
+    return out;
+  }
 
   bool write(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -80,31 +165,37 @@ class JsonObject {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{");
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      if (i != 0) std::fprintf(f, ",");
-      std::fprintf(f, "\n  \"%s\": ", fields_[i].first.c_str());
-      const Value& v = fields_[i].second;
-      if (const auto* d = std::get_if<double>(&v)) {
-        std::fprintf(f, "%.6f", *d);
-      } else if (const auto* ll = std::get_if<long long>(&v)) {
-        std::fprintf(f, "%lld", *ll);
-      } else if (const auto* ull = std::get_if<unsigned long long>(&v)) {
-        std::fprintf(f, "%llu", *ull);
-      } else {
-        // Keys and values are bench-controlled ASCII; no escaping needed.
-        std::fprintf(f, "\"%s\"", std::get<std::string>(v).c_str());
-      }
-    }
-    std::fprintf(f, "\n}\n");
+    const std::string out = render();
+    std::fwrite(out.data(), 1, out.size(), f);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
     return true;
   }
 
  private:
-  using Value = std::variant<double, long long, unsigned long long, std::string>;
+  struct RawJson {
+    std::string text;
+  };
+  using Value =
+      std::variant<double, long long, unsigned long long, std::string, RawJson>;
   std::vector<std::pair<std::string, Value>> fields_;
 };
+
+/// End-of-run observability hook, called by every bench just before
+/// json.write(): merges the counter/histogram/span registry into the
+/// bench JSON under "obs", and writes the Chrome trace if --trace was
+/// given.  Compiled with LWM_OBS=OFF this is a no-op, so the bench JSON
+/// is byte-identical to the pre-observability output.
+inline void attach_obs(JsonObject& json, const Args& args) {
+#if LWM_OBS_ENABLED
+  json.add_raw("obs", lwm::obs::registry_json());
+  if (!args.trace_path.empty()) {
+    lwm::obs::write_chrome_trace(args.trace_path);
+  }
+#else
+  (void)json;
+  (void)args;
+#endif
+}
 
 }  // namespace lwm::bench

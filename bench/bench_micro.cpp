@@ -155,18 +155,28 @@ int main(int argc, char** argv) {
   int threads = 8;  // the headline is the 8-thread-vs-serial comparison
   bool smoke = false;
   std::string json_path = "BENCH_micro.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
       if (threads < 1) threads = 1;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
       bm_argv.push_back(argv[i]);
     }
   }
+#if LWM_OBS_ENABLED
+  if (!trace_path.empty()) obs::Registry::instance().enable_tracing(true);
+#else
+  if (!trace_path.empty()) {
+    std::fprintf(stderr, "warning: --trace ignored (built with LWM_OBS=OFF)\n");
+  }
+#endif
   std::string smoke_filter = "--benchmark_filter=BM_Rc4Keystream";
   if (smoke) bm_argv.push_back(smoke_filter.data());
 
@@ -215,6 +225,31 @@ int main(int argc, char** argv) {
               bnb_serial_ms, threads, bnb_par_ms, bnb_serial.latency,
               bnb_par.latency);
 
+  // Watermark round trip: embed → schedule → strip → detect on a DSP
+  // design.  Small, but it keeps the wm layer in the micro artifact (and
+  // in the --trace output) alongside the scheduler substrates.
+  const crypto::Signature sig("bench-micro", "bench-micro-key");
+  cdfg::Graph wmg =
+      dfglib::make_dsp_design("bm_wm", 14, smoke ? 120 : 300, 11);
+  wm::SchedWmOptions wopts;
+  wopts.domain.tau = 5;
+  wopts.k = 3;
+  wopts.epsilon = 0.3;
+  const bench::Stopwatch wm_watch;
+  const auto marks = wm::embed_local_watermarks(wmg, sig, 1, wopts);
+  double wm_roundtrip_ms = -1.0;
+  if (!marks.empty()) {
+    const sched::Schedule wms = sched::list_schedule(wmg);
+    wmg.strip_temporal_edges();
+    const wm::SchedRecord record = wm::SchedRecord::from(marks.front(), wmg);
+    const auto report = wm::detect_sched_watermark(wmg, wms, sig, record);
+    wm_roundtrip_ms = wm_watch.elapsed_ms();
+    std::printf("WM %s embed+detect round trip: %.2f ms (detected: %s)\n\n",
+                wmg.name().c_str(), wm_roundtrip_ms,
+                report.detected() ? "yes" : "no");
+    if (!report.detected()) return 1;
+  }
+
   bench::JsonObject json;
   json.add("bench", std::string("micro"));
   json.add("threads", threads);
@@ -227,7 +262,11 @@ int main(int argc, char** argv) {
   json.add("bnb_latency", bnb_par.latency);
   json.add("bnb_serial_ms", bnb_serial_ms);
   json.add("bnb_parallel_ms", bnb_par_ms);
+  json.add("wm_roundtrip_ms", wm_roundtrip_ms);
   json.add("wall_ms", wall.elapsed_ms());
+  bench::Args obs_args;
+  obs_args.trace_path = trace_path;
+  bench::attach_obs(json, obs_args);
   if (!json.write(json_path)) return 1;
 
   int bm_argc = static_cast<int>(bm_argv.size());

@@ -95,5 +95,6 @@ int main(int argc, char** argv) {
   json.add("detected_max", last_detected);
   json.add("log10_pc_max", last_pc);
   json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

@@ -127,5 +127,6 @@ int main(int argc, char** argv) {
            report.likely_leaker() != nullptr ? report.likely_leaker()->recipient
                                              : std::string("(none)"));
   json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

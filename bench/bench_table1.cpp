@@ -155,5 +155,6 @@ int main(int argc, char** argv) {
   json.add("wall_ms", wall.elapsed_ms());
   json.add("apps", static_cast<long long>(apps.size()));
   json.add("count", total_edges);  // temporal edges embedded across all cells
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

@@ -120,5 +120,6 @@ int main(int argc, char** argv) {
   json.add("mean_area_overhead_pct",
            overhead_rows > 0 ? sum_overhead / overhead_rows : 0.0);
   json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
   return json.write(args.json_path) ? 0 : 1;
 }

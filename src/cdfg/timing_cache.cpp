@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace lwm::cdfg {
 
 namespace {
@@ -18,6 +20,7 @@ constexpr std::uint64_t bit_mask(std::size_t v) noexcept {
 TimingCache::TimingCache(const Graph& g, int latency, EdgeFilter filter,
                          bool with_reachability)
     : g_(&g), filter_(filter), with_reach_(with_reachability) {
+  LWM_SPAN("cdfg/timing_build");
   const std::size_t cap = g.node_capacity();
   topo_ = topo_order(g, filter);
   pos_.assign(cap, -1);
@@ -206,6 +209,9 @@ void TimingCache::pin(NodeId n, int step) {
   }
   changed_.clear();
   std::fill(changed_mark_.begin(), changed_mark_.end(), false);
+#if LWM_OBS_ENABLED
+  const std::uint64_t work_before = update_work_;
+#endif
 
   const int old_lo = lo_[n.value];
   const int old_hi = hi_[n.value];
@@ -234,6 +240,10 @@ void TimingCache::pin(NodeId n, int step) {
     for (NodeId p : extra_in_[n.value]) seeds.push_back(p);
     propagate_hi(std::move(seeds));
   }
+#if LWM_OBS_ENABLED
+  LWM_COUNT("cdfg/timing_pushes", update_work_ - work_before);
+  LWM_HIST("cdfg/timing_cone", changed_.size());
+#endif
 }
 
 void TimingCache::union_descendants(NodeId src, NodeId dst) {
@@ -280,8 +290,15 @@ void TimingCache::add_extra_edge(NodeId src, NodeId dst) {
 
   changed_.clear();
   std::fill(changed_mark_.begin(), changed_mark_.end(), false);
+#if LWM_OBS_ENABLED
+  const std::uint64_t work_before = update_work_;
+#endif
   propagate_lo({dst});
   propagate_hi({src});
+#if LWM_OBS_ENABLED
+  LWM_COUNT("cdfg/timing_pushes", update_work_ - work_before);
+  LWM_HIST("cdfg/timing_cone", changed_.size());
+#endif
 }
 
 bool TimingCache::reaches(NodeId src, NodeId dst) const {

@@ -1,5 +1,12 @@
 #include "exec/thread_pool.h"
 
+#include "obs/obs.h"
+
+#if LWM_OBS_ENABLED
+#include <chrono>
+#include <utility>
+#endif
+
 namespace lwm::exec {
 
 namespace {
@@ -44,6 +51,18 @@ int ThreadPool::hardware_concurrency() noexcept {
 }
 
 void ThreadPool::submit(Task task) {
+#if LWM_OBS_ENABLED
+  // Attribute the task to the span open where it was *submitted*: the
+  // wrapper restores that span id on whichever thread runs the task, so
+  // spans opened inside nest under the logical caller, not the worker.
+  LWM_COUNT("exec/tasks_submitted", 1);
+  task = [parent = obs::current_span(), inner = std::move(task)]() mutable {
+    obs::TaskParent link(parent);
+    LWM_SPAN("exec/task");
+    LWM_COUNT("exec/tasks_run", 1);
+    inner();
+  };
+#endif
   std::size_t home;
   if (tls_pool == this) {
     home = tls_queue;
@@ -85,6 +104,7 @@ bool ThreadPool::try_pop(std::size_t home, Task& out) {
       out = std::move(victim.tasks.front());  // FIFO steal
       victim.tasks.pop_front();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      LWM_COUNT("exec/tasks_stolen", 1);
       return true;
     }
   }
@@ -108,10 +128,19 @@ void ThreadPool::worker_main(std::size_t queue_index) {
       task();
       continue;
     }
+#if LWM_OBS_ENABLED
+    const auto idle_from = std::chrono::steady_clock::now();
+#endif
     std::unique_lock<std::mutex> lock(wake_mutex_);
     wake_cv_.wait(lock, [this] {
       return stop_ || pending_.load(std::memory_order_acquire) > 0;
     });
+#if LWM_OBS_ENABLED
+    LWM_COUNT("exec/idle_ns",
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - idle_from)
+                  .count());
+#endif
     if (stop_) return;
   }
 }

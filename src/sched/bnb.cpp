@@ -13,6 +13,7 @@
 
 #include "cdfg/timing_cache.h"
 #include "exec/parallel.h"
+#include "obs/obs.h"
 #include "sched/list_sched.h"
 
 namespace lwm::sched {
@@ -151,6 +152,11 @@ struct BranchSearcher {
   std::uint64_t local_nodes = 0;
   std::uint64_t total_nodes = 0;
   bool found_leaf = false;
+  // Observability tallies: fields (not locals) so the increments stay
+  // branch-free in the hot loop and flush as one LWM_COUNT per branch.
+  std::uint64_t pruned_bound = 0;
+  std::uint64_t pruned_dominance = 0;
+  std::uint64_t incumbent_updates = 0;
 
   // Dominance memo: signature -> best prefix makespan seen.  Bounded so a
   // pathological search cannot exhaust memory; lookups still prune after
@@ -220,6 +226,7 @@ struct BranchSearcher {
       if (packed < inc.key.load(std::memory_order_relaxed)) {
         inc.best = current;
         inc.key.store(packed, std::memory_order_release);
+        ++incumbent_updates;
       }
     }
     found_leaf = true;
@@ -271,7 +278,10 @@ struct BranchSearcher {
       record_leaf();
       return;
     }
-    if (idx < memo_max_idx && !memo_allows(idx)) return;
+    if (idx < memo_max_idx && !memo_allows(idx)) {
+      ++pruned_dominance;
+      return;
+    }
     const std::size_t c = ctx.cls[idx];
     const int limit = resources.count(static_cast<cdfg::UnitClass>(c));
     const int delay = ctx.delay[idx];
@@ -280,7 +290,10 @@ struct BranchSearcher {
           (static_cast<std::uint64_t>(t + ctx.tail[idx])
            << Incumbent::kBranchShift) |
           branch;
-      if (packed >= inc.key.load(std::memory_order_acquire)) break;
+      if (packed >= inc.key.load(std::memory_order_acquire)) {
+        ++pruned_bound;
+        break;
+      }
       bool fits = true;
       if (limit >= 0) {
         for (int d = 0; d < delay && fits; ++d) {
@@ -320,6 +333,7 @@ SolveOutcome solve(const SearchContext& ctx, const ResourceSet& resources,
     return out;
   }
 
+  LWM_SPAN("bnb/solve");
   Incumbent inc(bound_init);
   Budget budget(node_limit);
 
@@ -330,6 +344,7 @@ SolveOutcome solve(const SearchContext& ctx, const ResourceSet& resources,
       static_cast<std::size_t>(std::max(0, bound_init - ctx.tail[0]));
   std::atomic<std::uint64_t> nodes_total{0};
   exec::parallel_for(pool, branches, [&](std::size_t b) {
+    LWM_SPAN("bnb/branch");
     BranchSearcher s(ctx, resources, inc, budget);
     s.memo_max_idx = ctx.ops.size() / 2;
     s.branch = b;
@@ -347,6 +362,10 @@ SolveOutcome solve(const SearchContext& ctx, const ResourceSet& resources,
     }
     s.finish();
     nodes_total.fetch_add(s.total_nodes, std::memory_order_relaxed);
+    LWM_COUNT("bnb/nodes", s.total_nodes);
+    LWM_COUNT("bnb/pruned_bound", s.pruned_bound);
+    LWM_COUNT("bnb/pruned_dominance", s.pruned_dominance);
+    LWM_COUNT("bnb/incumbent_updates", s.incumbent_updates);
   });
 
   out.truncated = budget.stop.load(std::memory_order_acquire);

@@ -10,6 +10,7 @@
 
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 
 namespace lwm::sched {
 
@@ -235,6 +236,8 @@ EnumerationResult count_schedules(const Graph& g,
                                   std::span<const ExtraPrecedence> extra,
                                   const EnumerationOptions& opts) {
   g_enumeration_calls.fetch_add(1, std::memory_order_relaxed);
+  LWM_SPAN("sched/enumerate");
+  LWM_COUNT("sched/enum_calls", 1);
 
   // Windows from the *constrained* relation (filter + extra), so ASAP/ALAP
   // already account for the watermark edges under consideration.
@@ -264,6 +267,7 @@ EnumerationResult count_schedules(const Graph& g,
     latency = cdfg::critical_path_length(g, opts.filter);
   }
   if (cp > latency) {
+    LWM_COUNT("sched/enum_pruned_infeasible", 1);
     return EnumerationResult{0, false};  // constraints unschedulable in bound
   }
   // ALAP over filter + extra.
@@ -335,7 +339,10 @@ EnumerationResult count_schedules(const Graph& g,
     }
   }
   for (std::size_t i = 0; i < k; ++i) {
-    if (lo[i] > hi[i]) return EnumerationResult{0, false};
+    if (lo[i] > hi[i]) {
+      LWM_COUNT("sched/enum_pruned_window", 1);
+      return EnumerationResult{0, false};
+    }
   }
 
   // Prune 2 — factor the subset into independent precedence components;
@@ -367,6 +374,7 @@ EnumerationResult count_schedules(const Graph& g,
   // Count per component under the shared limit; the product saturates at
   // the limit exactly like the sequential enumeration did.  A zero
   // component zeroes the product regardless of caps elsewhere.
+  LWM_HIST("sched/enum_components", components.size());
   std::uint64_t product = 1;
   bool capped = false;
   for (const Component& comp : components) {
@@ -396,6 +404,7 @@ std::vector<PsiCounts> psi_counts_batch(const Graph& g,
   if (edges.empty()) return out;
   // psi_N depends only on (subset, options): enumerate it once and share
   // it across the whole batch.
+  LWM_COUNT("wm/psi_evals", edges.size() + 1);  // psi_N once + psi_W per edge
   const EnumerationResult no_mark = count_schedules(g, subset, {}, opts);
   // The batch parallelizes across edges; the nested enumerations run
   // serially so the pool's lanes aren't oversubscribed.

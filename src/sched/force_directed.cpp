@@ -8,6 +8,7 @@
 #include "cdfg/timing_cache.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 
 namespace lwm::sched {
 
@@ -411,7 +412,9 @@ Schedule force_directed_schedule(const Graph& g, const FdsOptions& opts) {
 
   Schedule sched(g);
   std::vector<NodeId> stale;
+  LWM_SPAN("fds/schedule");
   while (!unscheduled.empty()) {
+    LWM_SPAN("fds/step");
     // Rebuild the distribution graphs from scratch in the reference's
     // exact order — O(N x window) per iteration, bit-equal by
     // construction — then diff against the previous iteration to learn
@@ -474,6 +477,9 @@ Schedule force_directed_schedule(const Graph& g, const FdsOptions& opts) {
       }
       stale.push_back(n);
     }
+    LWM_COUNT("fds/cache_hits", unscheduled.size() - stale.size());
+    LWM_COUNT("fds/cache_refills", stale.size());
+    LWM_HIST("fds/stale_set", stale.size());
 
     // Refill the stale entries — each is a pure function of (dg, windows,
     // pinned), all read-only here, so the fan-out is embarrassingly

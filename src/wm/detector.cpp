@@ -4,6 +4,7 @@
 
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 
 namespace lwm::wm {
 
@@ -80,7 +81,9 @@ SchedDetectionReport detect_sched_watermark(const Graph& suspect,
                                             const crypto::Signature& sig,
                                             const SchedRecord& record,
                                             exec::ThreadPool* pool) {
+  LWM_SPAN("wm/detect_scan");
   const std::vector<NodeId> roots = executable_roots(suspect);
+  LWM_COUNT("wm/roots_scanned", roots.size());
 
   // One partial scan per chunk of roots; merging in chunk order keeps the
   // serial semantics: best_root is the earliest root with the strictly
@@ -125,6 +128,7 @@ std::vector<SchedDetectionReport> detect_sched_watermarks(
     const Graph& suspect, const sched::Schedule& schedule,
     const crypto::Signature& sig, std::span<const SchedRecord> records,
     exec::ThreadPool* pool) {
+  LWM_SPAN("wm/detect_batch");
   std::vector<SchedDetectionReport> reports(records.size());
   if (records.empty()) return reports;
 
@@ -152,6 +156,7 @@ std::vector<SchedDetectionReport> detect_sched_watermarks(
   }
 
   const std::vector<NodeId> roots = executable_roots(suspect);
+  LWM_COUNT("wm/roots_scanned", roots.size() * records.size());
 
   // Per-chunk partials, one slot per record; merged in chunk order so the
   // per-record hits and best-root tie-breaks match the serial scan.

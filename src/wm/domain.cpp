@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.h"
+
 namespace lwm::wm {
 
 using cdfg::EdgeId;
@@ -184,6 +186,8 @@ Domain select_domain(const Graph& g, NodeId root, const crypto::Signature& sig,
   for (const NodeId n : d.ordered) {
     if (selected.count(n) != 0) d.selected.push_back(n);
   }
+  LWM_COUNT("wm/domains_carved", 1);
+  LWM_HIST("wm/domain_size", d.selected.size());
   return d;
 }
 

@@ -8,6 +8,7 @@
 #include "cdfg/analysis.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 #include "tmatch/exact_cover.h"
 
 namespace lwm::wm {
@@ -21,6 +22,8 @@ double PcEstimate::proof_of_authorship() const {
 
 PcEstimate sched_pc_exact(const Graph& g, const SchedWatermark& wm,
                           const sched::EnumerationOptions& opts) {
+  LWM_SPAN("wm/pc_exact");
+  LWM_COUNT("wm/psi_evals", 2);  // denominator + numerator enumeration
   // Enumerate over the executable members of the carved subtree.
   std::vector<NodeId> subset;
   for (const NodeId n : wm.subtree) {
@@ -80,6 +83,7 @@ double edge_order_probability(const cdfg::TimingInfo& timing, const Graph& g,
 
 PcEstimate sched_pc_window_model(const Graph& g,
                                  std::span<const SchedWatermark> marks) {
+  LWM_SPAN("wm/pc_window");
   const cdfg::TimingInfo timing =
       cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
   PcEstimate est;
@@ -107,6 +111,8 @@ PcEstimate sched_pc_sampled(const Graph& g,
   if (trials <= 0) {
     throw std::invalid_argument("sched_pc_sampled: need trials > 0");
   }
+  LWM_SPAN("wm/pc_sampled");
+  LWM_COUNT("wm/pc_trials", trials);
   const cdfg::TimingInfo timing =
       cdfg::compute_timing(g, latency, cdfg::EdgeFilter::specification());
   const std::vector<NodeId> order =

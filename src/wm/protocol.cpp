@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace lwm::wm {
 
 using cdfg::Graph;
@@ -30,12 +32,16 @@ sched::Schedule run_scheduler(const Graph& g, Scheduler which,
 SchedProtocolResult run_sched_protocol(const Graph& original,
                                        const crypto::Signature& sig,
                                        const SchedProtocolConfig& config) {
+  LWM_SPAN("wm/protocol");
   SchedProtocolResult result;
   result.solution = original;  // working copy
 
   // Preprocess: embed the signature-derived temporal edges.
-  result.marks = embed_local_watermarks(result.solution, sig,
-                                        config.watermark_count, config.wm);
+  {
+    LWM_SPAN("wm/embed");
+    result.marks = embed_local_watermarks(result.solution, sig,
+                                          config.watermark_count, config.wm);
+  }
 
   // Synthesis: the scheduler sees original + watermark constraints.
   result.schedule = run_scheduler(result.solution, config.scheduler,

@@ -7,6 +7,7 @@
 
 #include "cdfg/analysis.h"
 #include "cdfg/timing_cache.h"
+#include "obs/obs.h"
 
 namespace lwm::wm {
 
@@ -20,6 +21,7 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
   if (opts.k <= 0 || opts.epsilon <= 0.0) {
     throw std::invalid_argument("plan_sched_watermark: need k > 0 and epsilon > 0");
   }
+  LWM_SPAN("wm/plan");
   const Domain domain = select_domain(g, root, sig, opts.domain);
 
   // Timing of the *original specification*: the filters of Fig. 2 are
@@ -54,6 +56,7 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
   const int tau_prime_min =
       opts.tau_prime_min > 0 ? opts.tau_prime_min : std::max(opts.k, 2);
   if (static_cast<int>(t_prime.size()) < tau_prime_min) {
+    LWM_COUNT("wm/plans_rejected", 1);
     return std::nullopt;  // caller repeats subtree selection elsewhere
   }
   const int k = std::min<int>(opts.k, static_cast<int>(t_prime.size()));
@@ -106,8 +109,11 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
     closure.add_extra_edge(ni, nk);
   }
   if (static_cast<int>(wm.constraints.size()) < std::max(1, opts.min_edges)) {
+    LWM_COUNT("wm/plans_rejected", 1);
     return std::nullopt;
   }
+  LWM_COUNT("wm/localities_planned", 1);
+  LWM_COUNT("wm/constraints_planned", wm.constraints.size());
   return wm;
 }
 

@@ -1,0 +1,204 @@
+// Round-trip test for bench_io.h's JsonObject: the emitted text must be
+// valid JSON even when keys or string values carry quotes, backslashes,
+// or control characters (the seed wrote them raw, producing invalid
+// output).  A minimal recursive-descent parser below validates syntax
+// and unescapes strings so the test can assert value round-trips, not
+// just "contains the right substring".
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "bench_io.h"
+
+namespace {
+
+// Minimal JSON reader: objects, strings, and numbers — exactly the
+// grammar bench JSON uses.  parse() returns false on any syntax error.
+class MiniJson {
+ public:
+  bool parse(const std::string& text) {
+    text_ = &text;
+    pos_ = 0;
+    if (!parse_value()) return false;
+    skip_ws();
+    return pos_ == text.size();
+  }
+
+  // Top-level string values by key (nested objects are validated but
+  // their members are not indexed).
+  std::map<std::string, std::string> strings;
+  std::map<std::string, std::string> raw_numbers;
+  int objects_seen = 0;
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_->size() && std::isspace(static_cast<unsigned char>((*text_)[pos_]))) ++pos_;
+  }
+
+  bool parse_value() {
+    skip_ws();
+    if (pos_ >= text_->size()) return false;
+    const char c = (*text_)[pos_];
+    if (c == '{') return parse_object(/*depth=*/0);
+    if (c == '"') {
+      std::string out;
+      return parse_string(out);
+    }
+    return parse_number();
+  }
+
+  bool parse_object(int depth) {
+    ++objects_seen;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_->size() && (*text_)[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_->size() || (*text_)[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (pos_ >= text_->size()) return false;
+      const char c = (*text_)[pos_];
+      if (c == '{') {
+        if (!parse_object(depth + 1)) return false;
+      } else if (c == '"') {
+        std::string value;
+        if (!parse_string(value)) return false;
+        if (depth == 0) strings[key] = value;
+      } else {
+        const std::size_t start = pos_;
+        if (!parse_number()) return false;
+        if (depth == 0) raw_numbers[key] = text_->substr(start, pos_ - start);
+      }
+      skip_ws();
+      if (pos_ >= text_->size()) return false;
+      if ((*text_)[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if ((*text_)[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_->size() || (*text_)[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_->size()) {
+      const char c = (*text_)[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_->size()) return false;
+      const char esc = (*text_)[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_->size()) return false;
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = (*text_)[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          if (v > 0x7F) return false;  // bench strings are ASCII
+          out += static_cast<char>(v);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_->size() && ((*text_)[pos_] == '-' || (*text_)[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_->size() &&
+           (std::isdigit(static_cast<unsigned char>((*text_)[pos_])) ||
+            (*text_)[pos_] == '.')) {
+      if ((*text_)[pos_] != '.') digits = true;
+      ++pos_;
+    }
+    return digits && pos_ > start;
+  }
+
+  const std::string* text_ = nullptr;
+  std::size_t pos_ = 0;
+};
+
+TEST(BenchJson, PlainFieldsRoundTrip) {
+  lwm::bench::JsonObject json;
+  json.add("bench", std::string("micro"));
+  json.add("threads", 8);
+  json.add("wall_ms", 12.5);
+  MiniJson parsed;
+  ASSERT_TRUE(parsed.parse(json.render()));
+  EXPECT_EQ(parsed.strings.at("bench"), "micro");
+  EXPECT_EQ(parsed.raw_numbers.at("threads"), "8");
+}
+
+TEST(BenchJson, EscapesQuotesBackslashesAndControls) {
+  lwm::bench::JsonObject json;
+  const std::string nasty = "he said \"hi\\there\"\nnew\tline\x01end";
+  json.add("note", nasty);
+  json.add("path", std::string("C:\\tmp\\out.json"));
+  const std::string text = json.render();
+  MiniJson parsed;
+  ASSERT_TRUE(parsed.parse(text)) << text;
+  EXPECT_EQ(parsed.strings.at("note"), nasty);
+  EXPECT_EQ(parsed.strings.at("path"), "C:\\tmp\\out.json");
+}
+
+TEST(BenchJson, EscapesKeysToo) {
+  lwm::bench::JsonObject json;
+  json.add("odd \"key\"\n", 1);
+  MiniJson parsed;
+  ASSERT_TRUE(parsed.parse(json.render()));
+  EXPECT_EQ(parsed.raw_numbers.at("odd \"key\"\n"), "1");
+}
+
+TEST(BenchJson, RawValuesSpliceAsNestedJson) {
+  lwm::bench::JsonObject json;
+  json.add("bench", std::string("t"));
+  json.add_raw("obs", "{\"counters\":{\"a/b\":3},\"histograms\":{}}");
+  MiniJson parsed;
+  ASSERT_TRUE(parsed.parse(json.render()));
+  EXPECT_GE(parsed.objects_seen, 3);  // root + obs + counters
+}
+
+TEST(BenchJson, EscapeHelperMatchesRfc8259) {
+  EXPECT_EQ(lwm::bench::json_escape("plain"), "plain");
+  EXPECT_EQ(lwm::bench::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(lwm::bench::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(lwm::bench::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(lwm::bench::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Concurrency tests (tsan label): span nesting across ThreadPool::submit
+// boundaries and sharded-counter aggregation under a real pool.  The
+// parent-propagation contract is the one traces rely on: a span opened
+// inside a pool task must report the span open at the *submit* site as
+// its ancestor, whatever thread the task landed on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "obs/obs.h"
+
+namespace {
+
+using lwm::obs::Registry;
+using lwm::obs::TraceEvent;
+
+TEST(ObsPool, SpanParentCrossesSubmitBoundary) {
+  Registry::instance().reset();
+  Registry::instance().enable_tracing(true);
+  lwm::exec::ThreadPool pool(4);
+
+  std::uint64_t outer_id = 0;
+  {
+    LWM_SPAN("pooltest/outer");
+    outer_id = lwm::obs::current_span();
+    lwm::exec::parallel_for(&pool, 256, [](std::size_t) {
+      LWM_SPAN("pooltest/inner");
+    });
+  }
+  Registry::instance().enable_tracing(false);
+
+  const std::vector<TraceEvent> events = Registry::instance().trace_events();
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  for (const TraceEvent& ev : events) by_id.emplace(ev.id, &ev);
+
+  int tasks = 0;
+  int inners = 0;
+  for (const TraceEvent& ev : events) {
+    if (std::string_view(ev.name) == "exec/task") {
+      // Every pool task was submitted while the outer span was open.
+      EXPECT_EQ(ev.parent, outer_id);
+      ++tasks;
+    } else if (std::string_view(ev.name) == "pooltest/inner") {
+      // Every inner span nests under the task wrapper's span, and
+      // through it under the outer span — the full logical chain.
+      const auto it = by_id.find(ev.parent);
+      ASSERT_NE(it, by_id.end());
+      EXPECT_EQ(std::string_view(it->second->name), "exec/task");
+      EXPECT_EQ(it->second->parent, outer_id);
+      ++inners;
+    }
+  }
+  EXPECT_GT(tasks, 0);
+  EXPECT_GT(inners, 0);
+  ASSERT_NE(by_id.find(outer_id), by_id.end());
+  EXPECT_EQ(by_id.at(outer_id)->parent, 0u);
+}
+
+TEST(ObsPool, CountersAggregateAcrossPoolThreads) {
+  Registry::instance().reset();
+  lwm::exec::ThreadPool pool(8);
+  constexpr std::size_t kItems = 10000;
+  lwm::exec::parallel_for(&pool, kItems, [](std::size_t) {
+    LWM_COUNT("pooltest/items", 1);
+    LWM_HIST("pooltest/sizes", 17);
+  });
+  EXPECT_EQ(Registry::instance().counter("pooltest/items").total(), kItems);
+  const auto s = Registry::instance().histogram("pooltest/sizes").snapshot();
+  EXPECT_EQ(s.count, kItems);
+  EXPECT_EQ(s.sum, kItems * 17);
+  EXPECT_EQ(s.max, 17u);
+}
+
+TEST(ObsPool, NestedSubmitChainsParents) {
+  Registry::instance().reset();
+  Registry::instance().enable_tracing(true);
+  lwm::exec::ThreadPool pool(4);
+  {
+    LWM_SPAN("pooltest/root");
+    lwm::exec::parallel_for(&pool, 8, [&pool](std::size_t) {
+      LWM_SPAN("pooltest/mid");
+      // A second fork-join from inside a pool task: its tasks must chain
+      // to the mid span, not to the root or to the worker's stale state.
+      lwm::exec::parallel_for(&pool, 4, [](std::size_t) {
+        LWM_SPAN("pooltest/leaf");
+      });
+    });
+  }
+  Registry::instance().enable_tracing(false);
+
+  const std::vector<TraceEvent> events = Registry::instance().trace_events();
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  for (const TraceEvent& ev : events) by_id.emplace(ev.id, &ev);
+
+  // Walk each leaf's ancestor chain; it must pass through a mid span and
+  // terminate at the root span.
+  int leaves = 0;
+  for (const TraceEvent& ev : events) {
+    if (std::string_view(ev.name) != "pooltest/leaf") continue;
+    ++leaves;
+    bool saw_mid = false;
+    bool saw_root = false;
+    std::uint64_t cursor = ev.parent;
+    int hops = 0;
+    while (cursor != 0 && hops++ < 64) {
+      const auto it = by_id.find(cursor);
+      ASSERT_NE(it, by_id.end());
+      const std::string_view name(it->second->name);
+      if (name == "pooltest/mid") saw_mid = true;
+      if (name == "pooltest/root") saw_root = true;
+      cursor = it->second->parent;
+    }
+    EXPECT_TRUE(saw_mid);
+    EXPECT_TRUE(saw_root);
+  }
+  EXPECT_GT(leaves, 0);
+}
+
+}  // namespace
