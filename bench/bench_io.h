@@ -20,6 +20,8 @@
 #include <variant>
 #include <vector>
 
+#include "io/parse_result.h"
+#include "io/text.h"
 #include "obs/obs.h"
 #if LWM_OBS_ENABLED
 #include "obs/export.h"
@@ -34,28 +36,76 @@ struct Args {
   std::string trace_path;  // empty = no trace requested
 };
 
-inline Args parse_args(int argc, char** argv, const char* default_json) {
+/// Upper bound on --threads: far above any sane pool size, low enough
+/// that a hostile value can't make ThreadPool try to spawn millions.
+inline constexpr int kMaxThreads = 4096;
+
+/// Pure CLI parser — no exit(), no obs side effects, so the fuzz target
+/// can drive it.  The seed read `argv[++i]` for a flag's value; a flag
+/// in final position made the value `argv[argc]` (NULL) and handed it
+/// to atoi, and `--threads garbage` atoi'd to 0 and was silently
+/// clamped — both are now located errors.  Diagnostics use the argv
+/// index as the "line" (file = "<argv>").
+///
+/// When `passthrough` is non-null, unknown arguments are appended to it
+/// instead of failing (bench_micro forwards them to google-benchmark).
+inline lwm::io::ParseResult<Args> try_parse_args(
+    int argc, char* const* argv, const char* default_json,
+    std::vector<std::string>* passthrough = nullptr) {
   Args args;
   args.json_path = default_json;
+  const auto err = [](int index, std::string msg) {
+    return lwm::io::Diagnostic{"<argv>", index, 0, std::move(msg)};
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      args.threads = std::atoi(argv[++i]);
-      if (args.threads < 1) args.threads = 1;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      args.json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      args.trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+    const std::string_view arg = argv[i];
+    const auto value_of = [&](const char* flag) -> lwm::io::ParseResult<std::string> {
+      if (i + 1 >= argc) {
+        return err(i, std::string(flag) + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--threads") {
+      auto value = value_of("--threads");
+      if (!value) return value.diag();
+      const auto n = lwm::io::to_int(value.value());
+      if (!n || *n < 1 || *n > kMaxThreads) {
+        return err(i, "--threads needs an integer in [1, " +
+                          std::to_string(kMaxThreads) + "], got '" +
+                          value.value() + "'");
+      }
+      args.threads = *n;
+    } else if (arg == "--json") {
+      auto value = value_of("--json");
+      if (!value) return value.diag();
+      args.json_path = std::move(value).value();
+    } else if (arg == "--trace") {
+      auto value = value_of("--trace");
+      if (!value) return value.diag();
+      args.trace_path = std::move(value).value();
+    } else if (arg == "--smoke") {
       args.smoke = true;
+    } else if (passthrough != nullptr) {
+      passthrough->push_back(std::string(arg));
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--threads N] [--json PATH] [--smoke]"
-                   " [--trace PATH]\n"
-                   "  unknown argument: %s\n",
-                   argv[0], argv[i]);
-      std::exit(2);
+      return err(i, "unknown argument: " + std::string(arg));
     }
   }
+  return args;
+}
+
+inline Args parse_args(int argc, char** argv, const char* default_json) {
+  auto parsed = try_parse_args(argc, argv, default_json);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "%s: error: %s (argv[%d])\n"
+                 "usage: %s [--threads N] [--json PATH] [--smoke]"
+                 " [--trace PATH]\n",
+                 argv[0], parsed.diag().message.c_str(), parsed.diag().line,
+                 argv[0]);
+    std::exit(2);
+  }
+  Args args = std::move(parsed).value();
 #if LWM_OBS_ENABLED
   if (!args.trace_path.empty()) {
     lwm::obs::Registry::instance().enable_tracing(true);

@@ -150,26 +150,31 @@ BENCHMARK(BM_Rc4Keystream);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Our flags are stripped before google-benchmark sees the rest.
-  std::vector<char*> bm_argv{argv[0]};
-  int threads = 8;  // the headline is the 8-thread-vs-serial comparison
-  bool smoke = false;
-  std::string json_path = "BENCH_micro.json";
-  std::string trace_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-      if (threads < 1) threads = 1;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      bm_argv.push_back(argv[i]);
-    }
+  // Our flags are stripped before google-benchmark sees the rest; the
+  // shared strict parser rejects a valueless or non-numeric --threads
+  // instead of atoi'ing argv[argc] or garbage.
+  std::vector<std::string> bm_extra;
+  auto parsed =
+      bench::try_parse_args(argc, argv, "BENCH_micro.json", &bm_extra);
+  if (!parsed) {
+    std::fprintf(stderr, "%s: error: %s (argv[%d])\n", argv[0],
+                 parsed.diag().message.c_str(), parsed.diag().line);
+    return 2;
   }
+  bench::Args args = std::move(parsed).value();
+  // Unlike the other benches this one defaults to 8 threads (the
+  // headline is the 8-thread-vs-serial comparison), so only honor
+  // args.threads when the flag was actually given.
+  bool threads_given = false;
+  for (int i = 1; i < argc; ++i) {
+    threads_given = threads_given || std::strcmp(argv[i], "--threads") == 0;
+  }
+  const int threads = threads_given ? args.threads : 8;
+  const bool smoke = args.smoke;
+  const std::string json_path = args.json_path;
+  const std::string trace_path = args.trace_path;
+  std::vector<char*> bm_argv{argv[0]};
+  for (std::string& s : bm_extra) bm_argv.push_back(s.data());
 #if LWM_OBS_ENABLED
   if (!trace_path.empty()) obs::Registry::instance().enable_tracing(true);
 #else

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "cdfg/serialize.h"
+#include "io/source.h"
 #include "cdfg/stats.h"
 #include "dfglib/synth.h"
 #include "sched/list_sched.h"
@@ -29,12 +30,15 @@ namespace {
 
 using namespace lwm;
 
+// All user-supplied artifacts enter through the lwm::io front door:
+// open failures and oversized files become diagnostics naming the path,
+// and the parse cores locate errors as "<path> line L, col C: why".
 std::string slurp(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  return io::read_file(path).take_or_throw();
+}
+
+cdfg::Graph load_cdfg(const std::string& path) {
+  return cdfg::parse_cdfg(slurp(path), path).take_or_throw();
 }
 
 void spit(const std::string& path, const std::string& text) {
@@ -72,7 +76,7 @@ int cmd_gen(int argc, char** argv) {
 
 int cmd_stats(int argc, char** argv) {
   if (argc < 1) throw std::runtime_error("stats: missing design path");
-  const cdfg::Graph g = cdfg::from_text(slurp(argv[0]));
+  const cdfg::Graph g = load_cdfg(argv[0]);
   std::printf("%s: %s\n", g.name().c_str(),
               cdfg::compute_stats(g).to_string().c_str());
   return 0;
@@ -80,7 +84,7 @@ int cmd_stats(int argc, char** argv) {
 
 int cmd_embed(int argc, char** argv) {
   if (argc < 3) throw std::runtime_error("embed: need <design> <key> <out-prefix>");
-  cdfg::Graph g = cdfg::from_text(slurp(argv[0]));
+  cdfg::Graph g = load_cdfg(argv[0]);
   const crypto::Signature sig("lwm_tool", argv[1]);
   const std::string prefix = argv[2];
 
@@ -117,10 +121,10 @@ int cmd_detect(int argc, char** argv) {
   if (argc < 4) {
     throw std::runtime_error("detect: need <design> <schedule> <key> <records>");
   }
-  const cdfg::Graph g = cdfg::from_text(slurp(argv[0]));
-  const sched::Schedule s = sched::schedule_from_text(g, slurp(argv[1]));
+  const cdfg::Graph g = load_cdfg(argv[0]);
+  const sched::Schedule s = sched::parse_schedule(g, slurp(argv[1]), argv[1]).take_or_throw();
   const crypto::Signature sig("lwm_tool", argv[2]);
-  const wm::RecordArchive archive = wm::records_from_text(slurp(argv[3]));
+  const wm::RecordArchive archive = wm::parse_records(slurp(argv[3]), argv[3]).take_or_throw();
 
   int found = 0;
   for (std::size_t i = 0; i < archive.sched.size(); ++i) {

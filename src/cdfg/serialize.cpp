@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "io/source.h"
+#include "io/text.h"
+
 namespace lwm::cdfg {
 
 void write_text(const Graph& g, std::ostream& os) {
@@ -34,78 +37,115 @@ std::string to_text(const Graph& g) {
   return os.str();
 }
 
-namespace {
-
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("cdfg parse error at line " + std::to_string(line) +
-                           ": " + what);
-}
-
-}  // namespace
-
-Graph read_text(std::istream& is) {
+io::ParseResult<Graph> parse_cdfg(std::string_view text,
+                                  std::string_view source_name) {
   Graph g;
   std::unordered_map<std::string, NodeId> by_name;
-  std::string line;
-  int lineno = 0;
+  io::LineCursor lines(text);
   bool saw_header = false;
-  while (std::getline(is, line)) {
-    ++lineno;
-    std::istringstream ls(line);
-    std::string tok;
-    if (!(ls >> tok) || tok[0] == '#') continue;
-    if (tok == "cdfg") {
-      std::string name;
-      if (!(ls >> name)) fail(lineno, "missing graph name");
-      g.set_name(name);
+  const auto err = [&](int line, int col, std::string msg) {
+    return io::Diagnostic{std::string(source_name), line, col, std::move(msg)};
+  };
+  while (const auto line = lines.next()) {
+    const int lineno = lines.line_number();
+    io::LineLexer lx(*line);
+    const auto tok = lx.next();
+    if (!tok || tok->text[0] == '#') continue;
+    if (tok->text == "cdfg") {
+      if (saw_header) return err(lineno, tok->column, "duplicate 'cdfg' header");
+      const auto name = lx.next();
+      if (!name) return err(lineno, lx.column(), "missing graph name");
+      if (!lx.at_end()) {
+        return err(lineno, lx.column(), "trailing garbage after graph name");
+      }
+      g.set_name(std::string(name->text));
       saw_header = true;
-    } else if (tok == "node") {
-      std::string name, op;
-      if (!(ls >> name >> op)) fail(lineno, "node needs <name> <op>");
-      const auto kind = op_from_name(op);
-      if (!kind) fail(lineno, "unknown op '" + op + "'");
-      if (by_name.count(name) != 0) fail(lineno, "duplicate node '" + name + "'");
-      int delay = -1;
-      ls >> delay;  // optional
-      by_name.emplace(name, g.add_node(*kind, name, delay));
-    } else if (tok == "edge") {
-      std::string src, dst;
-      if (!(ls >> src >> dst)) fail(lineno, "edge needs <src> <dst>");
-      const auto si = by_name.find(src);
-      const auto di = by_name.find(dst);
-      if (si == by_name.end()) fail(lineno, "unknown node '" + src + "'");
-      if (di == by_name.end()) fail(lineno, "unknown node '" + dst + "'");
-      std::string kind_name;
+    } else if (!saw_header) {
+      return err(lineno, tok->column,
+                 "'" + std::string(tok->text) + "' before 'cdfg <name>' header");
+    } else if (tok->text == "node") {
+      const auto name = lx.next();
+      const auto op = lx.next();
+      if (!name || !op) {
+        return err(lineno, lx.column(), "node needs <name> <op> [delay]");
+      }
+      const auto kind = op_from_name(op->text);
+      if (!kind) {
+        return err(lineno, op->column, "unknown op '" + std::string(op->text) + "'");
+      }
+      if (by_name.count(std::string(name->text)) != 0) {
+        return err(lineno, name->column,
+                   "duplicate node '" + std::string(name->text) + "'");
+      }
+      int delay = -1;  // sentinel: add_node substitutes default_delay(kind)
+      if (const auto d = lx.next()) {
+        const auto v = io::to_int(d->text);
+        if (!v || *v < 0) {
+          return err(lineno, d->column,
+                     "node delay must be a non-negative integer, got '" +
+                         std::string(d->text) + "'");
+        }
+        if (!lx.at_end()) {
+          return err(lineno, lx.column(), "trailing garbage after node delay");
+        }
+        delay = *v;
+      }
+      by_name.emplace(std::string(name->text),
+                      g.add_node(*kind, std::string(name->text), delay));
+    } else if (tok->text == "edge") {
+      const auto src = lx.next();
+      const auto dst = lx.next();
+      if (!src || !dst) {
+        return err(lineno, lx.column(), "edge needs <src> <dst> [kind]");
+      }
+      const auto si = by_name.find(std::string(src->text));
+      const auto di = by_name.find(std::string(dst->text));
+      if (si == by_name.end()) {
+        return err(lineno, src->column, "unknown node '" + std::string(src->text) + "'");
+      }
+      if (di == by_name.end()) {
+        return err(lineno, dst->column, "unknown node '" + std::string(dst->text) + "'");
+      }
       EdgeKind kind = EdgeKind::kData;
-      if (ls >> kind_name) {
-        if (kind_name == "data") {
+      if (const auto kind_name = lx.next()) {
+        if (kind_name->text == "data") {
           kind = EdgeKind::kData;
-        } else if (kind_name == "control") {
+        } else if (kind_name->text == "control") {
           kind = EdgeKind::kControl;
-        } else if (kind_name == "temporal") {
+        } else if (kind_name->text == "temporal") {
           kind = EdgeKind::kTemporal;
         } else {
-          fail(lineno, "unknown edge kind '" + kind_name + "'");
+          return err(lineno, kind_name->column,
+                     "unknown edge kind '" + std::string(kind_name->text) + "'");
+        }
+        if (!lx.at_end()) {
+          return err(lineno, lx.column(), "trailing garbage after edge kind");
         }
       }
       try {
         g.add_edge(si->second, di->second, kind);
       } catch (const std::invalid_argument& e) {
-        fail(lineno, e.what());
+        return err(lineno, tok->column, e.what());
       }
     } else {
-      fail(lineno, "unknown directive '" + tok + "'");
+      return err(lineno, tok->column,
+                 "unknown directive '" + std::string(tok->text) + "'");
     }
   }
   if (!saw_header) {
-    throw std::runtime_error("cdfg parse error: missing 'cdfg <name>' header");
+    return err(0, 0, "missing 'cdfg <name>' header");
   }
   return g;
 }
 
+Graph read_text(std::istream& is) {
+  auto text = io::read_stream(is, "<cdfg>");
+  if (!text) throw io::ParseError(text.diag());
+  return parse_cdfg(text.value(), "<cdfg>").take_or_throw();
+}
+
 Graph from_text(const std::string& text) {
-  std::istringstream is(text);
-  return read_text(is);
+  return parse_cdfg(text, "<cdfg>").take_or_throw();
 }
 
 }  // namespace lwm::cdfg

@@ -14,8 +14,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "cdfg/graph.h"
+#include "io/parse_result.h"
 
 namespace lwm::cdfg {
 
@@ -26,8 +28,15 @@ void write_text(const Graph& g, std::ostream& os);
 /// Serializes to a string.
 [[nodiscard]] std::string to_text(const Graph& g);
 
-/// Parses the text format.  Throws std::runtime_error with a line number
-/// on any syntax error, unknown op, duplicate node, or unknown endpoint.
+/// Non-throwing parse core: syntax errors, unknown ops, duplicate
+/// nodes, unknown endpoints, bad delays, and trailing garbage all come
+/// back as a located Diagnostic.  This is the entry point for untrusted
+/// input (and the fuzz targets).
+[[nodiscard]] io::ParseResult<Graph> parse_cdfg(
+    std::string_view text, std::string_view source_name = "<cdfg>");
+
+/// Parses the text format.  Throws io::ParseError (a std::runtime_error
+/// carrying the Diagnostic) on any malformed input.
 [[nodiscard]] Graph read_text(std::istream& is);
 
 /// Parses from a string.

@@ -1,0 +1,15 @@
+#include "io/parse_result.h"
+
+namespace lwm::io {
+
+std::string Diagnostic::to_string() const {
+  std::string out = file.empty() ? std::string("<input>") : file;
+  if (line > 0) {
+    out += " line " + std::to_string(line);
+    if (column > 0) out += ", col " + std::to_string(column);
+  }
+  out += ": " + message;
+  return out;
+}
+
+}  // namespace lwm::io

@@ -1,0 +1,38 @@
+#include "io/source.h"
+
+#include <fstream>
+#include <istream>
+
+namespace lwm::io {
+
+ParseResult<std::string> read_stream(std::istream& is,
+                                     std::string_view source_name,
+                                     const ReadLimits& limits) {
+  std::string out;
+  char buf[64 * 1024];
+  while (is) {
+    is.read(buf, sizeof buf);
+    const std::size_t got = static_cast<std::size_t>(is.gcount());
+    if (got > limits.max_bytes - out.size()) {
+      return Diagnostic{std::string(source_name), 0, 0,
+                        "input exceeds " + std::to_string(limits.max_bytes) +
+                            "-byte limit"};
+    }
+    out.append(buf, got);
+  }
+  if (is.bad()) {
+    return Diagnostic{std::string(source_name), 0, 0, "read error"};
+  }
+  return out;
+}
+
+ParseResult<std::string> read_file(const std::string& path,
+                                   const ReadLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Diagnostic{path, 0, 0, "cannot open file"};
+  }
+  return read_stream(in, path, limits);
+}
+
+}  // namespace lwm::io

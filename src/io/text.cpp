@@ -1,0 +1,58 @@
+#include "io/text.h"
+
+#include <charconv>
+
+namespace lwm::io {
+
+namespace {
+
+constexpr bool is_blank(char c) { return c == ' ' || c == '\t'; }
+
+template <typename T>
+std::optional<T> from_chars_whole(std::string_view tok) {
+  // std::from_chars already rejects leading whitespace and '+'; the
+  // extra checks enforce "whole token consumed" ("3junk", "1/2") and an
+  // explicit empty-token failure ("keep=3/" yields an empty den field).
+  if (tok.empty()) return std::nullopt;
+  T value{};
+  const char* end = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(tok.data(), end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<Token> LineLexer::next() {
+  while (pos_ < line_.size() && is_blank(line_[pos_])) ++pos_;
+  if (pos_ >= line_.size()) return std::nullopt;
+  const std::size_t start = pos_;
+  while (pos_ < line_.size() && !is_blank(line_[pos_])) ++pos_;
+  return Token{line_.substr(start, pos_ - start), static_cast<int>(start) + 1};
+}
+
+bool LineLexer::at_end() const {
+  for (std::size_t i = pos_; i < line_.size(); ++i) {
+    if (!is_blank(line_[i])) return false;
+  }
+  return true;
+}
+
+std::optional<int> to_int(std::string_view tok) {
+  return from_chars_whole<int>(tok);
+}
+
+std::optional<std::uint32_t> to_u32(std::string_view tok) {
+  // from_chars<uint32_t> accepts no '-', so "-1" fails rather than wraps.
+  return from_chars_whole<std::uint32_t>(tok);
+}
+
+std::optional<double> to_double(std::string_view tok) {
+  auto v = from_chars_whole<double>(tok);
+  // Reject non-finite spellings ("inf", "nan"): no artifact field wants
+  // them and they poison downstream arithmetic silently.
+  if (v && !(*v - *v == 0.0)) return std::nullopt;
+  return v;
+}
+
+}  // namespace lwm::io

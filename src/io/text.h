@@ -1,0 +1,87 @@
+// text.h — line/token scanning with real source positions, and strict
+// numeric conversion for untrusted tokens.
+//
+// The istream >> operators the seed parsers used lose two things this
+// layer restores: the column of the token that failed, and strictness
+// (">> int" on "3junk" happily yields 3 and leaves the garbage for the
+// next extraction; std::stoi on "zz" throws).  LineCursor walks a
+// string_view into lines, LineLexer walks a line into whitespace-split
+// tokens carrying 1-based columns, and the to_*() helpers convert a
+// whole token or fail — no partial consumption, no exceptions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace lwm::io {
+
+/// Splits input into lines ('\n' separated; a trailing '\r' is stripped
+/// so CRLF artifacts parse too).  line_number() is 1-based and refers to
+/// the line most recently returned by next().
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text)
+      : rest_(text), done_(text.empty()) {}
+
+  /// Returns the next line without its terminator, or nullopt at end.
+  std::optional<std::string_view> next() {
+    if (done_) return std::nullopt;
+    const auto nl = rest_.find('\n');
+    std::string_view line;
+    if (nl == std::string_view::npos) {
+      line = rest_;
+      done_ = true;
+    } else {
+      line = rest_.substr(0, nl);
+      rest_.remove_prefix(nl + 1);
+      if (rest_.empty()) done_ = true;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++lineno_;
+    return line;
+  }
+
+  [[nodiscard]] int line_number() const noexcept { return lineno_; }
+
+ private:
+  std::string_view rest_;
+  int lineno_ = 0;
+  bool done_;
+};
+
+/// A whitespace-delimited token and the 1-based column it starts at.
+struct Token {
+  std::string_view text;
+  int column = 0;
+};
+
+/// Tokenizes one line; blanks are ' ' and '\t'.
+class LineLexer {
+ public:
+  explicit LineLexer(std::string_view line) : line_(line) {}
+
+  /// Next token, or nullopt when only whitespace remains.
+  std::optional<Token> next();
+
+  /// True when the rest of the line is blank — use to reject trailing
+  /// garbage after a directive's last expected field.
+  [[nodiscard]] bool at_end() const;
+
+  /// 1-based column one past the last consumed character (where a
+  /// "missing field" diagnostic should point).
+  [[nodiscard]] int column() const noexcept { return static_cast<int>(pos_) + 1; }
+
+ private:
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+// Strict conversions: the whole token must be consumed, base 10 only,
+// no leading whitespace or '+'.  Return nullopt on any deviation,
+// including overflow.
+[[nodiscard]] std::optional<int> to_int(std::string_view tok);
+[[nodiscard]] std::optional<std::uint32_t> to_u32(std::string_view tok);
+[[nodiscard]] std::optional<double> to_double(std::string_view tok);
+
+}  // namespace lwm::io

@@ -3,7 +3,9 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "io/source.h"
+#include "io/text.h"
 
 namespace lwm::sched {
 
@@ -21,48 +23,78 @@ std::string schedule_to_text(const cdfg::Graph& g, const Schedule& s) {
   return os.str();
 }
 
-Schedule read_schedule(const cdfg::Graph& g, std::istream& is) {
+io::ParseResult<Schedule> parse_schedule(const cdfg::Graph& g,
+                                         std::string_view text,
+                                         std::string_view source_name) {
   Schedule s(g);
-  std::string line;
-  int lineno = 0;
+  io::LineCursor lines(text);
   bool saw_header = false;
-  while (std::getline(is, line)) {
-    ++lineno;
-    std::istringstream ls(line);
-    std::string tok;
-    if (!(ls >> tok) || tok[0] == '#') continue;
-    if (tok == "schedule") {
+  const auto err = [&](int line, int col, std::string msg) {
+    return io::Diagnostic{std::string(source_name), line, col, std::move(msg)};
+  };
+  while (const auto line = lines.next()) {
+    const int lineno = lines.line_number();
+    io::LineLexer lx(*line);
+    const auto tok = lx.next();
+    if (!tok || tok->text[0] == '#') continue;
+    if (tok->text == "schedule") {
+      if (saw_header) {
+        return err(lineno, tok->column, "duplicate 'schedule' header");
+      }
+      lx.next();  // optional graph name, informational only
+      if (!lx.at_end()) {
+        return err(lineno, lx.column(), "trailing garbage after graph name");
+      }
       saw_header = true;
-    } else if (tok == "at") {
-      std::string name;
-      int step = 0;
-      if (!(ls >> name >> step)) {
-        throw std::runtime_error("schedule parse error at line " +
-                                 std::to_string(lineno) +
-                                 ": at needs <name> <step>");
+    } else if (tok->text == "at") {
+      if (!saw_header) {
+        return err(lineno, tok->column, "'at' before 'schedule' header");
       }
-      const cdfg::NodeId n = g.find(name);
+      const auto name = lx.next();
+      const auto step_tok = lx.next();
+      if (!name || !step_tok) {
+        return err(lineno, lx.column(), "at needs <name> <step>");
+      }
+      const auto step = io::to_int(step_tok->text);
+      if (!step || *step < 0) {
+        // Schedule stores -1 as "unscheduled", so a negative start would
+        // silently vanish instead of round-tripping.
+        return err(lineno, step_tok->column,
+                   "step must be a non-negative integer, got '" +
+                       std::string(step_tok->text) + "'");
+      }
+      if (!lx.at_end()) {
+        return err(lineno, lx.column(), "trailing garbage after step");
+      }
+      const cdfg::NodeId n = g.find(name->text);
       if (!n.valid()) {
-        throw std::runtime_error("schedule parse error at line " +
-                                 std::to_string(lineno) + ": unknown node '" +
-                                 name + "'");
+        return err(lineno, name->column,
+                   "unknown node '" + std::string(name->text) + "'");
       }
-      s.set_start(n, step);
+      if (s.is_scheduled(n)) {
+        return err(lineno, name->column,
+                   "node '" + std::string(name->text) + "' scheduled twice");
+      }
+      s.set_start(n, *step);
     } else {
-      throw std::runtime_error("schedule parse error at line " +
-                               std::to_string(lineno) +
-                               ": unknown directive '" + tok + "'");
+      return err(lineno, tok->column,
+                 "unknown directive '" + std::string(tok->text) + "'");
     }
   }
   if (!saw_header) {
-    throw std::runtime_error("schedule parse error: missing header");
+    return err(0, 0, "missing 'schedule' header");
   }
   return s;
 }
 
+Schedule read_schedule(const cdfg::Graph& g, std::istream& is) {
+  auto text = io::read_stream(is, "<schedule>");
+  if (!text) throw io::ParseError(text.diag());
+  return parse_schedule(g, text.value(), "<schedule>").take_or_throw();
+}
+
 Schedule schedule_from_text(const cdfg::Graph& g, const std::string& text) {
-  std::istringstream is(text);
-  return read_schedule(g, is);
+  return parse_schedule(g, text, "<schedule>").take_or_throw();
 }
 
 }  // namespace lwm::sched

@@ -11,8 +11,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "cdfg/graph.h"
+#include "io/parse_result.h"
 #include "sched/schedule.h"
 
 namespace lwm::sched {
@@ -20,7 +22,14 @@ namespace lwm::sched {
 void write_schedule(const cdfg::Graph& g, const Schedule& s, std::ostream& os);
 [[nodiscard]] std::string schedule_to_text(const cdfg::Graph& g, const Schedule& s);
 
-/// Parses against `g` (names must resolve).  Throws std::runtime_error
+/// Non-throwing parse core against `g` (names must resolve): syntax
+/// errors, unknown or twice-scheduled nodes, negative steps, and
+/// trailing garbage come back as a located Diagnostic.
+[[nodiscard]] io::ParseResult<Schedule> parse_schedule(
+    const cdfg::Graph& g, std::string_view text,
+    std::string_view source_name = "<schedule>");
+
+/// Parses against `g` (names must resolve).  Throws io::ParseError
 /// with a line number on syntax errors or unknown nodes.
 [[nodiscard]] Schedule read_schedule(const cdfg::Graph& g, std::istream& is);
 [[nodiscard]] Schedule schedule_from_text(const cdfg::Graph& g,

@@ -1,9 +1,13 @@
 #include "tmatch/library_io.h"
 
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "io/source.h"
+#include "io/text.h"
 
 namespace lwm::tmatch {
 
@@ -26,72 +30,99 @@ std::string library_to_text(const TemplateLibrary& lib) {
   return os.str();
 }
 
-namespace {
-
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("library parse error at line " +
-                           std::to_string(line) + ": " + what);
-}
-
-}  // namespace
-
-TemplateLibrary read_library(std::istream& is) {
+io::ParseResult<TemplateLibrary> parse_library(std::string_view text,
+                                               std::string_view source_name) {
   TemplateLibrary lib;
-  std::string line;
-  int lineno = 0;
+  io::LineCursor lines(text);
+  const auto err = [&](int line, int col, std::string msg) {
+    return io::Diagnostic{std::string(source_name), line, col, std::move(msg)};
+  };
 
-  if (!std::getline(is, line) || line != "templates v1") {
-    throw std::runtime_error(
-        "library parse error: missing 'templates v1' header");
+  {
+    const auto header = lines.next();
+    if (!header || *header != "templates v1") {
+      return err(header ? 1 : 0, 0, "missing 'templates v1' header");
+    }
   }
-  ++lineno;
 
   Template current;
   bool open = false;
-  auto flush = [&](int at_line) {
-    if (!open) return;
+  const auto flush = [&](int at_line) -> std::optional<io::Diagnostic> {
+    if (!open) return std::nullopt;
     try {
       lib.add(current);
     } catch (const std::invalid_argument& e) {
-      fail(at_line, e.what());
+      // TemplateLibrary::add validates tree shape (children in range,
+      // acyclic, reachable); surface its message at the template's span.
+      return err(at_line, 0, e.what());
     }
     current = Template{};
     open = false;
+    return std::nullopt;
   };
 
-  while (std::getline(is, line)) {
-    ++lineno;
-    std::istringstream ls(line);
-    std::string tok;
-    if (!(ls >> tok) || tok[0] == '#') continue;
-    if (tok == "template") {
-      flush(lineno);
-      if (!(ls >> current.name >> current.area)) {
-        fail(lineno, "template needs <name> <area>");
+  while (const auto line = lines.next()) {
+    const int lineno = lines.line_number();
+    io::LineLexer lx(*line);
+    const auto tok = lx.next();
+    if (!tok || tok->text[0] == '#') continue;
+    if (tok->text == "template") {
+      if (const auto d = flush(lineno)) return *d;
+      const auto name = lx.next();
+      const auto area_tok = lx.next();
+      if (!name || !area_tok) {
+        return err(lineno, lx.column(), "template needs <name> <area>");
       }
+      const auto area = io::to_double(area_tok->text);
+      if (!area || *area < 0.0) {
+        return err(lineno, area_tok->column,
+                   "area must be a non-negative number, got '" +
+                       std::string(area_tok->text) + "'");
+      }
+      if (!lx.at_end()) {
+        return err(lineno, lx.column(), "trailing garbage after area");
+      }
+      current.name = std::string(name->text);
+      current.area = *area;
       open = true;
-    } else if (tok == "op") {
-      if (!open) fail(lineno, "op before any template header");
-      std::string kind_name;
-      if (!(ls >> kind_name)) fail(lineno, "op needs a kind");
-      const auto kind = cdfg::op_from_name(kind_name);
-      if (!kind) fail(lineno, "unknown op kind '" + kind_name + "'");
+    } else if (tok->text == "op") {
+      if (!open) return err(lineno, tok->column, "op before any template header");
+      const auto kind_name = lx.next();
+      if (!kind_name) return err(lineno, lx.column(), "op needs a kind");
+      const auto kind = cdfg::op_from_name(kind_name->text);
+      if (!kind) {
+        return err(lineno, kind_name->column,
+                   "unknown op kind '" + std::string(kind_name->text) + "'");
+      }
       TemplateOp op;
       op.kind = *kind;
-      int child = 0;
-      while (ls >> child) op.children.push_back(child);
+      while (const auto child = lx.next()) {
+        const auto v = io::to_int(child->text);
+        if (!v) {
+          return err(lineno, child->column,
+                     "child indices must be integers, got '" +
+                         std::string(child->text) + "'");
+        }
+        op.children.push_back(*v);
+      }
       current.ops.push_back(std::move(op));
     } else {
-      fail(lineno, "unknown directive '" + tok + "'");
+      return err(lineno, tok->column,
+                 "unknown directive '" + std::string(tok->text) + "'");
     }
   }
-  flush(lineno);
+  if (const auto d = flush(lines.line_number())) return *d;
   return lib;
 }
 
+TemplateLibrary read_library(std::istream& is) {
+  auto text = io::read_stream(is, "<library>");
+  if (!text) throw io::ParseError(text.diag());
+  return parse_library(text.value(), "<library>").take_or_throw();
+}
+
 TemplateLibrary library_from_text(const std::string& text) {
-  std::istringstream is(text);
-  return read_library(is);
+  return parse_library(text, "<library>").take_or_throw();
 }
 
 }  // namespace lwm::tmatch

@@ -10,7 +10,9 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
+#include "io/parse_result.h"
 #include "tmatch/template_lib.h"
 
 namespace lwm::tmatch {
@@ -18,7 +20,13 @@ namespace lwm::tmatch {
 void write_library(const TemplateLibrary& lib, std::ostream& os);
 [[nodiscard]] std::string library_to_text(const TemplateLibrary& lib);
 
-/// Throws std::runtime_error with a line number on malformed input or
+/// Non-throwing parse core: malformed input, invalid template trees,
+/// bad areas/child indices, and trailing garbage come back as a located
+/// Diagnostic.
+[[nodiscard]] io::ParseResult<TemplateLibrary> parse_library(
+    std::string_view text, std::string_view source_name = "<library>");
+
+/// Throws io::ParseError with a line number on malformed input or
 /// invalid template trees.
 [[nodiscard]] TemplateLibrary read_library(std::istream& is);
 [[nodiscard]] TemplateLibrary library_from_text(const std::string& text);

@@ -1,9 +1,12 @@
 #include "wm/records_io.h"
 
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "io/source.h"
+#include "io/text.h"
 
 namespace lwm::wm {
 
@@ -21,11 +24,6 @@ void write_common(std::ostream& os, const DomainKey& key,
   (void)key;
 }
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("records parse error at line " +
-                           std::to_string(line) + ": " + what);
-}
-
 /// Parses "k=v" tokens like tau=8 keep=1/2 m=4 pairs=3.
 struct Fields {
   int tau = -1;
@@ -34,39 +32,6 @@ struct Fields {
   int m = -1;
   int pairs = -1;
 };
-
-Fields parse_fields(std::istringstream& ls, int lineno) {
-  Fields f;
-  std::string tok;
-  while (ls >> tok) {
-    const auto eq = tok.find('=');
-    if (eq == std::string::npos) fail(lineno, "expected key=value, got '" + tok + "'");
-    const std::string key = tok.substr(0, eq);
-    const std::string value = tok.substr(eq + 1);
-    try {
-      if (key == "tau") {
-        f.tau = std::stoi(value);
-      } else if (key == "keep") {
-        const auto slash = value.find('/');
-        if (slash == std::string::npos) fail(lineno, "keep needs num/den");
-        f.keep_num = static_cast<std::uint32_t>(std::stoul(value.substr(0, slash)));
-        f.keep_den = static_cast<std::uint32_t>(std::stoul(value.substr(slash + 1)));
-      } else if (key == "m") {
-        f.m = std::stoi(value);
-      } else if (key == "pairs") {
-        f.pairs = std::stoi(value);
-      } else {
-        fail(lineno, "unknown field '" + key + "'");
-      }
-    } catch (const std::logic_error&) {
-      fail(lineno, "bad number in '" + tok + "'");
-    }
-  }
-  if (f.tau <= 0 || f.keep_den == 0 || f.pairs < 0) {
-    fail(lineno, "missing tau/keep/pairs");
-  }
-  return f;
-}
 
 }  // namespace
 
@@ -91,15 +56,20 @@ std::string to_text(const RecordArchive& archive) {
   return os.str();
 }
 
-RecordArchive read_records(std::istream& is) {
+io::ParseResult<RecordArchive> parse_records(std::string_view text,
+                                             std::string_view source_name) {
   RecordArchive archive;
-  std::string line;
-  int lineno = 0;
+  io::LineCursor lines(text);
+  const auto err = [&](int line, int col, std::string msg) {
+    return io::Diagnostic{std::string(source_name), line, col, std::move(msg)};
+  };
 
-  if (!std::getline(is, line) || line != "lwm-records v1") {
-    throw std::runtime_error("records parse error: missing 'lwm-records v1' header");
+  {
+    const auto header = lines.next();
+    if (!header || *header != "lwm-records v1") {
+      return err(header ? 1 : 0, 0, "missing 'lwm-records v1' header");
+    }
   }
-  ++lineno;
 
   enum class Mode { kNone, kSched, kReg } mode = Mode::kNone;
   SchedRecord cur_sched;
@@ -108,13 +78,82 @@ RecordArchive read_records(std::istream& is) {
   int seen_pairs = 0;
   bool seen_ops = false;
 
-  auto flush = [&](int at_line) {
-    if (mode == Mode::kNone) return;
-    if (seen_pairs != expected_pairs) {
-      fail(at_line, "expected " + std::to_string(expected_pairs) +
-                        " pos lines, saw " + std::to_string(seen_pairs));
+  // The seed's uncaught-std::stoi crash lived here: tau=x threw
+  // invalid_argument, keep=3/ called stoul(""), tau=99…9 threw
+  // out_of_range, and keep=1/0 sailed through into ratio arithmetic.
+  // All four are now located diagnostics from strict conversions.
+  const auto parse_fields = [&](io::LineLexer& lx,
+                                int lineno) -> io::ParseResult<Fields> {
+    Fields f;
+    while (const auto tok = lx.next()) {
+      const auto eq = tok->text.find('=');
+      if (eq == std::string_view::npos) {
+        return err(lineno, tok->column,
+                   "expected key=value, got '" + std::string(tok->text) + "'");
+      }
+      const std::string_view key = tok->text.substr(0, eq);
+      const std::string_view value = tok->text.substr(eq + 1);
+      const int value_col = tok->column + static_cast<int>(eq) + 1;
+      if (key == "tau") {
+        const auto v = io::to_int(value);
+        if (!v || *v <= 0) {
+          return err(lineno, value_col,
+                     "tau must be a positive integer, got '" +
+                         std::string(value) + "'");
+        }
+        f.tau = *v;
+      } else if (key == "keep") {
+        const auto slash = value.find('/');
+        if (slash == std::string_view::npos) {
+          return err(lineno, value_col, "keep needs num/den");
+        }
+        const auto num = io::to_u32(value.substr(0, slash));
+        const auto den = io::to_u32(value.substr(slash + 1));
+        if (!num || !den) {
+          return err(lineno, value_col,
+                     "keep needs unsigned num/den, got '" + std::string(value) +
+                         "'");
+        }
+        if (*den == 0) {
+          return err(lineno, value_col + static_cast<int>(slash) + 1,
+                     "keep denominator must be nonzero");
+        }
+        f.keep_num = *num;
+        f.keep_den = *den;
+      } else if (key == "m") {
+        const auto v = io::to_int(value);
+        if (!v || *v < 0) {
+          return err(lineno, value_col,
+                     "m must be a non-negative integer, got '" +
+                         std::string(value) + "'");
+        }
+        f.m = *v;
+      } else if (key == "pairs") {
+        const auto v = io::to_int(value);
+        if (!v || *v < 0) {
+          return err(lineno, value_col,
+                     "pairs must be a non-negative integer, got '" +
+                         std::string(value) + "'");
+        }
+        f.pairs = *v;
+      } else {
+        return err(lineno, tok->column, "unknown field '" + std::string(key) + "'");
+      }
     }
-    if (!seen_ops) fail(at_line, "record missing ops line");
+    if (f.tau <= 0 || f.keep_den == 0 || f.pairs < 0) {
+      return err(lineno, 0, "missing tau/keep/pairs");
+    }
+    return f;
+  };
+
+  const auto flush = [&](int at_line) -> std::optional<io::Diagnostic> {
+    if (mode == Mode::kNone) return std::nullopt;
+    if (seen_pairs != expected_pairs) {
+      return err(at_line, 0,
+                 "expected " + std::to_string(expected_pairs) +
+                     " pos lines, saw " + std::to_string(seen_pairs));
+    }
+    if (!seen_ops) return err(at_line, 0, "record missing ops line");
     if (mode == Mode::kSched) {
       archive.sched.push_back(std::move(cur_sched));
       cur_sched = SchedRecord{};
@@ -124,60 +163,88 @@ RecordArchive read_records(std::istream& is) {
     }
     seen_pairs = 0;
     seen_ops = false;
+    return std::nullopt;
   };
 
-  while (std::getline(is, line)) {
-    ++lineno;
-    std::istringstream ls(line);
-    std::string tok;
-    if (!(ls >> tok) || tok[0] == '#') continue;
-    if (tok == "sched" || tok == "reg") {
-      flush(lineno);
-      const Fields f = parse_fields(ls, lineno);
+  while (const auto line = lines.next()) {
+    const int lineno = lines.line_number();
+    io::LineLexer lx(*line);
+    const auto tok = lx.next();
+    if (!tok || tok->text[0] == '#') continue;
+    if (tok->text == "sched" || tok->text == "reg") {
+      if (const auto d = flush(lineno)) return *d;
+      auto fields = parse_fields(lx, lineno);
+      if (!fields) return fields.diag();
+      const Fields f = fields.value();
       DomainKey key;
       key.tau = f.tau;
       key.keep_num = f.keep_num;
       key.keep_den = f.keep_den;
       expected_pairs = f.pairs;
-      if (tok == "sched") {
+      if (tok->text == "sched") {
         mode = Mode::kSched;
         cur_sched.domain = key;
       } else {
-        if (f.m < 0) fail(lineno, "reg record missing m");
+        if (f.m < 0) return err(lineno, 0, "reg record missing m");
         mode = Mode::kReg;
         cur_reg.domain = key;
         cur_reg.m = f.m;
       }
-    } else if (tok == "pos") {
-      if (mode == Mode::kNone) fail(lineno, "pos before record header");
-      int s = 0;
-      int t = 0;
-      if (!(ls >> s >> t)) fail(lineno, "pos needs two integers");
+    } else if (tok->text == "pos") {
+      if (mode == Mode::kNone) {
+        return err(lineno, tok->column, "pos before record header");
+      }
+      const auto s = lx.next();
+      if (!s) return err(lineno, lx.column(), "pos needs two integers");
+      const auto sv = io::to_int(s->text);
+      if (!sv) return err(lineno, s->column, "pos needs two integers");
+      const auto t = lx.next();
+      if (!t) return err(lineno, lx.column(), "pos needs two integers");
+      const auto tv = io::to_int(t->text);
+      if (!tv) return err(lineno, t->column, "pos needs two integers");
+      if (!lx.at_end()) {
+        return err(lineno, lx.column(), "trailing garbage after pos pair");
+      }
       if (mode == Mode::kSched) {
-        cur_sched.positions.emplace_back(s, t);
+        cur_sched.positions.emplace_back(*sv, *tv);
       } else {
-        cur_reg.positions.emplace_back(s, t);
+        cur_reg.positions.emplace_back(*sv, *tv);
       }
       ++seen_pairs;
-    } else if (tok == "ops") {
-      if (mode == Mode::kNone) fail(lineno, "ops before record header");
+    } else if (tok->text == "ops") {
+      if (mode == Mode::kNone) {
+        return err(lineno, tok->column, "ops before record header");
+      }
       std::vector<int>& target =
           mode == Mode::kSched ? cur_sched.subtree_ops : cur_reg.subtree_ops;
-      int id = 0;
-      while (ls >> id) target.push_back(id);
-      if (target.empty()) fail(lineno, "ops line is empty");
+      while (const auto id = lx.next()) {
+        const auto v = io::to_int(id->text);
+        if (!v) {
+          return err(lineno, id->column,
+                     "ops ids must be integers, got '" + std::string(id->text) +
+                         "'");
+        }
+        target.push_back(*v);
+      }
+      if (target.empty()) return err(lineno, tok->column, "ops line is empty");
       seen_ops = true;
     } else {
-      fail(lineno, "unknown directive '" + tok + "'");
+      return err(lineno, tok->column,
+                 "unknown directive '" + std::string(tok->text) + "'");
     }
   }
-  flush(lineno);
+  if (const auto d = flush(lines.line_number())) return *d;
   return archive;
 }
 
+RecordArchive read_records(std::istream& is) {
+  auto text = io::read_stream(is, "<records>");
+  if (!text) throw io::ParseError(text.diag());
+  return parse_records(text.value(), "<records>").take_or_throw();
+}
+
 RecordArchive records_from_text(const std::string& text) {
-  std::istringstream is(text);
-  return read_records(is);
+  return parse_records(text, "<records>").take_or_throw();
 }
 
 }  // namespace lwm::wm

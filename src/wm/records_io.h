@@ -18,8 +18,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "io/parse_result.h"
 #include "wm/detector.h"
 #include "wm/reg_constraints.h"
 
@@ -34,7 +36,13 @@ struct RecordArchive {
 void write_records(const RecordArchive& archive, std::ostream& os);
 [[nodiscard]] std::string to_text(const RecordArchive& archive);
 
-/// Throws std::runtime_error with a line number on malformed input.
+/// Non-throwing parse core: malformed fields (non-numeric tau, empty
+/// keep denominator, keep_den == 0, out-of-range values), bad structure,
+/// and trailing garbage all come back as a located Diagnostic.
+[[nodiscard]] io::ParseResult<RecordArchive> parse_records(
+    std::string_view text, std::string_view source_name = "<records>");
+
+/// Throws io::ParseError with a line number on malformed input.
 [[nodiscard]] RecordArchive read_records(std::istream& is);
 [[nodiscard]] RecordArchive records_from_text(const std::string& text);
 

@@ -1,0 +1,35 @@
+// Fuzz target: the bench CLI parser.  Input lines become argv entries,
+// exercising the layer that used to read argv[argc] (NULL) on a
+// trailing --threads.  Runs both strict mode and the bench_micro-style
+// passthrough mode.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  std::vector<std::string> tokens{"fuzz_bench_args"};
+  std::size_t start = 0;
+  while (start <= text.size() && tokens.size() < 64) {
+    const auto nl = text.find('\n', start);
+    const auto end = nl == std::string_view::npos ? text.size() : nl;
+    tokens.emplace_back(text.substr(start, end - start));
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& t : tokens) argv.push_back(t.data());
+  const int argc = static_cast<int>(argv.size());
+
+  (void)lwm::bench::try_parse_args(argc, argv.data(), "FUZZ.json");
+  std::vector<std::string> passthrough;
+  (void)lwm::bench::try_parse_args(argc, argv.data(), "FUZZ.json",
+                                   &passthrough);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fuzz target: the CDFG text parser.  Any input must yield a Graph or a
+// Diagnostic — an escaping exception or a sanitizer report is a crash.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "cdfg/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)lwm::cdfg::parse_cdfg(text, "<fuzz>");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fuzz target: the template-library parser (including the tree-shape
+// validation TemplateLibrary::add performs on accepted syntax).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "tmatch/library_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)lwm::tmatch::parse_library(text, "<fuzz>");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fuzz target: the watermark-records parser — the artifact most likely
+// to be adversarial, since the accused party supplies it in a dispute.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "wm/records_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)lwm::wm::parse_records(text, "<fuzz>");
+  return 0;
+}

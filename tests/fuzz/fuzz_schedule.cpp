@@ -1,0 +1,33 @@
+// Fuzz target: the schedule parser.  Schedules parse against a graph
+// (names must resolve), so the harness binds a small fixed design whose
+// node names (in1, a, b, out1) the corpus can hit or miss.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "cdfg/serialize.h"
+#include "sched/schedule_io.h"
+
+namespace {
+
+const lwm::cdfg::Graph& fixed_graph() {
+  static const lwm::cdfg::Graph g = lwm::cdfg::from_text(
+      "cdfg fuzz-fixture\n"
+      "node in1 input\n"
+      "node a add\n"
+      "node b mul\n"
+      "node out1 output\n"
+      "edge in1 a\n"
+      "edge a b\n"
+      "edge b out1\n");
+  return g;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)lwm::sched::parse_schedule(fixed_graph(), text, "<fuzz>");
+  return 0;
+}

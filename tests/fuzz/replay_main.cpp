@@ -1,0 +1,141 @@
+// replay_main — corpus replay driver for plain (non-libFuzzer) builds.
+//
+// Each fuzz target links this main() into a `fuzz_<target>_replay`
+// binary; the `fuzz-regress` ctest label runs it over the checked-in
+// corpus in every configuration (default, asan, ubsan, tsan), so the
+// crash fixes the corpus encodes cannot regress without a fuzzing
+// toolchain in CI.  `--mutate N` additionally replays N deterministic
+// random mutations (byte flips, truncations, splices) of every corpus
+// entry — a smoke-budget stand-in for real fuzzing when libFuzzer
+// (clang) is unavailable.
+//
+// usage: fuzz_<target>_replay [--mutate N] [--seed S] <file-or-dir>...
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "io/source.h"
+#include "io/text.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool run_one(const std::string& label, const std::string& bytes) {
+  try {
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL %s: escaped exception: %s\n", label.c_str(),
+                 e.what());
+  } catch (...) {
+    std::fprintf(stderr, "FAIL %s: escaped non-std exception\n", label.c_str());
+  }
+  return false;
+}
+
+std::string mutate(const std::string& base, std::mt19937_64& rng) {
+  std::string m = base;
+  switch (rng() % 4) {
+    case 0:  // flip a byte
+      if (!m.empty()) m[rng() % m.size()] = static_cast<char>(rng() & 0xff);
+      break;
+    case 1:  // truncate
+      m.resize(m.empty() ? 0 : rng() % m.size());
+      break;
+    case 2:  // insert a byte
+      m.insert(m.begin() + static_cast<long>(m.empty() ? 0 : rng() % m.size()),
+               static_cast<char>(rng() & 0xff));
+      break;
+    default:  // splice: duplicate a random chunk somewhere else
+      if (m.size() > 1) {
+        const std::size_t from = rng() % m.size();
+        const std::size_t len = 1 + rng() % (m.size() - from);
+        m.insert(rng() % m.size(), m.substr(from, len));
+      }
+      break;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int mutations = 0;
+  std::uint64_t seed = 1;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const auto int_value = [&](const char* flag) -> long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      const auto v = lwm::io::to_int(argv[++i]);
+      if (!v || *v < 0) {
+        std::fprintf(stderr, "error: %s needs a non-negative integer\n", flag);
+        std::exit(2);
+      }
+      return *v;
+    };
+    if (std::strcmp(argv[i], "--mutate") == 0) {
+      mutations = static_cast<int>(int_value("--mutate"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(int_value("--seed"));
+    } else {
+      roots.emplace_back(argv[i]);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: %s [--mutate N] [--seed S] <file-or-dir>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "error: no such corpus input: %s\n",
+                   root.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::mt19937_64 rng(seed);
+  int failures = 0;
+  long executed = 0;
+  for (const fs::path& file : files) {
+    auto bytes = lwm::io::read_file(file.string());
+    if (!bytes) {
+      std::fprintf(stderr, "error: %s\n", bytes.diag().to_string().c_str());
+      return 2;
+    }
+    failures += !run_one(file.string(), bytes.value());
+    ++executed;
+    for (int m = 0; m < mutations; ++m) {
+      failures += !run_one(file.string() + " (mutation " + std::to_string(m) + ")",
+                           mutate(bytes.value(), rng));
+      ++executed;
+    }
+  }
+  std::printf("%s: %ld inputs (%zu corpus files, %d mutations each), "
+              "%d failure(s)\n",
+              argv[0], executed, files.size(), mutations, failures);
+  return failures == 0 ? 0 : 1;
+}
