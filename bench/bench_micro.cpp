@@ -12,6 +12,8 @@
 // a synthetic DAG and filters the suite down to one fast benchmark.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -199,10 +201,12 @@ int main(int argc, char** argv) {
   const sched::Schedule ref = sched::force_directed_schedule_reference(big, fopts);
   const double fds_ref_ms = ref_watch.elapsed_ms();
   fopts.pool = &pool;
+  sched::FdsStats fds_exact_stats;
+  fopts.stats = &fds_exact_stats;
   const bench::Stopwatch inc_watch;
   const sched::Schedule inc = sched::force_directed_schedule(big, fopts);
   const double fds_inc_ms = inc_watch.elapsed_ms();
-  for (const cdfg::NodeId n : big.node_ids()) {
+  for (const cdfg::NodeId n : big.nodes()) {
     if (cdfg::is_executable(big.node(n).kind) &&
         ref.start_of(n) != inc.start_of(n)) {
       std::fprintf(stderr, "FDS mismatch at %s\n", big.node(n).name.c_str());
@@ -213,6 +217,38 @@ int main(int argc, char** argv) {
               "incremental (%d threads) %.1f ms, speedup %.2fx\n",
               big.name().c_str(), big.operation_count(), fopts.latency,
               fds_ref_ms, threads, fds_inc_ms, fds_ref_ms / fds_inc_ms);
+
+  // Same engine at the default drift threshold.  The obs registry is
+  // reset first so the fds/* counters in BENCH_micro.json describe the
+  // default-eps_dg configuration (the exact run's counts live on in the
+  // fds_refills_exact field below).
+#if LWM_OBS_ENABLED
+  obs::Registry::instance().reset();
+#endif
+  fopts.eps_dg = sched::kDefaultEpsDg;
+  sched::FdsStats fds_eps_stats;
+  fopts.stats = &fds_eps_stats;
+  const bench::Stopwatch eps_watch;
+  const sched::Schedule eps = sched::force_directed_schedule(big, fopts);
+  const double fds_eps_ms = eps_watch.elapsed_ms();
+  fopts.eps_dg = 0.0;
+  fopts.stats = nullptr;
+  if (!sched::verify_schedule(big, eps, cdfg::EdgeFilter::all(),
+                              sched::ResourceSet::unlimited(), fopts.latency)
+           .ok) {
+    std::fprintf(stderr, "FDS eps_dg schedule failed verification\n");
+    return 1;
+  }
+  std::printf("FDS %s eps_dg=%.3g: %.1f ms, speedup %.2fx, refills %llu -> "
+              "%llu (%.1fx fewer), length %d vs %d exact\n",
+              big.name().c_str(), sched::kDefaultEpsDg, fds_eps_ms,
+              fds_ref_ms / fds_eps_ms,
+              static_cast<unsigned long long>(fds_exact_stats.refills),
+              static_cast<unsigned long long>(fds_eps_stats.refills),
+              static_cast<double>(fds_exact_stats.refills) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, fds_eps_stats.refills)),
+              eps.length(big), inc.length(big));
 
   // Branch & bound: serial vs first-level-parallel on the IIR filter.
   const cdfg::Graph iir = dfglib::iir4_parallel();
@@ -264,6 +300,15 @@ int main(int argc, char** argv) {
   json.add("fds_ref_ms", fds_ref_ms);
   json.add("fds_inc_ms", fds_inc_ms);
   json.add("fds_speedup", fds_ref_ms / fds_inc_ms);
+  json.add("fds_refills_exact", static_cast<long long>(fds_exact_stats.refills));
+  json.add("fds_eps_dg", sched::kDefaultEpsDg);
+  json.add("fds_eps_ms", fds_eps_ms);
+  json.add("fds_eps_speedup", fds_ref_ms / fds_eps_ms);
+  json.add("fds_refills_eps", static_cast<long long>(fds_eps_stats.refills));
+  json.add("fds_refills_suppressed",
+           static_cast<long long>(fds_eps_stats.suppressed));
+  json.add("fds_eps_length", eps.length(big));
+  json.add("fds_exact_length", inc.length(big));
   json.add("bnb_latency", bnb_par.latency);
   json.add("bnb_serial_ms", bnb_serial_ms);
   json.add("bnb_parallel_ms", bnb_par_ms);

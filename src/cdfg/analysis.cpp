@@ -9,18 +9,17 @@ namespace lwm::cdfg {
 std::vector<NodeId> topo_order(const Graph& g, EdgeFilter filter) {
   const std::size_t cap = g.node_capacity();
   std::vector<int> indegree(cap, 0);
-  const std::vector<NodeId> nodes = g.node_ids();
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     for (EdgeId e : g.fanin(n)) {
       if (filter.accepts(g.edge(e).kind)) ++indegree[n.value];
     }
   }
   std::deque<NodeId> ready;
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     if (indegree[n.value] == 0) ready.push_back(n);
   }
   std::vector<NodeId> order;
-  order.reserve(nodes.size());
+  order.reserve(g.node_count());
   while (!ready.empty()) {
     const NodeId n = ready.front();
     ready.pop_front();
@@ -31,7 +30,7 @@ std::vector<NodeId> topo_order(const Graph& g, EdgeFilter filter) {
       if (--indegree[ed.dst.value] == 0) ready.push_back(ed.dst);
     }
   }
-  if (order.size() != nodes.size()) {
+  if (order.size() != g.node_count()) {
     throw std::runtime_error("topo_order: precedence relation is cyclic in '" +
                              g.name() + "'");
   }

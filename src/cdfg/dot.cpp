@@ -10,7 +10,7 @@ namespace lwm::cdfg {
 void write_dot(const Graph& g, std::ostream& os, const DotOptions& opts) {
   os << "digraph \"" << (g.name().empty() ? "cdfg" : g.name()) << "\" {\n";
   os << "  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n";
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const Node& node = g.node(n);
     os << "  n" << n.value << " [label=\"" << node.name;
     if (opts.timing != nullptr) {
@@ -30,7 +30,7 @@ void write_dot(const Graph& g, std::ostream& os, const DotOptions& opts) {
     }
     os << "];\n";
   }
-  for (EdgeId e : g.edge_ids()) {
+  for (EdgeId e : g.edges()) {
     const Edge& ed = g.edge(e);
     if (ed.kind == EdgeKind::kTemporal && !opts.show_temporal) continue;
     os << "  n" << ed.src.value << " -> n" << ed.dst.value;

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <limits>
 #include <span>
 #include <string>
@@ -146,6 +148,131 @@ class Graph {
 
   /// Live edges of one kind.
   [[nodiscard]] std::vector<EdgeId> edges_of_kind(EdgeKind k) const;
+
+  /// Allocation-free forward range over live ids in ascending order —
+  /// the hot-path alternative to node_ids()/edge_ids(), which build a
+  /// fresh vector per call.  The view walks the liveness bitmap lazily;
+  /// it is invalidated by add_node()/add_edge() (reallocation), but
+  /// tombstoning mid-iteration is safe (already-yielded ids stay valid).
+  template <typename Id>
+  class LiveIdRange {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = Id;
+      using difference_type = std::ptrdiff_t;
+
+      iterator() = default;
+      iterator(const std::vector<bool>* live, std::uint32_t i) noexcept
+          : live_(live), i_(i) {
+        skip_dead();
+      }
+      Id operator*() const noexcept { return Id{i_}; }
+      iterator& operator++() noexcept {
+        ++i_;
+        skip_dead();
+        return *this;
+      }
+      iterator operator++(int) noexcept {
+        iterator tmp = *this;
+        ++*this;
+        return tmp;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) noexcept {
+        return a.i_ == b.i_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) noexcept {
+        return a.i_ != b.i_;
+      }
+
+     private:
+      void skip_dead() noexcept {
+        while (i_ < live_->size() && !(*live_)[i_]) ++i_;
+      }
+      const std::vector<bool>* live_ = nullptr;
+      std::uint32_t i_ = 0;
+    };
+
+    explicit LiveIdRange(const std::vector<bool>& live) noexcept
+        : live_(&live) {}
+    [[nodiscard]] iterator begin() const noexcept { return {live_, 0}; }
+    [[nodiscard]] iterator end() const noexcept {
+      return {live_, static_cast<std::uint32_t>(live_->size())};
+    }
+
+   private:
+    const std::vector<bool>* live_;
+  };
+
+  /// Live edges of one kind, lazily filtered (no allocation).
+  class EdgeKindRange {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = EdgeId;
+      using difference_type = std::ptrdiff_t;
+
+      iterator() = default;
+      iterator(const Graph* g, EdgeKind kind, std::uint32_t i) noexcept
+          : g_(g), kind_(kind), i_(i) {
+        skip_mismatch();
+      }
+      EdgeId operator*() const noexcept { return EdgeId{i_}; }
+      iterator& operator++() noexcept {
+        ++i_;
+        skip_mismatch();
+        return *this;
+      }
+      iterator operator++(int) noexcept {
+        iterator tmp = *this;
+        ++*this;
+        return tmp;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) noexcept {
+        return a.i_ == b.i_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) noexcept {
+        return a.i_ != b.i_;
+      }
+
+     private:
+      void skip_mismatch() noexcept {
+        while (i_ < g_->edges_.size() &&
+               (!g_->edge_live_[i_] || g_->edges_[i_].kind != kind_)) {
+          ++i_;
+        }
+      }
+      const Graph* g_ = nullptr;
+      EdgeKind kind_ = EdgeKind::kData;
+      std::uint32_t i_ = 0;
+    };
+
+    EdgeKindRange(const Graph* g, EdgeKind kind) noexcept
+        : g_(g), kind_(kind) {}
+    [[nodiscard]] iterator begin() const noexcept { return {g_, kind_, 0}; }
+    [[nodiscard]] iterator end() const noexcept {
+      return {g_, kind_, static_cast<std::uint32_t>(g_->edges_.size())};
+    }
+
+   private:
+    const Graph* g_;
+    EdgeKind kind_;
+  };
+
+  /// Live node ids, ascending, without the node_ids() allocation.
+  [[nodiscard]] LiveIdRange<NodeId> nodes() const noexcept {
+    return LiveIdRange<NodeId>(node_live_);
+  }
+  /// Live edge ids, ascending, without the edge_ids() allocation.
+  [[nodiscard]] LiveIdRange<EdgeId> edges() const noexcept {
+    return LiveIdRange<EdgeId>(edge_live_);
+  }
+  /// Live edges of one kind, without the edges_of_kind() allocation.
+  [[nodiscard]] EdgeKindRange edges_of(EdgeKind k) const noexcept {
+    return EdgeKindRange(this, k);
+  }
 
   /// Looks a node up by its unique name; invalid NodeId if absent.
   [[nodiscard]] NodeId find(std::string_view name) const noexcept;

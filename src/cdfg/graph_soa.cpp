@@ -1,0 +1,56 @@
+#include "cdfg/graph_soa.h"
+
+#include "cdfg/op.h"
+
+namespace lwm::cdfg {
+
+GraphSoA::GraphSoA(const Graph& g, EdgeFilter filter) : filter_(filter) {
+  const std::size_t cap = g.node_capacity();
+  dense_of_.assign(cap, kInvalid);
+  node_of_.reserve(g.node_count());
+  for (NodeId n : g.nodes()) {
+    dense_of_[n.value] = static_cast<std::uint32_t>(node_of_.size());
+    node_of_.push_back(n);
+  }
+
+  const std::uint32_t n = size();
+  delay_.resize(n);
+  cls_.resize(n);
+  exec_.resize(n);
+  fanin_off_.assign(n + 1, 0);
+  fanout_off_.assign(n + 1, 0);
+
+  // Pass 1: per-node attribute fill and accepted-degree counts.
+  for (std::uint32_t d = 0; d < n; ++d) {
+    const Node& node = g.node(node_of_[d]);
+    delay_[d] = node.delay;
+    cls_[d] = static_cast<std::uint8_t>(cdfg::unit_class(node.kind));
+    exec_[d] = cdfg::is_executable(node.kind) ? 1 : 0;
+    std::uint32_t in = 0, out = 0;
+    for (EdgeId e : g.fanin(node_of_[d])) {
+      if (filter.accepts(g.edge(e).kind)) ++in;
+    }
+    for (EdgeId e : g.fanout(node_of_[d])) {
+      if (filter.accepts(g.edge(e).kind)) ++out;
+    }
+    fanin_off_[d + 1] = fanin_off_[d] + in;
+    fanout_off_[d + 1] = fanout_off_[d] + out;
+  }
+
+  // Pass 2: arena fill, preserving each node's edge insertion order.
+  fanin_.resize(fanin_off_[n]);
+  fanout_.resize(fanout_off_[n]);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    std::uint32_t in = fanin_off_[d], out = fanout_off_[d];
+    for (EdgeId e : g.fanin(node_of_[d])) {
+      const Edge& ed = g.edge(e);
+      if (filter.accepts(ed.kind)) fanin_[in++] = dense_of_[ed.src.value];
+    }
+    for (EdgeId e : g.fanout(node_of_[d])) {
+      const Edge& ed = g.edge(e);
+      if (filter.accepts(ed.kind)) fanout_[out++] = dense_of_[ed.dst.value];
+    }
+  }
+}
+
+}  // namespace lwm::cdfg

@@ -9,7 +9,7 @@ int normalize_unit_ops(Graph& g) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (NodeId n : g.node_ids()) {
+    for (NodeId n : g.nodes()) {
       if (g.node(n).kind != OpKind::kUnit) continue;
       // A transparent unit op forwards exactly one data value.
       NodeId producer;

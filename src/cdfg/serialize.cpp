@@ -13,7 +13,7 @@ namespace lwm::cdfg {
 
 void write_text(const Graph& g, std::ostream& os) {
   os << "cdfg " << (g.name().empty() ? "unnamed" : g.name()) << "\n";
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const Node& node = g.node(n);
     os << "node " << node.name << " " << op_name(node.kind);
     if (node.delay != default_delay(node.kind)) {
@@ -21,7 +21,7 @@ void write_text(const Graph& g, std::ostream& os) {
     }
     os << "\n";
   }
-  for (EdgeId e : g.edge_ids()) {
+  for (EdgeId e : g.edges()) {
     const Edge& ed = g.edge(e);
     os << "edge " << g.node(ed.src).name << " " << g.node(ed.dst).name;
     if (ed.kind != EdgeKind::kData) {

@@ -22,7 +22,7 @@ GraphStats compute_stats(const Graph& g) {
   std::vector<int> slacks;
   std::size_t slack_rich = 0;
   const double bound = timing.critical_path * 0.75;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const Node& node = g.node(n);
     ++s.kind_histogram[static_cast<std::size_t>(node.kind)];
     if (!is_executable(node.kind)) continue;

@@ -21,7 +21,7 @@ Partition extract_partition(const Graph& g, std::span<const NodeId> keep,
 
   int fresh_in = 0;
   int fresh_out = 0;
-  for (EdgeId e : g.edge_ids()) {
+  for (EdgeId e : g.edges()) {
     const Edge& ed = g.edge(e);
     const bool src_in = keep_set.count(ed.src) != 0;
     const bool dst_in = keep_set.count(ed.dst) != 0;
@@ -46,11 +46,11 @@ Partition extract_partition(const Graph& g, std::span<const NodeId> keep,
 
 NodeMap embed_graph(Graph& host, const Graph& core, const std::string& prefix) {
   NodeMap map;
-  for (NodeId n : core.node_ids()) {
+  for (NodeId n : core.nodes()) {
     const Node& node = core.node(n);
     map.forward[n] = host.add_node(node.kind, prefix + node.name, node.delay);
   }
-  for (EdgeId e : core.edge_ids()) {
+  for (EdgeId e : core.edges()) {
     const Edge& ed = core.edge(e);
     host.add_edge(map.at(ed.src), map.at(ed.dst), ed.kind);
   }

@@ -1,7 +1,7 @@
 #include "cdfg/timing_cache.h"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -33,18 +33,63 @@ TimingCache::TimingCache(const Graph& g, int latency, EdgeFilter filter,
   extra_out_.assign(cap, {});
   extra_in_.assign(cap, {});
   changed_mark_.assign(cap, false);
+  queued_.assign(cap, 0);
+
+  // Freeze the filtered adjacency to CSR (value-indexed, per-node edge
+  // insertion order preserved): two counting passes, one arena each way.
+  delay_.assign(cap, 0);
+  fanin_off_.assign(cap + 1, 0);
+  fanout_off_.assign(cap + 1, 0);
+  for (std::size_t v = 0; v < cap; ++v) {
+    const NodeId n{static_cast<std::uint32_t>(v)};
+    if (pos_[v] < 0) continue;  // dead: empty rows
+    delay_[v] = g.node(n).delay;
+    std::uint32_t in = 0, out = 0;
+    for (EdgeId e : g.fanin(n)) {
+      if (filter.accepts(g.edge(e).kind)) ++in;
+    }
+    for (EdgeId e : g.fanout(n)) {
+      if (filter.accepts(g.edge(e).kind)) ++out;
+    }
+    fanin_off_[v + 1] = in;
+    fanout_off_[v + 1] = out;
+  }
+  for (std::size_t v = 0; v < cap; ++v) {
+    fanin_off_[v + 1] += fanin_off_[v];
+    fanout_off_[v + 1] += fanout_off_[v];
+  }
+  fanin_node_.resize(fanin_off_[cap]);
+  fanin_delay_.resize(fanin_off_[cap]);
+  fanout_node_.resize(fanout_off_[cap]);
+  for (std::size_t v = 0; v < cap; ++v) {
+    const NodeId n{static_cast<std::uint32_t>(v)};
+    if (pos_[v] < 0) continue;
+    std::uint32_t in = fanin_off_[v], out = fanout_off_[v];
+    for (EdgeId e : g.fanin(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      fanin_node_[in] = ed.src.value;
+      fanin_delay_[in] = g.node(ed.src).delay;
+      ++in;
+    }
+    for (EdgeId e : g.fanout(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      fanout_node_[out++] = ed.dst.value;
+    }
+  }
 
   // Forward longest path (ASAP) — same recurrence as compute_timing().
   int cp = 0;
   for (NodeId n : topo_) {
+    const std::size_t v = n.value;
     int start = 0;
-    for (EdgeId e : g.fanin(n)) {
-      const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
-      start = std::max(start, lo_[ed.src.value] + g.node(ed.src).delay);
+    for (std::uint32_t i = fanin_off_[v]; i < fanin_off_[v + 1]; ++i) {
+      const int cand = lo_[fanin_node_[i]] + fanin_delay_[i];
+      start = std::max(start, cand);
     }
-    lo_[n.value] = start;
-    cp = std::max(cp, start + g.node(n).delay);
+    lo_[v] = start;
+    cp = std::max(cp, start + delay_[v]);
   }
   critical_path_ = cp;
   if (latency < 0) {
@@ -59,14 +104,12 @@ TimingCache::TimingCache(const Graph& g, int latency, EdgeFilter filter,
 
   // Backward longest path (ALAP).
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
-    const NodeId n = *it;
-    int latest = latency - g.node(n).delay;
-    for (EdgeId e : g.fanout(n)) {
-      const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
-      latest = std::min(latest, hi_[ed.dst.value] - g.node(n).delay);
+    const std::size_t v = it->value;
+    int latest = latency - delay_[v];
+    for (std::uint32_t i = fanout_off_[v]; i < fanout_off_[v + 1]; ++i) {
+      latest = std::min(latest, hi_[fanout_node_[i]] - delay_[v]);
     }
-    hi_[n.value] = latest;
+    hi_[v] = latest;
   }
 
   if (with_reach_) {
@@ -75,41 +118,38 @@ TimingCache::TimingCache(const Graph& g, int latency, EdgeFilter filter,
     // Reverse topological order: every successor's row is final before it
     // is unioned in, so one pass per node suffices.
     for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
-      const NodeId n = *it;
-      std::uint64_t* mine = desc_.data() + row(n.value);
-      for (EdgeId e : g.fanout(n)) {
-        const Edge& ed = g.edge(e);
-        if (!filter.accepts(ed.kind)) continue;
-        const std::uint64_t* theirs = desc_.data() + row(ed.dst.value);
+      const std::size_t v = it->value;
+      std::uint64_t* mine = desc_.data() + row(v);
+      for (std::uint32_t i = fanout_off_[v]; i < fanout_off_[v + 1]; ++i) {
+        const std::uint32_t dst = fanout_node_[i];
+        const std::uint64_t* theirs = desc_.data() + row(dst);
         for (std::size_t w = 0; w < words_; ++w) mine[w] |= theirs[w];
-        mine[ed.dst.value / 64] |= bit_mask(ed.dst.value);
+        mine[dst / 64] |= bit_mask(dst);
       }
     }
   }
 }
 
 int TimingCache::compute_lo(NodeId n) const {
+  const std::size_t v = n.value;
   int start = 0;
-  for (EdgeId e : g_->fanin(n)) {
-    const Edge& ed = g_->edge(e);
-    if (!filter_.accepts(ed.kind)) continue;
-    start = std::max(start, lo_[ed.src.value] + g_->node(ed.src).delay);
+  for (std::uint32_t i = fanin_off_[v]; i < fanin_off_[v + 1]; ++i) {
+    start = std::max(start, lo_[fanin_node_[i]] + fanin_delay_[i]);
   }
-  for (NodeId p : extra_in_[n.value]) {
-    start = std::max(start, lo_[p.value] + g_->node(p).delay);
+  for (NodeId p : extra_in_[v]) {
+    start = std::max(start, lo_[p.value] + delay_[p.value]);
   }
   return start;
 }
 
 int TimingCache::compute_hi(NodeId n) const {
-  const int delay = g_->node(n).delay;
+  const std::size_t v = n.value;
+  const int delay = delay_[v];
   int latest = latency_ - delay;
-  for (EdgeId e : g_->fanout(n)) {
-    const Edge& ed = g_->edge(e);
-    if (!filter_.accepts(ed.kind)) continue;
-    latest = std::min(latest, hi_[ed.dst.value] - delay);
+  for (std::uint32_t i = fanout_off_[v]; i < fanout_off_[v + 1]; ++i) {
+    latest = std::min(latest, hi_[fanout_node_[i]] - delay);
   }
-  for (NodeId s : extra_out_[n.value]) {
+  for (NodeId s : extra_out_[v]) {
     latest = std::min(latest, hi_[s.value] - delay);
   }
   return latest;
@@ -126,72 +166,75 @@ void TimingCache::note_changed(NodeId n) {
 // current predecessors and re-queueing its successors whenever the value
 // moved converges to the unique fixed point in any pop order.  The heap
 // pops in topological position so, absent extra edges that run against
-// the stored order, each node is recomputed at most once.
-void TimingCache::propagate_lo(std::vector<NodeId> seeds) {
-  std::priority_queue<int, std::vector<int>, std::greater<int>> heap;
-  std::vector<bool> queued(pos_.size(), false);
-  const auto push = [&](NodeId n) {
-    const int p = pos_[n.value];
-    if (p >= 0 && !queued[n.value]) {
-      queued[n.value] = true;
-      heap.push(p);
+// the stored order, each node is recomputed at most once.  heap_/queued_
+// are member scratch (empty / all-zero between calls) — one pin used to
+// cost two fresh capacity-sized vectors.
+void TimingCache::propagate_lo(const std::vector<NodeId>& seeds) {
+  const auto push = [&](std::uint32_t v) {
+    const int p = pos_[v];
+    if (p >= 0 && !queued_[v]) {
+      queued_[v] = 1;
+      heap_.push_back(p);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<int>());
     }
   };
-  for (NodeId s : seeds) push(s);
-  while (!heap.empty()) {
-    const NodeId n = topo_[static_cast<std::size_t>(heap.top())];
-    heap.pop();
-    queued[n.value] = false;
+  for (NodeId s : seeds) push(s.value);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<int>());
+    const NodeId n = topo_[static_cast<std::size_t>(heap_.back())];
+    heap_.pop_back();
+    const std::size_t v = n.value;
+    queued_[v] = 0;
     ++update_work_;
     const int nl = compute_lo(n);
-    if (pinned_[n.value] >= 0) {
+    if (pinned_[v] >= 0) {
       // A pinned window never moves; it can only become untenable when an
       // extra edge pushed a predecessor past it.
-      if (nl > pinned_[n.value]) feasible_ = false;
+      if (nl > pinned_[v]) feasible_ = false;
       continue;
     }
-    if (nl <= lo_[n.value]) continue;
-    lo_[n.value] = nl;
-    if (nl > hi_[n.value]) feasible_ = false;
+    if (nl <= lo_[v]) continue;
+    lo_[v] = nl;
+    if (nl > hi_[v]) feasible_ = false;
     note_changed(n);
-    for (EdgeId e : g_->fanout(n)) {
-      const Edge& ed = g_->edge(e);
-      if (filter_.accepts(ed.kind)) push(ed.dst);
+    for (std::uint32_t i = fanout_off_[v]; i < fanout_off_[v + 1]; ++i) {
+      push(fanout_node_[i]);
     }
-    for (NodeId s : extra_out_[n.value]) push(s);
+    for (NodeId s : extra_out_[v]) push(s.value);
   }
 }
 
-void TimingCache::propagate_hi(std::vector<NodeId> seeds) {
-  std::priority_queue<int> heap;  // reverse topological order
-  std::vector<bool> queued(pos_.size(), false);
-  const auto push = [&](NodeId n) {
-    const int p = pos_[n.value];
-    if (p >= 0 && !queued[n.value]) {
-      queued[n.value] = true;
-      heap.push(p);
+void TimingCache::propagate_hi(const std::vector<NodeId>& seeds) {
+  // Max-heap on topo position: reverse topological pop order.
+  const auto push = [&](std::uint32_t v) {
+    const int p = pos_[v];
+    if (p >= 0 && !queued_[v]) {
+      queued_[v] = 1;
+      heap_.push_back(p);
+      std::push_heap(heap_.begin(), heap_.end());
     }
   };
-  for (NodeId s : seeds) push(s);
-  while (!heap.empty()) {
-    const NodeId n = topo_[static_cast<std::size_t>(heap.top())];
-    heap.pop();
-    queued[n.value] = false;
+  for (NodeId s : seeds) push(s.value);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const NodeId n = topo_[static_cast<std::size_t>(heap_.back())];
+    heap_.pop_back();
+    const std::size_t v = n.value;
+    queued_[v] = 0;
     ++update_work_;
     const int nh = compute_hi(n);
-    if (pinned_[n.value] >= 0) {
-      if (nh < pinned_[n.value]) feasible_ = false;
+    if (pinned_[v] >= 0) {
+      if (nh < pinned_[v]) feasible_ = false;
       continue;
     }
-    if (nh >= hi_[n.value]) continue;
-    hi_[n.value] = nh;
-    if (nh < lo_[n.value]) feasible_ = false;
+    if (nh >= hi_[v]) continue;
+    hi_[v] = nh;
+    if (nh < lo_[v]) feasible_ = false;
     note_changed(n);
-    for (EdgeId e : g_->fanin(n)) {
-      const Edge& ed = g_->edge(e);
-      if (filter_.accepts(ed.kind)) push(ed.src);
+    for (std::uint32_t i = fanin_off_[v]; i < fanin_off_[v + 1]; ++i) {
+      push(fanin_node_[i]);
     }
-    for (NodeId p : extra_in_[n.value]) push(p);
+    for (NodeId p : extra_in_[v]) push(p.value);
   }
 }
 
@@ -207,38 +250,38 @@ void TimingCache::pin(NodeId n, int step) {
                            ", " + std::to_string(hi_[n.value]) + "] of '" +
                            g_->node(n).name + "'");
   }
+  // Clear only the marks set by the previous call, not the whole bitmap.
+  for (NodeId c : changed_) changed_mark_[c.value] = false;
   changed_.clear();
-  std::fill(changed_mark_.begin(), changed_mark_.end(), false);
 #if LWM_OBS_ENABLED
   const std::uint64_t work_before = update_work_;
 #endif
 
-  const int old_lo = lo_[n.value];
-  const int old_hi = hi_[n.value];
-  pinned_[n.value] = step;
-  lo_[n.value] = step;
-  hi_[n.value] = step;
+  const std::size_t v = n.value;
+  const int old_lo = lo_[v];
+  const int old_hi = hi_[v];
+  pinned_[v] = step;
+  lo_[v] = step;
+  hi_[v] = step;
   // The consumer contract: the pinned node is always reported, even when
   // its window was already the single step (its pinned state changed).
   note_changed(n);
 
   if (step > old_lo) {
-    std::vector<NodeId> seeds;
-    for (EdgeId e : g_->fanout(n)) {
-      const Edge& ed = g_->edge(e);
-      if (filter_.accepts(ed.kind)) seeds.push_back(ed.dst);
+    seeds_.clear();
+    for (std::uint32_t i = fanout_off_[v]; i < fanout_off_[v + 1]; ++i) {
+      seeds_.push_back(NodeId{fanout_node_[i]});
     }
-    for (NodeId s : extra_out_[n.value]) seeds.push_back(s);
-    propagate_lo(std::move(seeds));
+    for (NodeId s : extra_out_[v]) seeds_.push_back(s);
+    propagate_lo(seeds_);
   }
   if (step < old_hi) {
-    std::vector<NodeId> seeds;
-    for (EdgeId e : g_->fanin(n)) {
-      const Edge& ed = g_->edge(e);
-      if (filter_.accepts(ed.kind)) seeds.push_back(ed.src);
+    seeds_.clear();
+    for (std::uint32_t i = fanin_off_[v]; i < fanin_off_[v + 1]; ++i) {
+      seeds_.push_back(NodeId{fanin_node_[i]});
     }
-    for (NodeId p : extra_in_[n.value]) seeds.push_back(p);
-    propagate_hi(std::move(seeds));
+    for (NodeId p : extra_in_[v]) seeds_.push_back(p);
+    propagate_hi(seeds_);
   }
 #if LWM_OBS_ENABLED
   LWM_COUNT("cdfg/timing_pushes", update_work_ - work_before);
@@ -267,11 +310,11 @@ void TimingCache::union_descendants(NodeId src, NodeId dst) {
       }
     }
     if (!grew) continue;
-    for (EdgeId e : g_->fanin(a)) {
-      const Edge& ed = g_->edge(e);
-      if (filter_.accepts(ed.kind)) stack.push_back(ed.src);
+    const std::size_t v = a.value;
+    for (std::uint32_t i = fanin_off_[v]; i < fanin_off_[v + 1]; ++i) {
+      stack.push_back(NodeId{fanin_node_[i]});
     }
-    for (NodeId p : extra_in_[a.value]) stack.push_back(p);
+    for (NodeId p : extra_in_[v]) stack.push_back(p);
   }
 }
 
@@ -288,13 +331,15 @@ void TimingCache::add_extra_edge(NodeId src, NodeId dst) {
   extra_in_[dst.value].push_back(src);
   if (with_reach_) union_descendants(src, dst);
 
+  for (NodeId c : changed_) changed_mark_[c.value] = false;
   changed_.clear();
-  std::fill(changed_mark_.begin(), changed_mark_.end(), false);
 #if LWM_OBS_ENABLED
   const std::uint64_t work_before = update_work_;
 #endif
-  propagate_lo({dst});
-  propagate_hi({src});
+  seeds_.assign(1, dst);
+  propagate_lo(seeds_);
+  seeds_.assign(1, src);
+  propagate_hi(seeds_);
 #if LWM_OBS_ENABLED
   LWM_COUNT("cdfg/timing_pushes", update_work_ - work_before);
   LWM_HIST("cdfg/timing_cone", changed_.size());

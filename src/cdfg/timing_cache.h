@@ -60,6 +60,11 @@ class TimingCache {
   [[nodiscard]] int hi(NodeId n) const { return hi_[n.value]; }
   [[nodiscard]] bool is_pinned(NodeId n) const { return pinned_[n.value] >= 0; }
 
+  /// Raw window arrays, indexed by NodeId::value (dead ids hold -1) —
+  /// contiguous streams for the schedulers' hot loops.
+  [[nodiscard]] const int* lo_data() const noexcept { return lo_.data(); }
+  [[nodiscard]] const int* hi_data() const noexcept { return hi_.data(); }
+
   /// Fixes n's start step.  `step` must lie inside the current window
   /// (std::logic_error otherwise — the same violation compute_windows in
   /// the reference FDS reports).  Only the affected cone is re-relaxed.
@@ -96,8 +101,8 @@ class TimingCache {
  private:
   [[nodiscard]] int compute_lo(NodeId n) const;
   [[nodiscard]] int compute_hi(NodeId n) const;
-  void propagate_lo(std::vector<NodeId> seeds);
-  void propagate_hi(std::vector<NodeId> seeds);
+  void propagate_lo(const std::vector<NodeId>& seeds);
+  void propagate_hi(const std::vector<NodeId>& seeds);
   void note_changed(NodeId n);
   void union_descendants(NodeId src, NodeId dst);
 
@@ -116,6 +121,19 @@ class TimingCache {
   std::vector<int> pos_;     ///< topo position by NodeId::value (-1 = dead)
   std::vector<int> lo_, hi_;
   std::vector<int> pinned_;  ///< pinned step, -1 = free
+
+  // Filtered adjacency frozen to CSR at construction (SoA layout): the
+  // worklist propagation walks these flat arenas instead of the graph's
+  // vector-of-vectors, with the filter check and the predecessor delay
+  // lookup already paid.  Indexed by NodeId::value; dead ids have empty
+  // rows.  fanin_delay_[i] is the delay of fanin_node_[i] (the term the
+  // ASAP recurrence adds); hi propagation subtracts the node's own
+  // delay, kept in delay_.
+  std::vector<std::uint32_t> fanin_off_, fanout_off_;  ///< cap + 1 each
+  std::vector<std::uint32_t> fanin_node_, fanout_node_;
+  std::vector<std::int32_t> fanin_delay_;
+  std::vector<std::int32_t> delay_;  ///< per-node delay by NodeId::value
+
   std::vector<std::vector<NodeId>> extra_out_, extra_in_;
 
   std::size_t words_ = 0;
@@ -124,6 +142,11 @@ class TimingCache {
   std::vector<NodeId> changed_;
   std::vector<bool> changed_mark_;
   std::uint64_t update_work_ = 0;
+
+  // Scratch reused across mutating calls (allocation-free steady state).
+  std::vector<int> heap_;
+  std::vector<char> queued_;
+  std::vector<NodeId> seeds_;
 };
 
 }  // namespace lwm::cdfg

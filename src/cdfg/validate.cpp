@@ -17,7 +17,7 @@ std::vector<Violation> validate(const Graph& g) {
   }
 
   std::unordered_set<std::string> names;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const Node& node = g.node(n);
     if (!names.insert(node.name).second) {
       out.push_back({"duplicate node name '" + node.name + "'"});

@@ -209,7 +209,7 @@ Graph make_layered_dag(const std::string& name, int operations, int width,
   // Terminate dangling values (validator: every value needs a consumer,
   // except stores and branches).
   int outs = 0;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     if (!cdfg::is_executable(node.kind)) continue;
     if (node.kind == OpKind::kStore || node.kind == OpKind::kBranch) continue;

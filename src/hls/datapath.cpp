@@ -47,7 +47,7 @@ sched::ResourceSet fit_units(const Graph& g, int budget,
                              cdfg::EdgeFilter filter,
                              sched::Schedule* out_schedule) {
   std::array<int, cdfg::kNumUnitClasses> work{};
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     if (!cdfg::is_executable(node.kind)) continue;
     work[static_cast<std::size_t>(cdfg::unit_class(node.kind))] += node.delay;
@@ -141,7 +141,7 @@ Datapath synthesize_datapath(const Graph& g, const DatapathOptions& opts) {
   // Deterministic FU instance assignment: per step, class ops in NodeId
   // order take instances 0, 1, 2, ...
   std::map<std::pair<int, int>, std::vector<NodeId>> step_class_ops;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     if (!cdfg::is_executable(node.kind)) continue;
     const int cls = static_cast<int>(cdfg::unit_class(node.kind));
@@ -159,7 +159,7 @@ Datapath synthesize_datapath(const Graph& g, const DatapathOptions& opts) {
   // writers per register.
   // (class, instance, port) -> set of source keys.
   std::map<std::tuple<int, int, int>, std::set<int>> port_sources;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     if (!cdfg::is_executable(node.kind)) continue;
     const auto [cls, inst] = fu_of.at(n);

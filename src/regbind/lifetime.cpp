@@ -14,7 +14,7 @@ std::vector<Lifetime> compute_lifetimes(const Graph& g,
                                         const sched::Schedule& s,
                                         const LifetimeOptions& opts) {
   std::vector<Lifetime> out;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     const bool executable = cdfg::is_executable(node.kind);
     if (!executable && !(opts.include_sources && cdfg::is_source(node.kind))) {

@@ -420,7 +420,7 @@ MinUnitsResult bnb_min_units(const cdfg::Graph& g, int latency,
 
   // Per-class op counts and occupancy lower bounds ceil(work / latency).
   std::array<int, cdfg::kNumUnitClasses> work{};
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     if (!cdfg::is_executable(node.kind)) continue;
     work[static_cast<std::size_t>(cdfg::unit_class(node.kind))] += node.delay;

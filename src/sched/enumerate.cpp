@@ -70,19 +70,18 @@ std::vector<int> separations_from(const Graph& g, NodeId src,
 std::vector<NodeId> topo_with_extra(const Graph& g, const ExtraAdjacency& adj,
                                     EdgeFilter filter) {
   std::vector<int> indegree(g.node_capacity(), 0);
-  const std::vector<NodeId> nodes = g.node_ids();
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     for (EdgeId e : g.fanin(n)) {
       if (filter.accepts(g.edge(e).kind)) ++indegree[n.value];
     }
     indegree[n.value] += static_cast<int>(adj.predecessors[n.value].size());
   }
   std::vector<NodeId> ready;
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     if (indegree[n.value] == 0) ready.push_back(n);
   }
   std::vector<NodeId> order;
-  order.reserve(nodes.size());
+  order.reserve(g.node_count());
   while (!ready.empty()) {
     const NodeId n = ready.back();
     ready.pop_back();
@@ -96,7 +95,7 @@ std::vector<NodeId> topo_with_extra(const Graph& g, const ExtraAdjacency& adj,
     }
     for (const NodeId d : adj.successors[n.value]) relax(d);
   }
-  if (order.size() != nodes.size()) {
+  if (order.size() != g.node_count()) {
     throw std::runtime_error(
         "count_schedules: combined precedence relation is cyclic");
   }

@@ -1,0 +1,230 @@
+// AVX2 refill kernel.  This TU is compiled with -mavx2 -ffp-contract=off
+// (and only this TU — the rest of the library stays baseline-ISA) and is
+// entered solely through select_refill_fn's cpuid check.
+//
+// Vectorization is *across t*: four window steps advance through the
+// identical scalar operation sequence in four lanes.  Each lane performs
+// exactly the scalar kernel's mul/add sequence — intrinsics are explicit
+// _mm256_mul_pd/_mm256_add_pd so nothing can contract to FMA — which is
+// what makes the SIMD schedule bit-identical to the scalar (and
+// reference) one.
+//
+// Structure: two passes.  Pass 1 writes the self term of every t into
+// out[]; pass 2 accumulates one neighbor term at a time into out[].
+// Per t that is self first, then neighbors in hot[] order — the scalar
+// add order.  Within a pass the delay-1 fast paths split the s sweep
+// into segments where no lane needs a mask: a fan-in edge only moves a
+// neighbor's right clip bound and a fan-out edge only its left one
+// (window invariants, see fds_kernels.h), both monotone in t, so the
+// zone where lanes disagree is at most 3 steps per boundary.  Lanes
+// whose clipped window is empty take q_in := q_out (their partial is
+// replaced by 1e9 in the final blend, so any finite value works, and
+// matching q_out keeps the uniform segments lane-consistent); blocks
+// where every lane is infeasible skip the sweep and add 1e9 directly.
+#include "sched/fds_kernels.h"
+
+#if defined(LWM_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace lwm::sched::fds {
+
+namespace {
+
+inline __m256d madd(__m256d acc, double scalar, __m256d q) {
+  return _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(scalar), q));
+}
+
+inline __m256d load_partial(const double* p, int lanes) {
+  alignas(32) double buf[4] = {0.0, 0.0, 0.0, 0.0};
+  std::memcpy(buf, p, sizeof(double) * static_cast<std::size_t>(lanes));
+  return _mm256_load_pd(buf);
+}
+
+inline void store_partial(double* p, __m256d v, int lanes) {
+  alignas(32) double buf[4];
+  _mm256_store_pd(buf, v);
+  std::memcpy(p, buf, sizeof(double) * static_cast<std::size_t>(lanes));
+}
+
+}  // namespace
+
+void refill_force_avx2(const double* srow, int lo, int hi, int delay,
+                       int latency, const double* inv_len, const HotNb* hot,
+                       std::size_t nhot, double* out) {
+  const double p_old = inv_len[hi - lo + 1];
+  const __m256d v_d_at = _mm256_set1_pd(1.0 - p_old);
+  const __m256d v_d_off = _mm256_set1_pd(0.0 - p_old);
+  const __m256d v_1e9 = _mm256_set1_pd(1e9);
+
+  // ---- Pass 1: self term into out[] ------------------------------------
+  for (int t0 = lo; t0 <= hi; t0 += 4) {
+    const int lanes = hi - t0 + 1 < 4 ? hi - t0 + 1 : 4;
+    __m256d acc = _mm256_setzero_pd();
+    if (delay == 1) {
+      // Lanes only disagree for s in [t0, t0+3] (delta is d_at on the
+      // lane whose t equals s); outside that zone every lane uses d_off.
+      int s = lo;
+      for (; s < t0; ++s) acc = madd(acc, srow[s], v_d_off);
+      const int tend = t0 + 3 < hi ? t0 + 3 : hi;
+      const __m256i vt = _mm256_set_epi64x(t0 + 3, t0 + 2, t0 + 1, t0);
+      for (; s <= tend; ++s) {
+        const __m256d at_mask = _mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(_mm256_set1_epi64x(s), vt));
+        acc = madd(acc, srow[s], _mm256_blendv_pd(v_d_off, v_d_at, at_mask));
+      }
+      for (; s <= hi; ++s) acc = madd(acc, srow[s], v_d_off);
+    } else {
+      const __m256i vt = _mm256_set_epi64x(t0 + 3, t0 + 2, t0 + 1, t0);
+      for (int s = lo; s <= hi; ++s) {
+        const __m256d at_mask = _mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(_mm256_set1_epi64x(s), vt));
+        const __m256d delta = _mm256_blendv_pd(v_d_off, v_d_at, at_mask);
+        for (int d = 0; d < delay; ++d) {
+          acc = madd(acc, srow[static_cast<std::size_t>(s + d)], delta);
+        }
+      }
+    }
+    if (lanes == 4) {
+      _mm256_storeu_pd(out + (t0 - lo), acc);
+    } else {
+      store_partial(out + (t0 - lo), acc, lanes);
+    }
+  }
+
+  // ---- Pass 2: one neighbor term at a time into out[] -------------------
+  for (std::size_t i = 0; i < nhot; ++i) {
+    const HotNb& h = hot[i];
+    const double q_out = 0.0 - h.p_old;
+    const __m256d vqout = _mm256_set1_pd(q_out);
+
+    for (int t0 = lo; t0 <= hi; t0 += 4) {
+      const int lanes = hi - t0 + 1 < 4 ? hi - t0 + 1 : 4;
+      double* ob = out + (t0 - lo);
+      const __m256d prev =
+          lanes == 4 ? _mm256_loadu_pd(ob) : load_partial(ob, lanes);
+
+      // All-infeasible block: the scalar kernel adds exactly 1e9 per
+      // lane and never touches the dg row.  Feasibility is monotone in
+      // t (pred: t - h.delay >= mlo; succ: t + delay <= mhi), so one
+      // bound check covers the whole block.
+      const bool all_inf = h.pred ? (t0 + 3 < h.mlo + h.delay)
+                                  : (t0 > h.mhi - delay);
+      if (all_inf) {
+        const __m256d sum = _mm256_add_pd(prev, v_1e9);
+        if (lanes == 4) {
+          _mm256_storeu_pd(ob, sum);
+        } else {
+          store_partial(ob, sum, lanes);
+        }
+        continue;
+      }
+
+      // Per-lane clipped bounds + q_in, set up in scalar code.
+      alignas(32) std::int64_t nlo[4], nhi[4];
+      alignas(32) double qin[4];
+      bool any_inf = false;
+      for (int j = 0; j < 4; ++j) {
+        const int t = t0 + j;
+        const int new_lo =
+            h.pred ? h.mlo : (t + delay > h.mlo ? t + delay : h.mlo);
+        const int new_hi =
+            h.pred ? (t - h.delay < h.mhi ? t - h.delay : h.mhi) : h.mhi;
+        nlo[j] = new_lo;
+        nhi[j] = new_hi;
+        if (new_lo <= new_hi) {
+          qin[j] = inv_len[new_hi - new_lo + 1] - h.p_old;
+        } else {
+          qin[j] = q_out;
+          any_inf = true;
+        }
+      }
+      const __m256i vnlo =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(nlo));
+      const __m256i vnhi =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(nhi));
+      const __m256d vqin = _mm256_load_pd(qin);
+
+      __m256d facc = _mm256_setzero_pd();
+      if (h.delay == 1) {
+        if (h.pred) {
+          // In-range is [mlo, nhi_j], nhi monotone nondecreasing across
+          // lanes.  Lane 3 (largest t) is feasible — all-infeasible was
+          // handled above — so nhi[3] is the last in-range step of any
+          // lane.  min_feas is the first feasible lane's nhi; below it
+          // every feasible lane is in range (infeasible lanes' q_in ==
+          // q_out keeps the maskless segment lane-consistent).
+          int jf = 0;
+          while (nhi[jf] < h.mlo) ++jf;  // terminates: lane 3 feasible
+          const int min_feas = static_cast<int>(nhi[jf]);
+          const int max_all = static_cast<int>(nhi[3]);
+          int s = h.mlo;
+          const int up_in = min_feas < h.mhi ? min_feas : h.mhi;
+          for (; s <= up_in; ++s) facc = madd(facc, h.row[s], vqin);
+          const int up_mix = max_all < h.mhi ? max_all : h.mhi;
+          for (; s <= up_mix; ++s) {
+            const __m256d out_mask = _mm256_castsi256_pd(
+                _mm256_cmpgt_epi64(_mm256_set1_epi64x(s), vnhi));
+            facc =
+                madd(facc, h.row[s], _mm256_blendv_pd(vqin, vqout, out_mask));
+          }
+          for (; s <= h.mhi; ++s) facc = madd(facc, h.row[s], vqout);
+        } else {
+          // In-range is [nlo_j, mhi], nlo monotone nondecreasing across
+          // lanes.  Lane 0 (smallest t) is feasible, so nlo[0] is the
+          // first in-range step of any lane; past the last feasible
+          // lane's nlo every feasible lane is in range.
+          int jl = 3;
+          while (nlo[jl] > h.mhi) --jl;  // terminates: lane 0 feasible
+          const int min_all = static_cast<int>(nlo[0]);
+          const int max_feas = static_cast<int>(nlo[jl]);
+          int s = h.mlo;
+          const int up_out = min_all - 1 < h.mhi ? min_all - 1 : h.mhi;
+          for (; s <= up_out; ++s) facc = madd(facc, h.row[s], vqout);
+          const int up_mix = max_feas - 1 < h.mhi ? max_feas - 1 : h.mhi;
+          for (; s <= up_mix; ++s) {
+            const __m256d out_mask = _mm256_castsi256_pd(
+                _mm256_cmpgt_epi64(vnlo, _mm256_set1_epi64x(s)));
+            facc =
+                madd(facc, h.row[s], _mm256_blendv_pd(vqin, vqout, out_mask));
+          }
+          for (; s <= h.mhi; ++s) facc = madd(facc, h.row[s], vqin);
+        }
+      } else {
+        for (int s = h.mlo; s <= h.mhi; ++s) {
+          const __m256i vs = _mm256_set1_epi64x(s);
+          const __m256d out_mask = _mm256_castsi256_pd(
+              _mm256_or_si256(_mm256_cmpgt_epi64(vnlo, vs),    // s < new_lo
+                              _mm256_cmpgt_epi64(vs, vnhi)));  // s > new_hi
+          const __m256d q = _mm256_blendv_pd(vqin, vqout, out_mask);
+          for (int d = 0; d < h.delay; ++d) {
+            facc = madd(facc, h.row[static_cast<std::size_t>(s + d)], q);
+          }
+        }
+      }
+
+      // Infeasible lanes contribute exactly 1e9 in place of their
+      // partial, matching the scalar early-continue.
+      __m256d term = facc;
+      if (any_inf) {
+        const __m256d inf_mask =
+            _mm256_castsi256_pd(_mm256_cmpgt_epi64(vnlo, vnhi));
+        term = _mm256_blendv_pd(facc, v_1e9, inf_mask);
+      }
+      const __m256d sum = _mm256_add_pd(prev, term);
+      if (lanes == 4) {
+        _mm256_storeu_pd(ob, sum);
+      } else {
+        store_partial(ob, sum, lanes);
+      }
+    }
+  }
+  (void)latency;
+}
+
+}  // namespace lwm::sched::fds
+
+#endif  // LWM_SIMD_AVX2

@@ -1,0 +1,187 @@
+// AVX-512 refill kernel.  This TU is compiled with -mavx512f -mavx512dq
+// -ffp-contract=off (and only this TU) and is entered solely through
+// select_refill_fn's cpuid check.
+//
+// Same structure and bit-identity argument as the AVX2 kernel (see
+// fds_kernels_avx2.cpp), with eight t-lanes instead of four: two passes
+// (self term into out[], then one neighbor term at a time), uniform
+// maskless segments wherever every lane agrees, per-s mask blends in the
+// (≤ 7-step) transition zones, and an all-infeasible block fast path.
+// AVX-512's native __mmask8 compare/blend makes the transition zones
+// cheaper than AVX2's integer-compare + blendv dance, and the masked
+// load/store handles partial blocks without scalar spills.  Products are
+// explicit _mm512_mul_pd/_mm512_add_pd — never FMA — so each lane
+// reproduces the scalar kernel's exact double sequence.
+#include "sched/fds_kernels.h"
+
+#if defined(LWM_SIMD_AVX512)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace lwm::sched::fds {
+
+namespace {
+
+inline __m512d madd(__m512d acc, double scalar, __m512d q) {
+  return _mm512_add_pd(acc, _mm512_mul_pd(_mm512_set1_pd(scalar), q));
+}
+
+}  // namespace
+
+void refill_force_avx512(const double* srow, int lo, int hi, int delay,
+                         int latency, const double* inv_len,
+                         const HotNb* hot, std::size_t nhot, double* out) {
+  const double p_old = inv_len[hi - lo + 1];
+  const __m512d v_d_at = _mm512_set1_pd(1.0 - p_old);
+  const __m512d v_d_off = _mm512_set1_pd(0.0 - p_old);
+  const __m512d v_1e9 = _mm512_set1_pd(1e9);
+  const __m512i iota =
+      _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);  // lane j holds j
+
+  // ---- Pass 1: self term into out[] ------------------------------------
+  for (int t0 = lo; t0 <= hi; t0 += 8) {
+    const int lanes = hi - t0 + 1 < 8 ? hi - t0 + 1 : 8;
+    const __mmask8 kstore =
+        static_cast<__mmask8>((1u << lanes) - 1u);  // lanes == 8 -> 0xff
+    __m512d acc = _mm512_setzero_pd();
+    if (delay == 1) {
+      // Lanes only disagree for s in [t0, t0+7] (delta is d_at on the
+      // lane whose t equals s); outside that zone every lane uses d_off.
+      int s = lo;
+      for (; s < t0; ++s) acc = madd(acc, srow[s], v_d_off);
+      const int tend = t0 + 7 < hi ? t0 + 7 : hi;
+      for (; s <= tend; ++s) {
+        const __mmask8 at = static_cast<__mmask8>(1u << (s - t0));
+        acc = madd(acc, srow[s], _mm512_mask_blend_pd(at, v_d_off, v_d_at));
+      }
+      for (; s <= hi; ++s) acc = madd(acc, srow[s], v_d_off);
+    } else {
+      const __m512i vt = _mm512_add_epi64(_mm512_set1_epi64(t0), iota);
+      for (int s = lo; s <= hi; ++s) {
+        const __mmask8 at =
+            _mm512_cmpeq_epi64_mask(_mm512_set1_epi64(s), vt);
+        const __m512d delta = _mm512_mask_blend_pd(at, v_d_off, v_d_at);
+        for (int d = 0; d < delay; ++d) {
+          acc = madd(acc, srow[static_cast<std::size_t>(s + d)], delta);
+        }
+      }
+    }
+    _mm512_mask_storeu_pd(out + (t0 - lo), kstore, acc);
+  }
+
+  // ---- Pass 2: one neighbor term at a time into out[] -------------------
+  for (std::size_t i = 0; i < nhot; ++i) {
+    const HotNb& h = hot[i];
+    const double q_out = 0.0 - h.p_old;
+    const __m512d vqout = _mm512_set1_pd(q_out);
+
+    for (int t0 = lo; t0 <= hi; t0 += 8) {
+      const int lanes = hi - t0 + 1 < 8 ? hi - t0 + 1 : 8;
+      const __mmask8 kstore = static_cast<__mmask8>((1u << lanes) - 1u);
+      double* ob = out + (t0 - lo);
+      const __m512d prev = _mm512_maskz_loadu_pd(kstore, ob);
+
+      // All-infeasible block: the scalar kernel adds exactly 1e9 per
+      // lane and never touches the dg row.  Feasibility is monotone in
+      // t (pred: t - h.delay >= mlo; succ: t + delay <= mhi), so one
+      // bound check covers the whole block.
+      const bool all_inf = h.pred ? (t0 + 7 < h.mlo + h.delay)
+                                  : (t0 > h.mhi - delay);
+      if (all_inf) {
+        _mm512_mask_storeu_pd(ob, kstore, _mm512_add_pd(prev, v_1e9));
+        continue;
+      }
+
+      // Per-lane clipped bounds + q_in, set up in scalar code.
+      // Infeasible lanes get q_in := q_out — their partial is replaced
+      // by 1e9 at the end, and matching q_out keeps the maskless
+      // segments lane-consistent.
+      alignas(64) std::int64_t nlo[8], nhi[8];
+      alignas(64) double qin[8];
+      __mmask8 kinf = 0;
+      for (int j = 0; j < 8; ++j) {
+        const int t = t0 + j;
+        const int new_lo =
+            h.pred ? h.mlo : (t + delay > h.mlo ? t + delay : h.mlo);
+        const int new_hi =
+            h.pred ? (t - h.delay < h.mhi ? t - h.delay : h.mhi) : h.mhi;
+        nlo[j] = new_lo;
+        nhi[j] = new_hi;
+        if (new_lo <= new_hi) {
+          qin[j] = inv_len[new_hi - new_lo + 1] - h.p_old;
+        } else {
+          qin[j] = q_out;
+          kinf |= static_cast<__mmask8>(1u << j);
+        }
+      }
+      const __m512i vnlo = _mm512_load_si512(nlo);
+      const __m512i vnhi = _mm512_load_si512(nhi);
+      const __m512d vqin = _mm512_load_pd(qin);
+
+      __m512d facc = _mm512_setzero_pd();
+      if (h.delay == 1) {
+        if (h.pred) {
+          // In-range is [mlo, nhi_j], nhi monotone nondecreasing across
+          // lanes; lane 7 is feasible (all-infeasible handled above).
+          int jf = 0;
+          while (nhi[jf] < h.mlo) ++jf;  // terminates: lane 7 feasible
+          const int min_feas = static_cast<int>(nhi[jf]);
+          const int max_all = static_cast<int>(nhi[7]);
+          int s = h.mlo;
+          const int up_in = min_feas < h.mhi ? min_feas : h.mhi;
+          for (; s <= up_in; ++s) facc = madd(facc, h.row[s], vqin);
+          const int up_mix = max_all < h.mhi ? max_all : h.mhi;
+          for (; s <= up_mix; ++s) {
+            const __mmask8 kout =
+                _mm512_cmpgt_epi64_mask(_mm512_set1_epi64(s), vnhi);
+            facc = madd(facc, h.row[s],
+                        _mm512_mask_blend_pd(kout, vqin, vqout));
+          }
+          for (; s <= h.mhi; ++s) facc = madd(facc, h.row[s], vqout);
+        } else {
+          // In-range is [nlo_j, mhi], nlo monotone nondecreasing across
+          // lanes; lane 0 is feasible.
+          int jl = 7;
+          while (nlo[jl] > h.mhi) --jl;  // terminates: lane 0 feasible
+          const int min_all = static_cast<int>(nlo[0]);
+          const int max_feas = static_cast<int>(nlo[jl]);
+          int s = h.mlo;
+          const int up_out = min_all - 1 < h.mhi ? min_all - 1 : h.mhi;
+          for (; s <= up_out; ++s) facc = madd(facc, h.row[s], vqout);
+          const int up_mix = max_feas - 1 < h.mhi ? max_feas - 1 : h.mhi;
+          for (; s <= up_mix; ++s) {
+            const __mmask8 kout =
+                _mm512_cmpgt_epi64_mask(vnlo, _mm512_set1_epi64(s));
+            facc = madd(facc, h.row[s],
+                        _mm512_mask_blend_pd(kout, vqin, vqout));
+          }
+          for (; s <= h.mhi; ++s) facc = madd(facc, h.row[s], vqin);
+        }
+      } else {
+        for (int s = h.mlo; s <= h.mhi; ++s) {
+          const __m512i vs = _mm512_set1_epi64(s);
+          const __mmask8 kout = static_cast<__mmask8>(
+              _mm512_cmpgt_epi64_mask(vnlo, vs) |    // s < new_lo
+              _mm512_cmpgt_epi64_mask(vs, vnhi));    // s > new_hi
+          const __m512d q = _mm512_mask_blend_pd(kout, vqin, vqout);
+          for (int d = 0; d < h.delay; ++d) {
+            facc = madd(facc, h.row[static_cast<std::size_t>(s + d)], q);
+          }
+        }
+      }
+
+      // Infeasible lanes contribute exactly 1e9 in place of their
+      // partial, matching the scalar early-continue.
+      const __m512d term =
+          kinf != 0 ? _mm512_mask_blend_pd(kinf, facc, v_1e9) : facc;
+      _mm512_mask_storeu_pd(ob, kstore, _mm512_add_pd(prev, term));
+    }
+  }
+  (void)latency;
+}
+
+}  // namespace lwm::sched::fds
+
+#endif  // LWM_SIMD_AVX512

@@ -22,8 +22,7 @@ Schedule list_schedule(const Graph& g, const ListScheduleOptions& opts) {
   std::vector<int> earliest(g.node_capacity(), 0);
   std::vector<NodeId> ready;
 
-  const std::vector<NodeId> nodes = g.node_ids();
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     int deps = 0;
     for (EdgeId e : g.fanin(n)) {
       if (opts.filter.accepts(g.edge(e).kind)) ++deps;
@@ -55,7 +54,7 @@ Schedule list_schedule(const Graph& g, const ListScheduleOptions& opts) {
   // then enqueued by the cascade itself — re-enqueueing it here would
   // double-schedule it.
   const std::vector<int> initial_pending = pending;
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     if (initial_pending[n.value] != 0) continue;
     if (cdfg::is_executable(g.node(n).kind)) {
       ready.push_back(n);
@@ -65,7 +64,7 @@ Schedule list_schedule(const Graph& g, const ListScheduleOptions& opts) {
   }
 
   // Validate that limited classes have capacity for the ops present.
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     if (!cdfg::is_executable(node.kind)) continue;
     const cdfg::UnitClass uc = cdfg::unit_class(node.kind);

@@ -7,7 +7,7 @@ namespace lwm::sched {
 
 int Schedule::length(const cdfg::Graph& g) const {
   int len = 0;
-  for (cdfg::NodeId n : g.node_ids()) {
+  for (cdfg::NodeId n : g.nodes()) {
     if (!is_scheduled(n)) continue;
     len = std::max(len, start_of(n) + g.node(n).delay);
   }
@@ -19,7 +19,7 @@ ScheduleCheck verify_schedule(const cdfg::Graph& g, const Schedule& s,
                               int latency, bool pipelined_units) {
   ScheduleCheck check;
 
-  for (cdfg::NodeId n : g.node_ids()) {
+  for (cdfg::NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     if (cdfg::is_executable(node.kind)) {
       if (!s.is_scheduled(n)) {
@@ -40,7 +40,7 @@ ScheduleCheck verify_schedule(const cdfg::Graph& g, const Schedule& s,
     return 0;
   };
 
-  for (cdfg::EdgeId e : g.edge_ids()) {
+  for (cdfg::EdgeId e : g.edges()) {
     const cdfg::Edge& ed = g.edge(e);
     if (!filter.accepts(ed.kind)) continue;
     const cdfg::Node& src = g.node(ed.src);
@@ -66,7 +66,7 @@ ScheduleCheck verify_schedule(const cdfg::Graph& g, const Schedule& s,
   if (!res.is_unlimited()) {
     // step -> usage per class
     std::map<int, std::array<int, cdfg::kNumUnitClasses>> usage;
-    for (cdfg::NodeId n : g.node_ids()) {
+    for (cdfg::NodeId n : g.nodes()) {
       const cdfg::Node& node = g.node(n);
       if (!cdfg::is_executable(node.kind) || !s.is_scheduled(n)) continue;
       const auto uc = static_cast<std::size_t>(cdfg::unit_class(node.kind));
@@ -93,7 +93,7 @@ ScheduleCheck verify_schedule(const cdfg::Graph& g, const Schedule& s,
 
 UnitUsage peak_usage(const cdfg::Graph& g, const Schedule& s) {
   std::map<int, std::array<int, cdfg::kNumUnitClasses>> usage;
-  for (cdfg::NodeId n : g.node_ids()) {
+  for (cdfg::NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     if (!cdfg::is_executable(node.kind) || !s.is_scheduled(n)) continue;
     const auto uc = static_cast<std::size_t>(cdfg::unit_class(node.kind));

@@ -11,7 +11,7 @@ namespace lwm::sched {
 
 void write_schedule(const cdfg::Graph& g, const Schedule& s, std::ostream& os) {
   os << "schedule " << (g.name().empty() ? "unnamed" : g.name()) << "\n";
-  for (cdfg::NodeId n : g.node_ids()) {
+  for (cdfg::NodeId n : g.nodes()) {
     if (!s.is_scheduled(n)) continue;
     os << "at " << g.node(n).name << " " << s.start_of(n) << "\n";
   }

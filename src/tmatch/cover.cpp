@@ -54,7 +54,7 @@ Cover greedy_cover(const Graph& g, const TemplateLibrary& lib,
     if (free) place(m, "greedy");
   }
 
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     if (cdfg::is_executable(g.node(n).kind) && covered.count(n) == 0) {
       throw std::runtime_error("greedy_cover: no template covers '" +
                                g.node(n).name + "' (library incomplete)");
@@ -82,7 +82,7 @@ MappedDesign build_mapped_design(const Graph& g, const Cover& cover) {
     }
   }
   // Carry over pseudo-ops so the macro graph stays a valid CDFG.
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     const cdfg::Node& node = g.node(n);
     if (cdfg::is_executable(node.kind)) continue;
     const NodeId macro = d.macro.add_node(node.kind, node.name, node.delay);
@@ -94,7 +94,7 @@ MappedDesign build_mapped_design(const Graph& g, const Cover& cover) {
 
   // Edges between distinct macro nodes (deduplicated).
   std::unordered_set<std::uint64_t> seen;
-  for (EdgeId e : g.edge_ids()) {
+  for (EdgeId e : g.edges()) {
     const cdfg::Edge& ed = g.edge(e);
     if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
     const auto si = d.node_to_macro.find(ed.src);
@@ -130,8 +130,7 @@ int macro_list_schedule(const MappedDesign& d, std::vector<int> const& limits,
   std::vector<int> pending(g.node_capacity(), 0);
   std::vector<int> earliest(g.node_capacity(), 0);
   std::vector<NodeId> ready;
-  const std::vector<NodeId> nodes = g.node_ids();
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     pending[n.value] = static_cast<int>(g.fanin(n).size());
   }
   auto release = [&](NodeId n, int finish, auto&& self) -> void {
@@ -148,13 +147,13 @@ int macro_list_schedule(const MappedDesign& d, std::vector<int> const& limits,
     }
   };
   std::size_t total_ops = 0;
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     if (cdfg::is_executable(g.node(n).kind)) ++total_ops;
   }
   // Snapshot before seeding: release cascades enqueue downstream nodes
   // themselves; consulting the live pending array would double-schedule.
   const std::vector<int> initial_pending = pending;
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     if (initial_pending[n.value] != 0) continue;
     if (cdfg::is_executable(g.node(n).kind)) {
       ready.push_back(n);
@@ -212,7 +211,7 @@ ModuleAllocation allocate_modules(const MappedDesign& design,
   ModuleAllocation alloc;
   alloc.instances.assign(static_cast<std::size_t>(lib.size()), 0);
   // One instance per used template to start.
-  for (cdfg::NodeId n : design.macro.node_ids()) {
+  for (cdfg::NodeId n : design.macro.nodes()) {
     const int t = design.macro_template[n.value];
     if (t >= 0) alloc.instances[static_cast<std::size_t>(t)] = 1;
   }

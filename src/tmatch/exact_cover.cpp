@@ -85,7 +85,7 @@ ExactCoverResult exact_cover(const Graph& g, const TemplateLibrary& lib,
   const std::vector<Match> pool = enumerate_matches(g, lib, cons);
 
   Searcher s{g, opts, {}, {}, {}, 1, {}, {}, {}, 1 << 30, 0, false};
-  for (const NodeId n : g.node_ids()) {
+  for (const NodeId n : g.nodes()) {
     if (!cdfg::is_executable(g.node(n).kind)) continue;
     if (std::find(pre_covered.begin(), pre_covered.end(), n) !=
         pre_covered.end()) {
@@ -154,7 +154,7 @@ CoverCountResult count_covers(const Graph& g, const TemplateLibrary& lib,
 
   std::vector<NodeId> ops;
   std::unordered_map<NodeId, std::size_t> op_index;
-  for (const NodeId n : g.node_ids()) {
+  for (const NodeId n : g.nodes()) {
     if (!cdfg::is_executable(g.node(n).kind)) continue;
     if (std::find(pre_covered.begin(), pre_covered.end(), n) !=
         pre_covered.end()) {

@@ -91,7 +91,7 @@ std::vector<Match> matches_at(const Graph& g, const TemplateLibrary& lib,
 std::vector<Match> enumerate_matches(const Graph& g, const TemplateLibrary& lib,
                                      const MatchConstraints& cons) {
   std::vector<Match> out;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     if (!cdfg::is_executable(g.node(n).kind)) continue;
     for (int t = 0; t < lib.size(); ++t) {
       const std::vector<Match> found = matches_at(g, lib, t, n, cons);

@@ -26,8 +26,7 @@ VliwResult vliw_schedule(const Graph& g, const Machine& m,
   std::vector<int> earliest(g.node_capacity(), 0);
   std::vector<NodeId> ready;
 
-  const std::vector<NodeId> nodes = g.node_ids();
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     int deps = 0;
     for (EdgeId e : g.fanin(n)) {
       if (filter.accepts(g.edge(e).kind)) ++deps;
@@ -52,7 +51,7 @@ VliwResult vliw_schedule(const Graph& g, const Machine& m,
   // Snapshot before seeding: release cascades enqueue downstream nodes
   // themselves; consulting the live pending array here would double-issue.
   const std::vector<int> initial_pending = pending;
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     if (initial_pending[n.value] != 0) continue;
     if (cdfg::is_executable(g.node(n).kind)) {
       ready.push_back(n);
@@ -102,7 +101,7 @@ VliwResult vliw_schedule(const Graph& g, const Machine& m,
   result.issued_ops = static_cast<long long>(issued);
   // Execution finishes when the last issued op completes.
   int finish = 0;
-  for (NodeId n : nodes) {
+  for (NodeId n : g.nodes()) {
     if (!result.schedule.is_scheduled(n)) continue;
     finish = std::max(finish, result.schedule.start_of(n) + op_delay(n));
   }

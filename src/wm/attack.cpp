@@ -44,7 +44,7 @@ PerturbResult perturb_schedule(const Graph& g, const sched::Schedule& s,
   std::mt19937_64 rng(seed);
 
   std::vector<NodeId> ops;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     if (cdfg::is_executable(g.node(n).kind) && s.is_scheduled(n)) {
       ops.push_back(n);
     }
@@ -107,7 +107,7 @@ std::vector<NodeId> insert_decoys(Graph& g, sched::Schedule& s, int count,
   for (int k = 0; k < count; ++k) {
     // Collect splittable edges fresh each round (prior splits change them).
     std::vector<cdfg::EdgeId> candidates;
-    for (cdfg::EdgeId e : g.edges_of_kind(cdfg::EdgeKind::kData)) {
+    for (cdfg::EdgeId e : g.edges_of(cdfg::EdgeKind::kData)) {
       const cdfg::Edge& ed = g.edge(e);
       const cdfg::Node& src = g.node(ed.src);
       const cdfg::Node& dst = g.node(ed.dst);

@@ -15,7 +15,7 @@ namespace {
 
 std::vector<NodeId> executable_roots(const Graph& g) {
   std::vector<NodeId> roots;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     if (cdfg::is_executable(g.node(n).kind)) roots.push_back(n);
   }
   return roots;

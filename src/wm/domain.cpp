@@ -193,7 +193,7 @@ Domain select_domain(const Graph& g, NodeId root, const crypto::Signature& sig,
 
 NodeId pick_root(const Graph& g, crypto::Bitstream& stream) {
   std::vector<NodeId> ops;
-  for (NodeId n : g.node_ids()) {
+  for (NodeId n : g.nodes()) {
     if (cdfg::is_executable(g.node(n).kind)) ops.push_back(n);
   }
   if (ops.empty()) {

@@ -205,7 +205,7 @@ RegDetectionReport detect_reg_watermark(const Graph& suspect,
                                         const crypto::Signature& sig,
                                         const RegRecord& record) {
   RegDetectionReport report;
-  for (NodeId n : suspect.node_ids()) {
+  for (NodeId n : suspect.nodes()) {
     if (!cdfg::is_executable(suspect.node(n).kind)) continue;
     ++report.roots_scanned;
     const RegHit hit =

@@ -177,7 +177,7 @@ std::vector<NodeId> materialize_with_unit_ops(
   for (const SchedWatermark& wm : marks) {
     for (const TemporalConstraint& c : wm.constraints) {
       // Drop the abstract temporal edge if it is present...
-      for (cdfg::EdgeId e : g.edges_of_kind(EdgeKind::kTemporal)) {
+      for (cdfg::EdgeId e : g.edges_of(EdgeKind::kTemporal)) {
         const cdfg::Edge& ed = g.edge(e);
         if (ed.src == c.src && ed.dst == c.dst) {
           g.remove_edge(e);

@@ -26,7 +26,7 @@ std::optional<TmWatermark> plan_tm_watermark(const Graph& g,
     const Domain d = select_domain(g, opts.subtree_root, sig, opts.domain);
     t_nodes.insert(d.selected.begin(), d.selected.end());
   } else {
-    for (NodeId n : g.node_ids()) t_nodes.insert(n);
+    for (NodeId n : g.nodes()) t_nodes.insert(n);
   }
 
   // Exclude near-critical nodes: laxity greater than C * (1 - epsilon)
@@ -48,7 +48,7 @@ std::optional<TmWatermark> plan_tm_watermark(const Graph& g,
     // T' for this iteration.
     tmatch::MatchConstraints cons;
     cons.ppo = wm.ppos;
-    for (NodeId n : g.node_ids()) {
+    for (NodeId n : g.nodes()) {
       const bool in_t = t_nodes.count(n) != 0;
       const bool slack_ok =
           cdfg::is_executable(g.node(n).kind) && timing.laxity(n) <= bound;

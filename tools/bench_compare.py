@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_micro.json artifacts and fail on perf regression.
+
+    python3 tools/bench_compare.py BASELINE.json CANDIDATE.json \
+        [--max-regress 0.10] [--key fds_speedup ...]
+
+Exits 1 if any compared higher-is-better key in CANDIDATE falls more
+than --max-regress (default 10%) below BASELINE, or if either file is
+missing a compared key.  Every compared key is printed with its delta,
+so a passing run still documents the drift.
+
+Default keys: fds_speedup (the headline reference-vs-incremental ratio)
+and fds_eps_speedup (the approximate-mode ratio, when both files carry
+it).  Intended use: run bench_micro on the pre-change and post-change
+trees, then diff the artifacts —
+
+    ./build-old/bench/bench_micro --threads 1 --json old.json --benchmark_filter=^$
+    ./build-new/bench/bench_micro --threads 1 --json new.json --benchmark_filter=^$
+    python3 tools/bench_compare.py old.json new.json
+
+The bench-smoke ctest self-compares the checked-in BENCH_micro.json,
+which pins the artifact schema (the keys must exist) and the tool's CLI
+without depending on the noise of a live timing run.
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+REQUIRED_KEYS = ["fds_speedup"]
+OPTIONAL_KEYS = ["fds_eps_speedup"]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", type=pathlib.Path)
+    ap.add_argument("candidate", type=pathlib.Path)
+    ap.add_argument("--max-regress", type=float, default=0.10,
+                    help="allowed fractional drop (default 0.10 = 10%%)")
+    ap.add_argument("--key", action="append", default=[],
+                    help="extra higher-is-better key to compare")
+    args = ap.parse_args()
+
+    try:
+        base = json.loads(args.baseline.read_text())
+        cand = json.loads(args.candidate.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 1
+
+    keys = REQUIRED_KEYS + args.key
+    for key in OPTIONAL_KEYS:
+        if key in base and key in cand:
+            keys.append(key)
+
+    failed = False
+    for key in keys:
+        if key not in base or key not in cand:
+            print(f"FAIL {key}: missing "
+                  f"({'baseline' if key not in base else 'candidate'})")
+            failed = True
+            continue
+        b, c = float(base[key]), float(cand[key])
+        delta = (c - b) / b if b != 0 else 0.0
+        regressed = b > 0 and c < b * (1.0 - args.max_regress)
+        status = "FAIL" if regressed else "ok"
+        print(f"{status:4s} {key}: {b:.3f} -> {c:.3f} ({delta:+.1%})")
+        failed = failed or regressed
+
+    if failed:
+        print(f"bench_compare: regression beyond {args.max_regress:.0%}",
+              file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
