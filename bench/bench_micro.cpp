@@ -20,6 +20,7 @@
 
 #include "bench_io.h"
 #include "cdfg/analysis.h"
+#include "cdfg/delay_model.h"
 #include "crypto/signature.h"
 #include "dfglib/iir4.h"
 #include "dfglib/mediabench.h"
@@ -250,6 +251,40 @@ int main(int argc, char** argv) {
                       1, fds_eps_stats.refills)),
               eps.length(big), inc.length(big));
 
+  // Same comparison under the dyno-style table delay model: the
+  // annotated copy carries bounded [d_min, d_max] intervals, FDS
+  // schedules against d_max, and the incremental engine must stay
+  // bit-identical to the reference there too.  Gives the README table
+  // its delay-model column.
+  cdfg::Graph big_table = big;
+  const cdfg::DelayModel table_model = cdfg::DelayModel::dyno(16);
+  table_model.annotate(big_table);
+  sched::FdsOptions topts;
+  const int cp_table = cdfg::critical_path_length(big_table);
+  topts.latency = cp_table + std::max(1, cp_table / 10);
+  const bench::Stopwatch tref_watch;
+  const sched::Schedule tref =
+      sched::force_directed_schedule_reference(big_table, topts);
+  const double fds_table_ref_ms = tref_watch.elapsed_ms();
+  topts.pool = &pool;
+  const bench::Stopwatch tinc_watch;
+  const sched::Schedule tinc = sched::force_directed_schedule(big_table, topts);
+  const double fds_table_inc_ms = tinc_watch.elapsed_ms();
+  for (const cdfg::NodeId n : big_table.nodes()) {
+    if (cdfg::is_executable(big_table.node(n).kind) &&
+        tref.start_of(n) != tinc.start_of(n)) {
+      std::fprintf(stderr, "FDS mismatch under %s at %s\n",
+                   table_model.describe().c_str(),
+                   big_table.node(n).name.c_str());
+      return 1;
+    }
+  }
+  std::printf("FDS %s %s (latency %d): reference %.1f ms, incremental "
+              "%.1f ms, speedup %.2fx\n\n",
+              big_table.name().c_str(), table_model.describe().c_str(),
+              topts.latency, fds_table_ref_ms, fds_table_inc_ms,
+              fds_table_ref_ms / fds_table_inc_ms);
+
   // Branch & bound: serial vs first-level-parallel on the IIR filter.
   const cdfg::Graph iir = dfglib::iir4_parallel();
   sched::BnbOptions bopts;
@@ -309,6 +344,11 @@ int main(int argc, char** argv) {
            static_cast<long long>(fds_eps_stats.suppressed));
   json.add("fds_eps_length", eps.length(big));
   json.add("fds_exact_length", inc.length(big));
+  json.add("fds_table_model", table_model.describe());
+  json.add("fds_table_latency", topts.latency);
+  json.add("fds_table_ref_ms", fds_table_ref_ms);
+  json.add("fds_table_inc_ms", fds_table_inc_ms);
+  json.add("fds_table_speedup", fds_table_ref_ms / fds_table_inc_ms);
   json.add("bnb_latency", bnb_par.latency);
   json.add("bnb_serial_ms", bnb_serial_ms);
   json.add("bnb_parallel_ms", bnb_par_ms);

@@ -87,6 +87,48 @@ int critical_path_length(const Graph& g, EdgeFilter filter) {
   return compute_timing(g, -1, filter).critical_path;
 }
 
+BoundedTimingInfo compute_timing_bounded(const Graph& g, int latency,
+                                         EdgeFilter filter) {
+  BoundedTimingInfo t;
+  t.pess = compute_timing(g, latency, filter);  // validates the latency bound
+
+  const std::size_t cap = g.node_capacity();
+  t.asap_min.assign(cap, -1);
+  t.alap_min.assign(cap, -1);
+
+  const std::vector<NodeId> order = topo_order(g, filter);
+
+  // Optimistic ASAP: forward longest path with every delay at d_min.
+  int cp = 0;
+  for (NodeId n : order) {
+    int start = 0;
+    for (EdgeId e : g.fanin(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      const NodeId p = ed.src;
+      start = std::max(start, t.asap_min[p.value] + g.node(p).delay_min);
+    }
+    t.asap_min[n.value] = start;
+    cp = std::max(cp, start + g.node(n).delay_min);
+  }
+  t.critical_path_min = cp;
+
+  // Optimistic ALAP against the same (pessimistic) latency bound: the
+  // latest n could start and still finish by t.pess.latency if every
+  // downstream delay realizes at its lower bound.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    int latest = t.pess.latency - g.node(n).delay_min;
+    for (EdgeId e : g.fanout(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      latest = std::min(latest, t.alap_min[ed.dst.value] - g.node(n).delay_min);
+    }
+    t.alap_min[n.value] = latest;
+  }
+  return t;
+}
+
 std::vector<ConeNode> fanin_cone(const Graph& g, NodeId root, int max_distance,
                                  EdgeFilter filter) {
   if (!g.is_live(root)) {

@@ -80,6 +80,39 @@ struct TimingInfo {
 [[nodiscard]] TimingInfo compute_timing(const Graph& g, int latency = -1,
                                         EdgeFilter filter = EdgeFilter::all());
 
+/// Dual min/max timing under the dynamically bounded delay model.
+///
+/// Every delay realization d(n) in [delay_min(n), delay(n)] yields some
+/// concrete timing; the two extremes bracket them all:
+///   * the *pessimistic* analysis (all delays at d_max) gives the
+///     guaranteed windows every scheduler must respect — it is exactly
+///     compute_timing(), unchanged;
+///   * the *optimistic* analysis (all delays at d_min) gives the widest
+///     windows any realization could see: asap_min[n] <= asap[n] is the
+///     earliest n could possibly start, alap_min[n] >= alap[n] the
+///     latest it could start and still meet the same latency bound.
+/// On an exact-interval graph the two analyses coincide field for field.
+struct BoundedTimingInfo {
+  TimingInfo pess;            ///< d_max analysis (== compute_timing)
+  std::vector<int> asap_min;  ///< earliest start under all-d_min delays
+  std::vector<int> alap_min;  ///< latest start under all-d_min delays
+  int critical_path_min = 0;  ///< minimum schedule length if every delay
+                              ///< realizes at its lower bound
+
+  /// Width added to n's window by delay uncertainty (0 on exact graphs).
+  [[nodiscard]] int window_widening(NodeId n) const {
+    return (pess.asap[n.value] - asap_min[n.value]) +
+           (alap_min[n.value] - pess.alap[n.value]);
+  }
+};
+
+/// Computes the dual analysis.  `latency` semantics match
+/// compute_timing(): it is validated against the *pessimistic* critical
+/// path (the bound must hold under worst-case delays), and the same
+/// bound feeds the optimistic ALAP pass.
+[[nodiscard]] BoundedTimingInfo compute_timing_bounded(
+    const Graph& g, int latency = -1, EdgeFilter filter = EdgeFilter::all());
+
 /// Critical path length C in control steps (delay-weighted longest
 /// source-to-sink path over executable nodes).
 [[nodiscard]] int critical_path_length(const Graph& g,

@@ -1,0 +1,145 @@
+#include "cdfg/delay_model.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lwm::cdfg {
+
+namespace {
+
+// floor(log2(x)) for x >= 1; 0 otherwise.  Integer math on purpose: the
+// delay tables must be bit-reproducible across platforms, so no libm.
+int ilog2(int x) noexcept {
+  if (x < 1) return 0;
+  return 31 - std::countl_zero(static_cast<unsigned>(x));
+}
+
+// Opcodes whose worst case grows with the carry chain of the datapath.
+bool has_carry_chain(OpKind k) noexcept {
+  return k == OpKind::kAdd || k == OpKind::kSub || k == OpKind::kCmp;
+}
+
+// Opcodes implemented as reduction trees (deeper width dependence).
+bool is_tree_op(OpKind k) noexcept {
+  return k == OpKind::kMul || k == OpKind::kDiv;
+}
+
+}  // namespace
+
+DelayModel::DelayModel() {
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const int d = default_delay(static_cast<OpKind>(i));
+    base_[static_cast<std::size_t>(i)] = DelayBounds{d, d};
+  }
+}
+
+DelayModel DelayModel::exact() { return DelayModel{}; }
+
+DelayModel DelayModel::dyno(int bit_width) {
+  if (bit_width < 1) {
+    throw std::invalid_argument("DelayModel::dyno: bit_width must be >= 1, got " +
+                                std::to_string(bit_width));
+  }
+  DelayModel m;
+  m.set_bit_width(bit_width);
+  m.set_fanout_threshold(4);
+  // Base intervals in the dyno-ir DelayAnalysis shape: cheap exact logic,
+  // a slightly wider mux, and memory ops whose latency is inherently
+  // data/placement dependent (cache-like [hit, miss] interval).
+  m.set_base(OpKind::kAnd, 1, 1);
+  m.set_base(OpKind::kOr, 1, 1);
+  m.set_base(OpKind::kNot, 1, 1);
+  m.set_base(OpKind::kXor, 1, 2);
+  m.set_base(OpKind::kShift, 1, 1);
+  m.set_base(OpKind::kMux, 1, 2);
+  m.set_base(OpKind::kAdd, 1, 1);
+  m.set_base(OpKind::kSub, 1, 1);
+  m.set_base(OpKind::kCmp, 1, 1);
+  m.set_base(OpKind::kMul, 2, 2);
+  m.set_base(OpKind::kDiv, 2, 4);
+  m.set_base(OpKind::kLoad, 1, 3);
+  m.set_base(OpKind::kStore, 1, 2);
+  m.set_base(OpKind::kBranch, 1, 1);
+  m.set_base(OpKind::kUnit, 1, 1);
+  return m;
+}
+
+DelayModel& DelayModel::set_base(OpKind k, int dmin, int dmax) {
+  if (dmin < 0 || dmax < dmin) {
+    throw std::invalid_argument(
+        "DelayModel::set_base: need 0 <= dmin <= dmax, got [" +
+        std::to_string(dmin) + ", " + std::to_string(dmax) + "] for op '" +
+        std::string(op_name(k)) + "'");
+  }
+  base_[static_cast<std::size_t>(k)] = DelayBounds{dmin, dmax};
+  overridden_ = true;
+  return *this;
+}
+
+DelayModel& DelayModel::set_bit_width(int bits) {
+  if (bits < 0) {
+    throw std::invalid_argument("DelayModel::set_bit_width: negative width " +
+                                std::to_string(bits));
+  }
+  bit_width_ = bits;
+  return *this;
+}
+
+DelayModel& DelayModel::set_fanout_threshold(int threshold) {
+  if (threshold < 0) {
+    throw std::invalid_argument(
+        "DelayModel::set_fanout_threshold: negative threshold " +
+        std::to_string(threshold));
+  }
+  fanout_threshold_ = threshold;
+  return *this;
+}
+
+DelayBounds DelayModel::bounds(OpKind k, int fanout) const noexcept {
+  DelayBounds b = base_[static_cast<std::size_t>(k)];
+  if (bit_width_ > 1 && is_executable(k)) {
+    int term = 0;
+    if (has_carry_chain(k)) {
+      term = ilog2(bit_width_);  // carry-lookahead depth
+    } else if (is_tree_op(k)) {
+      term = 2 * ilog2(bit_width_);  // compression tree + final carry
+    }
+    // Worst case sees the full chain; best case completes early once
+    // the data-dependent carry settles — half the depth.
+    b.max += term;
+    b.min += term / 2;
+  }
+  if (fanout_threshold_ > 0 && fanout > fanout_threshold_) {
+    b.max += ilog2(fanout);  // buffer-tree depth, worst case only
+  }
+  if (b.min > b.max) b.min = b.max;  // defensive; unreachable by math above
+  return b;
+}
+
+bool DelayModel::is_exact() const noexcept {
+  return !overridden_ && bit_width_ <= 1 && fanout_threshold_ == 0;
+}
+
+int DelayModel::annotate(Graph& g) const {
+  int changed = 0;
+  for (NodeId n : g.nodes()) {
+    const Node& node = g.node(n);
+    const DelayBounds b =
+        bounds(node.kind, static_cast<int>(g.fanout(n).size()));
+    if (node.delay_min != b.min || node.delay != b.max) {
+      g.set_delay_bounds(n, b.min, b.max);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::string DelayModel::describe() const {
+  if (is_exact()) return "exact";
+  std::string out = "table";
+  out += "(bits=" + std::to_string(bit_width_);
+  out += ",fo>" + std::to_string(fanout_threshold_) + ")";
+  return out;
+}
+
+}  // namespace lwm::cdfg

@@ -1,0 +1,105 @@
+// delay_model.h — pluggable, dynamically bounded operation-delay models.
+//
+// The source paper schedules against a *dynamically bounded* delay model:
+// each operation's latency is not a single number but an interval
+// [d_min, d_max] whose realization depends on data and operating
+// conditions.  A DelayModel maps an operation (opcode + context) to such
+// an interval:
+//
+//   bounds(k, fanout) = base(k) + width_term(k) + fanout_term(fanout)
+//
+// where base(k) is a per-opcode interval table, the width term models
+// carry/reduction depth growing with the datapath bit width (dyno-ir's
+// DelayAnalysis shape: log2(bits) carry for adders, deeper trees for
+// multipliers), and the fanout term models wire/buffer delay once an
+// op's fanout passes a threshold.  Width and fanout terms widen the
+// interval asymmetrically: the full term lands on d_max (worst case has
+// the full carry chain and the full fanout tree), while only half the
+// width term lands on d_min (best case short-circuits data-dependently)
+// and none of the fanout term does.
+//
+// The default model is *exact unit* delay: every opcode keeps its
+// default_delay() as a degenerate interval, so annotating a graph with
+// DelayModel::exact() is a no-op and every existing scheduler stays
+// bit-identical.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "cdfg/graph.h"
+#include "cdfg/op.h"
+
+namespace lwm::cdfg {
+
+/// A bounded delay interval, in control steps.  Invariant: 0 <= min <= max.
+struct DelayBounds {
+  int min = 1;
+  int max = 1;
+
+  [[nodiscard]] constexpr bool exact() const noexcept { return min == max; }
+  friend constexpr bool operator==(DelayBounds, DelayBounds) = default;
+};
+
+/// Per-opcode bounded delay model.  Cheap to copy; configure with the
+/// fluent setters or start from a factory.
+class DelayModel {
+ public:
+  /// Exact unit-style model: every opcode's interval is
+  /// [default_delay(k), default_delay(k)] and no width/fanout terms
+  /// apply.  annotate() under this model leaves a default-delay graph
+  /// byte-identical.  This is the default-constructed state.
+  static DelayModel exact();
+
+  /// dyno-ir-style table model for a `bit_width`-bit datapath:
+  /// logic ops are fast and exact, adders/comparators gain a
+  /// log2(bit_width) carry term, multipliers/dividers a 2*log2 tree
+  /// term, memory ops a wide [1, 3] interval, and fanout past 4 adds
+  /// log2(fanout) to the worst case.  Requires bit_width >= 1.
+  static DelayModel dyno(int bit_width = 16);
+
+  DelayModel();  // equivalent to exact()
+
+  /// Overrides one opcode's base interval.  Requires 0 <= dmin <= dmax;
+  /// throws std::invalid_argument otherwise.
+  DelayModel& set_base(OpKind k, int dmin, int dmax);
+
+  /// Sets the datapath bit width driving the width terms (0 disables
+  /// them).  Throws std::invalid_argument if negative.
+  DelayModel& set_bit_width(int bits);
+
+  /// Sets the fanout threshold past which log2(fanout) wire delay is
+  /// added to d_max (0 disables the term).  Throws if negative.
+  DelayModel& set_fanout_threshold(int threshold);
+
+  /// The interval for opcode `k` with the given live fanout count.
+  [[nodiscard]] DelayBounds bounds(OpKind k, int fanout = 0) const noexcept;
+
+  /// True when the model can only produce degenerate intervals equal to
+  /// each opcode's default delay — i.e. annotate() is guaranteed to be
+  /// an identity on a default-delay graph.
+  [[nodiscard]] bool is_exact() const noexcept;
+
+  [[nodiscard]] int bit_width() const noexcept { return bit_width_; }
+  [[nodiscard]] int fanout_threshold() const noexcept {
+    return fanout_threshold_;
+  }
+
+  /// Writes this model's interval into every live node of `g` (pseudo-
+  /// ops included — their base interval is [0, 0] by default).  The
+  /// fanout term uses each node's current live fanout, so annotate after
+  /// the graph's edges are final.  Returns the number of nodes whose
+  /// bounds changed.
+  int annotate(Graph& g) const;
+
+  /// One-line human-readable summary ("exact", "table(bits=16,fo>4)").
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::array<DelayBounds, kNumOpKinds> base_{};  // filled by the ctor
+  int bit_width_ = 0;          // 0 = width terms disabled
+  int fanout_threshold_ = 0;   // 0 = fanout term disabled
+  bool overridden_ = false;    // any set_base() call since construction
+};
+
+}  // namespace lwm::cdfg

@@ -25,7 +25,7 @@ NodeId Graph::add_node(OpKind kind, std::string name, int delay) {
   if (delay < 0) {
     delay = default_delay(kind);
   }
-  nodes_.push_back(Node{kind, std::move(name), delay});
+  nodes_.push_back(Node{kind, std::move(name), delay, delay});
   node_live_.push_back(true);
   fanin_.emplace_back();
   fanout_.emplace_back();
@@ -75,6 +75,25 @@ void Graph::remove_node(NodeId n) {
 void Graph::rename_node(NodeId n, std::string name) {
   check_live(n);
   nodes_[n.value].name = std::move(name);
+}
+
+void Graph::set_delay_bounds(NodeId n, int dmin, int dmax) {
+  check_live(n);
+  if (dmin < 0 || dmax < dmin) {
+    throw std::invalid_argument(
+        "Graph::set_delay_bounds: need 0 <= dmin <= dmax, got [" +
+        std::to_string(dmin) + ", " + std::to_string(dmax) + "] on node '" +
+        nodes_[n.value].name + "'");
+  }
+  nodes_[n.value].delay_min = dmin;
+  nodes_[n.value].delay = dmax;
+}
+
+bool Graph::has_bounded_delays() const noexcept {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (node_live_[i] && nodes_[i].bounded_delay()) return true;
+  }
+  return false;
 }
 
 int Graph::strip_temporal_edges() {

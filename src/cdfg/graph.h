@@ -60,10 +60,28 @@ enum class EdgeKind : std::uint8_t { kData, kControl, kTemporal };
 std::string_view edge_kind_name(EdgeKind k) noexcept;
 
 /// A CDFG operation node.
+///
+/// Delays are *dynamically bounded* (the source paper's model): an
+/// operation completes somewhere in [delay_min, delay] control steps,
+/// where the realization depends on data/operating conditions the
+/// scheduler cannot observe.  `delay` is the upper bound d_max — the
+/// value every scheduler and timing analysis constrains against, so a
+/// schedule is legal for *any* realization of the delays.  `delay_min`
+/// is the lower bound d_min used by the optimistic side of the bounded
+/// timing analyses (compute_timing_bounded, TimingCache min-windows,
+/// k-worst path min lengths).  The default is an exact interval
+/// (delay_min == delay), which keeps every unit-delay code path
+/// bit-identical to the pre-bounded behavior.
 struct Node {
   OpKind kind = OpKind::kAdd;
-  std::string name;  ///< human-readable label (unique per graph)
-  int delay = 1;     ///< latency in control steps
+  std::string name;   ///< human-readable label (unique per graph)
+  int delay = 1;      ///< upper-bound latency d_max, in control steps
+  int delay_min = 1;  ///< lower-bound latency d_min (<= delay)
+
+  /// True when the delay interval is non-degenerate (d_min < d_max).
+  [[nodiscard]] bool bounded_delay() const noexcept {
+    return delay_min != delay;
+  }
 };
 
 /// A directed edge between two nodes.
@@ -112,6 +130,17 @@ class Graph {
   /// validate(), not here).  Detection never reads names — this exists
   /// so tests can model a renaming adversary and tools can relabel.
   void rename_node(NodeId n, std::string name);
+
+  /// Sets a node's bounded delay interval [dmin, dmax].  Requires
+  /// 0 <= dmin <= dmax; throws std::invalid_argument otherwise.  The
+  /// upper bound dmax is what every scheduler constrains against (it
+  /// replaces Node::delay); dmin feeds the optimistic timing analyses.
+  void set_delay_bounds(NodeId n, int dmin, int dmax);
+
+  /// True if any live node carries a non-degenerate delay interval
+  /// (delay_min < delay).  O(node_capacity) scan — callers that need it
+  /// repeatedly (TimingCache, GraphSoA) query once at freeze time.
+  [[nodiscard]] bool has_bounded_delays() const noexcept;
 
   /// Removes every temporal edge — the post-synthesis "strip the
   /// watermark constraints from the optimized specification" step.

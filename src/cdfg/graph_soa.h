@@ -72,6 +72,12 @@ class GraphSoA {
   [[nodiscard]] int delay(std::uint32_t dense) const noexcept {
     return delay_[dense];
   }
+  /// Lower delay bound d_min (== delay() on exact-interval graphs).
+  [[nodiscard]] int delay_min(std::uint32_t dense) const noexcept {
+    return delay_min_[dense];
+  }
+  /// True if any frozen node carries a non-degenerate delay interval.
+  [[nodiscard]] bool bounded_delays() const noexcept { return bounded_; }
   [[nodiscard]] UnitClass unit_class(std::uint32_t dense) const noexcept {
     return static_cast<UnitClass>(cls_[dense]);
   }
@@ -82,6 +88,9 @@ class GraphSoA {
   /// Raw attribute streams (indexed by dense id) for kernel code.
   [[nodiscard]] std::span<const std::int32_t> delays() const noexcept {
     return delay_;
+  }
+  [[nodiscard]] std::span<const std::int32_t> delay_mins() const noexcept {
+    return delay_min_;
   }
   [[nodiscard]] std::span<const std::uint8_t> classes() const noexcept {
     return cls_;
@@ -102,8 +111,10 @@ class GraphSoA {
   std::vector<std::uint32_t> fanin_off_, fanout_off_;  ///< size() + 1 each
   std::vector<std::uint32_t> fanin_, fanout_;          ///< CSR arenas
   std::vector<std::int32_t> delay_;
+  std::vector<std::int32_t> delay_min_;
   std::vector<std::uint8_t> cls_;
   std::vector<std::uint8_t> exec_;
+  bool bounded_ = false;
 };
 
 }  // namespace lwm::cdfg

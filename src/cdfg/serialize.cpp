@@ -16,7 +16,11 @@ void write_text(const Graph& g, std::ostream& os) {
   for (NodeId n : g.nodes()) {
     const Node& node = g.node(n);
     os << "node " << node.name << " " << op_name(node.kind);
-    if (node.delay != default_delay(node.kind)) {
+    if (node.bounded_delay()) {
+      // Bounded interval: always written, even when d_max happens to
+      // equal the opcode default — the interval itself is information.
+      os << " " << node.delay_min << ":" << node.delay;
+    } else if (node.delay != default_delay(node.kind)) {
       os << " " << node.delay;
     }
     os << "\n";
@@ -67,7 +71,7 @@ io::ParseResult<Graph> parse_cdfg(std::string_view text,
       const auto name = lx.next();
       const auto op = lx.next();
       if (!name || !op) {
-        return err(lineno, lx.column(), "node needs <name> <op> [delay]");
+        return err(lineno, lx.column(), "node needs <name> <op> [dmin[:dmax]]");
       }
       const auto kind = op_from_name(op->text);
       if (!kind) {
@@ -77,21 +81,47 @@ io::ParseResult<Graph> parse_cdfg(std::string_view text,
         return err(lineno, name->column,
                    "duplicate node '" + std::string(name->text) + "'");
       }
-      int delay = -1;  // sentinel: add_node substitutes default_delay(kind)
+      // Optional delay: either an exact value `d` or a bounded interval
+      // `dmin:dmax` (the dynamically bounded delay model).
+      int delay = -1;      // sentinel: add_node substitutes default_delay(kind)
+      int delay_min = -1;  // sentinel: exact interval (delay_min == delay)
       if (const auto d = lx.next()) {
-        const auto v = io::to_int(d->text);
-        if (!v || *v < 0) {
-          return err(lineno, d->column,
-                     "node delay must be a non-negative integer, got '" +
-                         std::string(d->text) + "'");
+        const std::string_view text = d->text;
+        const std::size_t colon = text.find(':');
+        if (colon == std::string_view::npos) {
+          const auto v = io::to_int(text);
+          if (!v || *v < 0) {
+            return err(lineno, d->column,
+                       "node delay must be a non-negative integer, got '" +
+                           std::string(text) + "'");
+          }
+          delay = *v;
+        } else {
+          const auto lo = io::to_int(text.substr(0, colon));
+          const auto hi = io::to_int(text.substr(colon + 1));
+          if (!lo || !hi || *lo < 0) {
+            return err(lineno, d->column,
+                       "node delay bounds must be '<dmin>:<dmax>' with "
+                       "non-negative integers, got '" +
+                           std::string(text) + "'");
+          }
+          if (*hi < *lo) {
+            return err(lineno, d->column,
+                       "node delay bounds must satisfy dmin <= dmax, got '" +
+                           std::string(text) + "'");
+          }
+          delay_min = *lo;
+          delay = *hi;
         }
         if (!lx.at_end()) {
           return err(lineno, lx.column(), "trailing garbage after node delay");
         }
-        delay = *v;
       }
-      by_name.emplace(std::string(name->text),
-                      g.add_node(*kind, std::string(name->text), delay));
+      const NodeId id = g.add_node(*kind, std::string(name->text), delay);
+      if (delay_min >= 0) {
+        g.set_delay_bounds(id, delay_min, delay);
+      }
+      by_name.emplace(std::string(name->text), id);
     } else if (tok->text == "edge") {
       const auto src = lx.next();
       const auto dst = lx.next();

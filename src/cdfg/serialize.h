@@ -4,9 +4,13 @@
 // shipping suspect designs to the watermark detector:
 //
 //   cdfg <name>
-//   node <name> <op> [delay]
+//   node <name> <op> [dmin[:dmax]]
 //   edge <src-name> <dst-name> [data|control|temporal]
 //   # comment
+//
+// A bare delay is an exact interval; `dmin:dmax` carries the bounded
+// delay model's [d_min, d_max] (written only when the bounds differ, so
+// pre-bounded files round-trip unchanged).
 //
 // Nodes must be declared before use; names may not contain whitespace.
 // Round-trips exactly: write(read(s)) == s up to comments/blank lines.

@@ -16,7 +16,10 @@ Partition extract_partition(const Graph& g, std::span<const NodeId> keep,
       throw std::out_of_range("extract_partition: dead node in keep set");
     }
     const Node& node = g.node(n);
-    part.map.forward[n] = part.graph.add_node(node.kind, node.name, node.delay);
+    const NodeId copy =
+        part.graph.add_node(node.kind, node.name, node.delay);
+    part.graph.set_delay_bounds(copy, node.delay_min, node.delay);
+    part.map.forward[n] = copy;
   }
 
   int fresh_in = 0;
@@ -48,7 +51,9 @@ NodeMap embed_graph(Graph& host, const Graph& core, const std::string& prefix) {
   NodeMap map;
   for (NodeId n : core.nodes()) {
     const Node& node = core.node(n);
-    map.forward[n] = host.add_node(node.kind, prefix + node.name, node.delay);
+    const NodeId copy = host.add_node(node.kind, prefix + node.name, node.delay);
+    host.set_delay_bounds(copy, node.delay_min, node.delay);
+    map.forward[n] = copy;
   }
   for (EdgeId e : core.edges()) {
     const Edge& ed = core.edge(e);

@@ -48,6 +48,11 @@ std::vector<Violation> validate(const Graph& g) {
     if (node.delay < 0) {
       out.push_back({"node '" + node.name + "' has negative delay"});
     }
+    if (node.delay_min < 0 || node.delay_min > node.delay) {
+      out.push_back({"node '" + node.name + "' has malformed delay bounds [" +
+                     std::to_string(node.delay_min) + ", " +
+                     std::to_string(node.delay) + "]"});
+    }
   }
   return out;
 }

@@ -15,8 +15,14 @@ using cdfg::OpKind;
 
 Graph make_dsp_design(const std::string& name, int critical_path,
                       int operations, std::uint64_t seed) {
+  // Guard the spine math below: spine_len = min(operations, critical_path)
+  // is the divisor of `critical_path / spine_len`, so either parameter at
+  // zero (or below) would be a division by zero, not just a bad design.
   if (critical_path < 1 || operations < 1) {
-    throw std::invalid_argument("make_dsp_design: need cp >= 1 and ops >= 1");
+    throw std::invalid_argument(
+        "make_dsp_design('" + name + "'): need critical_path >= 1 and "
+        "operations >= 1, got critical_path=" + std::to_string(critical_path) +
+        ", operations=" + std::to_string(operations));
   }
   std::mt19937_64 rng(seed);
   Graph g(name);

@@ -1,6 +1,7 @@
 #include "vliw/vliw_sched.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -65,8 +66,19 @@ VliwResult vliw_schedule(const Graph& g, const Machine& m,
   const std::size_t total_ops = g.operation_count();
   std::size_t issued = 0;
   int cycle = 0;
-  const int kMaxCycles = static_cast<int>(total_ops) * (m.load_delay + 2) +
-                         timing.latency + 16;
+  // No-progress watchdog.  The product must be computed in 64-bit:
+  // total_ops * (load_delay + 2) overflows int already at ~100k ops with
+  // four-digit load delays (let alone the ROADMAP's 1M-node designs),
+  // and a wrapped-negative bound would throw on the first iteration.
+  // Any real schedule issues at least one op per `bound` cycles, so the
+  // watchdog only needs an order-of-magnitude ceiling — clamp it to
+  // INT_MAX - 1 instead of widening `cycle` itself.
+  const long long bound64 =
+      static_cast<long long>(total_ops) *
+          (static_cast<long long>(m.load_delay) + 2) +
+      static_cast<long long>(timing.latency) + 16;
+  const int kMaxCycles = static_cast<int>(
+      std::min<long long>(bound64, std::numeric_limits<int>::max() - 1));
   while (issued < total_ops) {
     if (cycle > kMaxCycles) {
       throw std::logic_error("vliw_schedule: no progress (internal error)");

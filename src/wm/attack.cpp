@@ -11,6 +11,16 @@ using cdfg::EdgeId;
 using cdfg::Graph;
 using cdfg::NodeId;
 
+namespace {
+
+/// Sentinel start step meaning "no scheduled consumer bounds this move
+/// from above".  Any real schedule sits far below it, and it leaves
+/// enough headroom below INT_MAX that clamped arithmetic against it can
+/// never wrap.
+constexpr int kUnboundedStep = 1 << 28;
+
+}  // namespace
+
 AttackCost attack_cost(long long qualified, int k, double target_log10_pc,
                        double mean_ratio) {
   if (qualified <= 0 || k <= 0 || mean_ratio <= 0.0 || mean_ratio >= 1.0) {
@@ -53,22 +63,31 @@ PerturbResult perturb_schedule(const Graph& g, const sched::Schedule& s,
 
   // Executable-to-executable precedence (collapsing pseudo-ops is not
   // needed: pseudo-ops are unscheduled and skipped by the bounds below).
-  auto legal_range = [&](NodeId n) -> std::pair<int, int> {
-    int lo = 0;
-    int hi = 1 << 28;
+  // Bounds are computed in 64-bit without saturation: with large bounded
+  // delays (d_max near the sentinel) the plain int `start + delay` could
+  // wrap, and clamping the *lower* bound down to the sentinel would admit
+  // moves before the producer's true finish.  If the true lower bound
+  // exceeds every upper bound the move is skipped, never legalized by
+  // truncation.
+  auto legal_range = [&](NodeId n) -> std::pair<long long, long long> {
+    long long lo = 0;
+    long long hi = kUnboundedStep;
     for (EdgeId e : g.fanin(n)) {
       const cdfg::Edge& ed = g.edge(e);
       if (!filter.accepts(ed.kind)) continue;
       const NodeId p = ed.src;
       if (!result.schedule.is_scheduled(p)) continue;
-      lo = std::max(lo, result.schedule.start_of(p) + g.node(p).delay);
+      lo = std::max(lo, static_cast<long long>(result.schedule.start_of(p)) +
+                            g.node(p).delay);
     }
     for (EdgeId e : g.fanout(n)) {
       const cdfg::Edge& ed = g.edge(e);
       if (!filter.accepts(ed.kind)) continue;
       const NodeId c = ed.dst;
       if (!result.schedule.is_scheduled(c)) continue;
-      hi = std::min(hi, result.schedule.start_of(c) - g.node(n).delay);
+      hi = std::min(hi, static_cast<long long>(
+                            result.schedule.start_of(c)) -
+                            g.node(n).delay);
     }
     return {lo, hi};
   };
@@ -78,11 +97,13 @@ PerturbResult perturb_schedule(const Graph& g, const sched::Schedule& s,
     const NodeId n = ops[rng() % ops.size()];
     auto [lo, hi] = legal_range(n);
     // Keep the attack quality-preserving: never stretch the schedule.
-    hi = std::min(hi, original_len - g.node(n).delay);
+    hi = std::min(hi,
+                  static_cast<long long>(original_len) - g.node(n).delay);
     if (hi <= lo && result.schedule.start_of(n) == lo) continue;
     if (hi < lo) continue;
-    const int span = hi - lo + 1;
-    const int new_start = lo + static_cast<int>(rng() % static_cast<unsigned>(span));
+    const long long span = hi - lo + 1;
+    const int new_start = static_cast<int>(
+        lo + static_cast<long long>(rng() % static_cast<unsigned long long>(span)));
     const int old_start = result.schedule.start_of(n);
     if (new_start == old_start) continue;
     // Count order flips against every other op.

@@ -8,6 +8,7 @@
 #include "cdfg/analysis.h"
 #include "cdfg/timing_cache.h"
 #include "obs/obs.h"
+#include "sched/kpaths.h"
 
 namespace lwm::wm {
 
@@ -30,10 +31,23 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
       cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
   const double laxity_bound = timing.critical_path * (1.0 - opts.epsilon);
 
+  // Optional k-worst-path exclusion: under bounded delays the laxity
+  // filter alone can admit a node that sits on a worst-case-critical
+  // spine; mask those spines out of T' entirely.
+  std::vector<char> on_worst_path;
+  if (opts.avoid_k_worst > 0) {
+    on_worst_path.assign(g.node_capacity(), 0);
+    for (const NodeId n : sched::k_worst_path_nodes(
+             g, opts.avoid_k_worst, cdfg::EdgeFilter::specification())) {
+      on_worst_path[n.value] = 1;
+    }
+  }
+
   // T': slack-rich executable nodes of T with an overlap partner.
   std::vector<NodeId> t_prime;
   for (const NodeId n : domain.selected) {
     if (!cdfg::is_executable(g.node(n).kind)) continue;
+    if (!on_worst_path.empty() && on_worst_path[n.value]) continue;
     const int lax = timing.laxity(n);
     const bool pass = opts.paper_literal_laxity
                           ? (lax > laxity_bound)

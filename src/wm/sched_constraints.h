@@ -53,6 +53,14 @@ struct SchedWmOptions {
   /// floor shrinks the per-root coincidence probability exponentially.
   int min_edges = 1;
   bool paper_literal_laxity = false;
+  /// When > 0, nodes lying on any of the `avoid_k_worst` worst critical
+  /// paths of the specification (max-delay lengths, sched::k_worst_paths)
+  /// are excluded from T'.  Under the bounded delay model the laxity
+  /// filter alone can admit a node that is near-critical on a worst-case
+  /// realization; this keeps temporal constraints off the k most timing-
+  /// critical spines entirely.  0 (default) preserves the paper's
+  /// laxity-only filter bit for bit.
+  int avoid_k_worst = 0;
   /// Purpose tag for the selection bitstream.
   static constexpr const char* kSelectTag = "lwm/sched-edges";
 };

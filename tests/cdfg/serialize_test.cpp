@@ -50,6 +50,49 @@ TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
   EXPECT_EQ(g.edge_count(), 1u);
 }
 
+TEST(SerializeTest, BoundedDelayRoundTrip) {
+  Builder b("bounds");
+  const NodeId in = b.input("in");
+  const NodeId m = b.graph().add_node(OpKind::kMul, "m", 6);
+  b.graph().add_edge(in, m);
+  b.graph().set_delay_bounds(m, 2, 6);
+  b.output("o", m);
+  const Graph g = std::move(b).build();
+
+  const std::string text = to_text(g);
+  EXPECT_NE(text.find("node m mul 2:6"), std::string::npos) << text;
+  const Graph h = from_text(text);
+  EXPECT_EQ(h.node(h.find("m")).delay_min, 2);
+  EXPECT_EQ(h.node(h.find("m")).delay, 6);
+  EXPECT_TRUE(h.has_bounded_delays());
+  EXPECT_EQ(to_text(h), text) << "bounded serialization is a fixed point";
+}
+
+TEST(SerializeTest, ParsesBoundedDelaySyntax) {
+  const Graph g = from_text(
+      "cdfg t\n"
+      "node i input\n"
+      "node a add 1:4\n"
+      "node b add 3\n"
+      "node o output\n"
+      "edge i a\nedge a b\nedge b o\n");
+  EXPECT_EQ(g.node(g.find("a")).delay_min, 1);
+  EXPECT_EQ(g.node(g.find("a")).delay, 4);
+  EXPECT_FALSE(g.node(g.find("b")).bounded_delay());
+  EXPECT_EQ(g.node(g.find("b")).delay, 3);
+}
+
+TEST(SerializeTest, RejectsMalformedDelayBounds) {
+  for (const char* bad : {"node a add 4:1\n", "node a add 1:\n",
+                          "node a add :4\n", "node a add 1:2:3\n",
+                          "node a add -1:4\n", "node a add 1:x\n",
+                          "node a add :\n"}) {
+    EXPECT_THROW((void)from_text(std::string("cdfg t\n") + bad),
+                 std::runtime_error)
+        << bad;
+  }
+}
+
 TEST(SerializeTest, ErrorsCarryLineNumbers) {
   try {
     (void)from_text("cdfg t\nnode a add\nedge a zz\n");

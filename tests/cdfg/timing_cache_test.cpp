@@ -8,6 +8,7 @@
 
 #include "cdfg/analysis.h"
 #include "cdfg/builder.h"
+#include "cdfg/delay_model.h"
 #include "dfglib/iir4.h"
 #include "dfglib/kernels.h"
 
@@ -218,6 +219,117 @@ TEST(TimingCacheTest, UpdateWorkCountsConeOnly) {
   }
   cache.pin(some, cache.lo(some));
   EXPECT_LT(cache.update_work(), g.node_count());
+}
+
+// Oracle for the optimistic band: the same longest-path recompute with
+// every delay at d_min (pins override both bands at the same step).
+Windows reference_min_windows(const Graph& g, const std::vector<int>& pinned,
+                              int latency, EdgeFilter filter) {
+  const std::vector<NodeId> order = topo_order(g, filter);
+  Windows w;
+  w.lo.assign(g.node_capacity(), 0);
+  w.hi.assign(g.node_capacity(), 0);
+  for (NodeId n : order) {
+    int lo = 0;
+    for (EdgeId e : g.fanin(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      lo = std::max(lo, w.lo[ed.src.value] + g.node(ed.src).delay_min);
+    }
+    if (pinned[n.value] >= 0) lo = pinned[n.value];
+    w.lo[n.value] = lo;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    int hi = latency - g.node(n).delay_min;
+    for (EdgeId e : g.fanout(n)) {
+      const Edge& ed = g.edge(e);
+      if (!filter.accepts(ed.kind)) continue;
+      hi = std::min(hi, w.hi[ed.dst.value] - g.node(n).delay_min);
+    }
+    if (pinned[n.value] >= 0) hi = pinned[n.value];
+    w.hi[n.value] = hi;
+  }
+  return w;
+}
+
+TEST(TimingCacheTest, UnboundedGraphMinAccessorsAliasPrimary) {
+  const Graph g = dfglib::iir4_parallel();
+  const TimingCache cache(g);
+  EXPECT_FALSE(cache.bounded());
+  EXPECT_EQ(cache.critical_path_min(), cache.critical_path());
+  for (NodeId n : g.node_ids()) {
+    EXPECT_EQ(cache.lo_min(n), cache.lo(n));
+    EXPECT_EQ(cache.hi_min(n), cache.hi(n));
+  }
+}
+
+TEST(TimingCacheTest, BoundedPinMatchesFromScratchOnBothBands) {
+  Graph g = dfglib::make_fir(16);
+  DelayModel::dyno(8).annotate(g);
+  const int cp = critical_path_length(g);
+  const int latency = cp + 2;
+  TimingCache cache(g, latency);
+  ASSERT_TRUE(cache.bounded());
+  std::vector<int> pinned(g.node_capacity(), -1);
+
+  std::mt19937 rng(13);
+  for (NodeId n : cache.topo()) {
+    if (!is_executable(g.node(n).kind)) continue;
+    const Windows before_pess =
+        reference_windows(g, pinned, latency, EdgeFilter::all());
+    const Windows before_opt =
+        reference_min_windows(g, pinned, latency, EdgeFilter::all());
+    const int span = cache.hi(n) - cache.lo(n);
+    const int step =
+        cache.lo(n) + (span == 0 ? 0 : static_cast<int>(rng() % (span + 1)));
+    cache.pin(n, step);
+    pinned[n.value] = step;
+    const Windows pess = reference_windows(g, pinned, latency, EdgeFilter::all());
+    const Windows opt =
+        reference_min_windows(g, pinned, latency, EdgeFilter::all());
+    std::vector<bool> reported(g.node_capacity(), false);
+    for (NodeId c : cache.last_changed()) reported[c.value] = true;
+    EXPECT_TRUE(reported[n.value]);
+    for (NodeId m : g.node_ids()) {
+      EXPECT_EQ(cache.lo(m), pess.lo[m.value]) << g.node(m).name;
+      EXPECT_EQ(cache.hi(m), pess.hi[m.value]) << g.node(m).name;
+      EXPECT_EQ(cache.lo_min(m), opt.lo[m.value]) << g.node(m).name;
+      EXPECT_EQ(cache.hi_min(m), opt.hi[m.value]) << g.node(m).name;
+      // The extended contract: last_changed() covers deltas on *either*
+      // band, so callers caching optimistic windows can trust it too.
+      if (pess.lo[m.value] != before_pess.lo[m.value] ||
+          pess.hi[m.value] != before_pess.hi[m.value] ||
+          opt.lo[m.value] != before_opt.lo[m.value] ||
+          opt.hi[m.value] != before_opt.hi[m.value]) {
+        EXPECT_TRUE(reported[m.value]) << g.node(m).name;
+      }
+    }
+  }
+  EXPECT_TRUE(cache.feasible());
+}
+
+TEST(TimingCacheTest, BoundedAddExtraEdgeUpdatesBothBands) {
+  Graph g = diamond();
+  g.set_delay_bounds(g.find("l"), 1, 3);
+  g.set_delay_bounds(g.find("a"), 1, 2);
+  const int cp = critical_path_length(g);
+  const int latency = cp + 2;
+  TimingCache cache(g, latency, EdgeFilter::all(), true);
+  cache.add_extra_edge(g.find("l"), g.find("r"));
+  ASSERT_TRUE(cache.feasible());
+
+  Graph h = diamond();
+  h.set_delay_bounds(h.find("l"), 1, 3);
+  h.set_delay_bounds(h.find("a"), 1, 2);
+  h.add_edge(h.find("l"), h.find("r"), EdgeKind::kTemporal);
+  const BoundedTimingInfo t = compute_timing_bounded(h, latency);
+  for (NodeId n : g.node_ids()) {
+    EXPECT_EQ(cache.lo(n), t.pess.asap[n.value]) << g.node(n).name;
+    EXPECT_EQ(cache.hi(n), t.pess.alap[n.value]) << g.node(n).name;
+    EXPECT_EQ(cache.lo_min(n), t.asap_min[n.value]) << g.node(n).name;
+    EXPECT_EQ(cache.hi_min(n), t.alap_min[n.value]) << g.node(n).name;
+  }
 }
 
 }  // namespace

@@ -70,6 +70,24 @@ TEST(DspDesignTest, BadParamsThrow) {
   EXPECT_THROW((void)make_dsp_design("bad", 5, 0, 1), std::invalid_argument);
 }
 
+TEST(DspDesignTest, ZeroParamsDiagnoseInsteadOfDividing) {
+  // Regression: critical_path == 0 used to reach `critical_path /
+  // spine_len` with spine_len == 0 — a division by zero instead of a
+  // diagnostic.  The guard must name the design and both offending
+  // values.
+  try {
+    (void)make_dsp_design("divzero", 0, 0, 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("divzero"), std::string::npos) << what;
+    EXPECT_NE(what.find("critical_path=0"), std::string::npos) << what;
+    EXPECT_NE(what.find("operations=0"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)make_dsp_design("neg", -2, 10, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_dsp_design("neg", 10, -2, 1), std::invalid_argument);
+}
+
 TEST(LayeredDagTest, SizeAndValidity) {
   const Graph g = make_layered_dag("dag", 500, 10, {}, 5);
   EXPECT_TRUE(cdfg::validate(g).empty());

@@ -106,5 +106,26 @@ TEST(VliwTest, BadIssueWidthRejected) {
   EXPECT_THROW((void)vliw_schedule(wide_adds(2), m), std::invalid_argument);
 }
 
+TEST(VliwTest, WatchdogBoundSurvivesHugeLoadDelay) {
+  // Regression: the no-progress watchdog bound used to be computed in
+  // int — total_ops * (load_delay + 2) wraps negative already for a few
+  // thousand ops with a huge load delay, making the watchdog throw on a
+  // perfectly fine schedule.  The design below has no loads at all, so
+  // the schedule itself stays short; only the (clamped, 64-bit) bound
+  // sees the big multiplier.
+  lwm::dfglib::OpMix alu_only;
+  alu_only.alu = 1;
+  alu_only.mul = 0;
+  alu_only.mem = 0;  // no loads: the schedule itself must stay short
+  alu_only.branch = 0;
+  const Graph g = lwm::dfglib::make_layered_dag("wd", 5000, 8, alu_only, 99);
+  Machine m = Machine::paper_machine();
+  m.load_delay = 500'000'000;
+  const VliwResult r = vliw_schedule(g, m);
+  EXPECT_EQ(r.issued_ops, static_cast<long long>(g.operation_count()));
+  EXPECT_GT(r.cycles, 0);
+  EXPECT_LT(r.cycles, 100'000);
+}
+
 }  // namespace
 }  // namespace lwm::vliw

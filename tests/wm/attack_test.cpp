@@ -82,6 +82,26 @@ TEST(PerturbTest, DeterministicPerSeed) {
   EXPECT_EQ(a.pairs_reordered, b.pairs_reordered);
 }
 
+TEST(PerturbTest, HugeDelaysDoNotOverflowLegalRange) {
+  // Regression: the perturber's "no scheduled consumer above" sentinel
+  // was a bare 1 << 28, and lower bounds were computed as start + delay
+  // in int — a bounded-delay graph with a worst case near the sentinel
+  // could wrap the bound negative and let the attack move an op *before*
+  // its producer.  With clamped arithmetic every move stays legal.
+  cdfg::Graph g = lwm::dfglib::make_dsp_design("atk3", 12, 80, 41);
+  // One early op whose worst case sits just below the sentinel: its
+  // consumers' lower bounds land right at the saturation point.
+  g.set_delay_bounds(g.find("spine0"), 1, (1 << 28) - 1);
+  sched::Schedule s = sched::list_schedule(
+      g, {.resources = sched::ResourceSet::unlimited(),
+          .filter = cdfg::EdgeFilter::specification()});
+  const PerturbResult r = perturb_schedule(g, s, 100, 7);
+  EXPECT_TRUE(sched::verify_schedule(g, r.schedule,
+                                     cdfg::EdgeFilter::specification())
+                  .ok);
+  EXPECT_LE(r.schedule.length(g), s.length(g));
+}
+
 TEST(SurvivalTest, LightAttackLeavesWatermarkMostlyIntact) {
   Graph g = lwm::dfglib::make_dsp_design("atk3", 12, 120, 43);
   SchedWmOptions opts;

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_micro.json artifacts and fail on perf regression.
+"""Compare two bench JSON artifacts and fail on perf regression.
 
     python3 tools/bench_compare.py BASELINE.json CANDIDATE.json \
         [--max-regress 0.10] [--key fds_speedup ...]
@@ -9,26 +9,47 @@ than --max-regress (default 10%) below BASELINE, or if either file is
 missing a compared key.  Every compared key is printed with its delta,
 so a passing run still documents the drift.
 
-Default keys: fds_speedup (the headline reference-vs-incremental ratio)
-and fds_eps_speedup (the approximate-mode ratio, when both files carry
-it).  Intended use: run bench_micro on the pre-change and post-change
-trees, then diff the artifacts —
+The compared keys follow the artifact schema, selected by the "bench"
+tag both files must agree on:
+
+  micro (default when the tag is absent): fds_speedup (the headline
+      reference-vs-incremental ratio) and fds_eps_speedup (the
+      approximate-mode ratio, when both files carry it).
+  delay: unit_build_per_s / bounded_build_per_s (TimingCache
+      construction throughput at the exact and table delay models) and
+      kpaths_per_s (k-worst path enumeration throughput).
+
+Intended use: run the bench on the pre-change and post-change trees,
+then diff the artifacts —
 
     ./build-old/bench/bench_micro --threads 1 --json old.json --benchmark_filter=^$
     ./build-new/bench/bench_micro --threads 1 --json new.json --benchmark_filter=^$
     python3 tools/bench_compare.py old.json new.json
 
-The bench-smoke ctest self-compares the checked-in BENCH_micro.json,
-which pins the artifact schema (the keys must exist) and the tool's CLI
-without depending on the noise of a live timing run.
+The bench-smoke ctests self-compare the checked-in BENCH_micro.json and
+BENCH_delay.json, which pins both artifact schemas (the keys must
+exist) and the tool's CLI without depending on the noise of a live
+timing run.
 """
 import argparse
 import json
 import pathlib
 import sys
 
-REQUIRED_KEYS = ["fds_speedup"]
-OPTIONAL_KEYS = ["fds_eps_speedup"]
+# Per-schema higher-is-better keys, keyed by the artifact's "bench" tag.
+# Artifacts without the tag predate it and are bench_micro ones.
+# Benches whose tag has no entry here carry no gated throughput keys.
+SCHEMAS = {
+    "micro": {
+        "required": ["fds_speedup"],
+        "optional": ["fds_eps_speedup"],
+    },
+    "delay": {
+        "required": ["unit_build_per_s", "bounded_build_per_s",
+                     "kpaths_per_s"],
+        "optional": [],
+    },
+}
 
 
 def main() -> int:
@@ -48,8 +69,20 @@ def main() -> int:
         print(f"bench_compare: {e}", file=sys.stderr)
         return 1
 
-    keys = REQUIRED_KEYS + args.key
-    for key in OPTIONAL_KEYS:
+    base_tag = base.get("bench", "micro")
+    cand_tag = cand.get("bench", "micro")
+    if base_tag != cand_tag:
+        print(f"bench_compare: artifact mismatch ({base_tag} vs {cand_tag})",
+              file=sys.stderr)
+        return 1
+    schema = SCHEMAS.get(base_tag)
+    if schema is None:
+        print(f"bench_compare: unknown bench tag '{base_tag}'",
+              file=sys.stderr)
+        return 1
+
+    keys = list(schema["required"]) + args.key
+    for key in schema["optional"]:
         if key in base and key in cand:
             keys.append(key)
 
