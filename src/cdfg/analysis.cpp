@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_map>
 #include <stdexcept>
 
 namespace lwm::cdfg {
@@ -134,21 +135,25 @@ std::vector<ConeNode> fanin_cone(const Graph& g, NodeId root, int max_distance,
   if (!g.is_live(root)) {
     throw std::out_of_range("fanin_cone: dead root node");
   }
-  std::vector<int> dist(g.node_capacity(), -1);
+  // Distances live in a hash map sized to the cone, not a dense O(V)
+  // array: a bounded cone is tiny, and detection carves one cone per
+  // scanned root — an O(node_capacity) zero-fill per carve is minutes of
+  // pure memset on a 1M-node design.
+  std::unordered_map<std::uint32_t, int> dist;
   std::deque<NodeId> queue;
-  dist[root.value] = 0;
+  dist.emplace(root.value, 0);
   queue.push_back(root);
   std::vector<ConeNode> cone;
   while (!queue.empty()) {
     const NodeId n = queue.front();
     queue.pop_front();
-    cone.push_back(ConeNode{n, dist[n.value]});
-    if (max_distance >= 0 && dist[n.value] >= max_distance) continue;
+    const int dn = dist.at(n.value);
+    cone.push_back(ConeNode{n, dn});
+    if (max_distance >= 0 && dn >= max_distance) continue;
     for (EdgeId e : g.fanin(n)) {
       const Edge& ed = g.edge(e);
       if (!filter.accepts(ed.kind)) continue;
-      if (dist[ed.src.value] < 0) {
-        dist[ed.src.value] = dist[n.value] + 1;
+      if (dist.emplace(ed.src.value, dn + 1).second) {
         queue.push_back(ed.src);
       }
     }

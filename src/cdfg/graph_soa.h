@@ -40,6 +40,15 @@ class GraphSoA {
 
   explicit GraphSoA(const Graph& g, EdgeFilter filter = EdgeFilter::all());
 
+  /// The 32-bit CSR layout caps what one snapshot can hold: fewer than
+  /// kInvalid nodes (the sentinel must stay unused) and at most
+  /// 0xFFFFFFFF accepted edge entries per direction (the offsets array
+  /// is uint32).  Throws std::length_error naming the exceeded limit —
+  /// a mega-design past these bounds must fail loudly, never truncate
+  /// indices.  Exposed for direct unit testing; graphs at the limit are
+  /// too large to construct in a test.
+  static void check_csr_limits(std::size_t nodes, std::uint64_t edge_entries);
+
   [[nodiscard]] const EdgeFilter& filter() const noexcept { return filter_; }
 
   /// Number of live nodes frozen into the view.

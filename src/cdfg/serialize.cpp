@@ -1,12 +1,15 @@
 #include "cdfg/serialize.h"
 
+#include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "io/source.h"
+#include "io/stream_text.h"
 #include "io/text.h"
 
 namespace lwm::cdfg {
@@ -41,20 +44,43 @@ std::string to_text(const Graph& g) {
   return os.str();
 }
 
-io::ParseResult<Graph> parse_cdfg(std::string_view text,
-                                  std::string_view source_name) {
-  Graph g;
-  std::unordered_map<std::string, NodeId> by_name;
-  io::LineCursor lines(text);
-  bool saw_header = false;
-  const auto err = [&](int line, int col, std::string msg) {
-    return io::Diagnostic{std::string(source_name), line, col, std::move(msg)};
-  };
-  while (const auto line = lines.next()) {
-    const int lineno = lines.line_number();
-    io::LineLexer lx(*line);
+namespace {
+
+/// The per-line parse core shared by the in-memory and streaming entry
+/// points: feed() consumes one line, finish() validates the epilogue.
+/// Keeping one core guarantees the streaming parser accepts exactly the
+/// language parse_cdfg does, with identical diagnostics.
+class CdfgLineParser {
+ public:
+  explicit CdfgLineParser(std::string_view source_name)
+      : source_(source_name) {}
+
+  /// Parses one line; returns the located Diagnostic on error.
+  std::optional<io::Diagnostic> feed(std::string_view line, int lineno);
+
+  /// Ends the parse: fails if no 'cdfg' header was ever seen.
+  io::ParseResult<Graph> finish();
+
+ private:
+  io::Diagnostic err(int line, int col, std::string msg) const {
+    return io::Diagnostic{std::string(source_), line, col, std::move(msg)};
+  }
+
+  std::string source_;
+  Graph g_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  bool saw_header_ = false;
+};
+
+std::optional<io::Diagnostic> CdfgLineParser::feed(std::string_view line,
+                                                   int lineno) {
+  Graph& g = g_;
+  auto& by_name = by_name_;
+  bool& saw_header = saw_header_;
+  {
+    io::LineLexer lx(line);
     const auto tok = lx.next();
-    if (!tok || tok->text[0] == '#') continue;
+    if (!tok || tok->text[0] == '#') return std::nullopt;
     if (tok->text == "cdfg") {
       if (saw_header) return err(lineno, tok->column, "duplicate 'cdfg' header");
       const auto name = lx.next();
@@ -162,10 +188,51 @@ io::ParseResult<Graph> parse_cdfg(std::string_view text,
                  "unknown directive '" + std::string(tok->text) + "'");
     }
   }
-  if (!saw_header) {
+  return std::nullopt;
+}
+
+io::ParseResult<Graph> CdfgLineParser::finish() {
+  if (!saw_header_) {
     return err(0, 0, "missing 'cdfg <name>' header");
   }
-  return g;
+  return std::move(g_);
+}
+
+}  // namespace
+
+io::ParseResult<Graph> parse_cdfg(std::string_view text,
+                                  std::string_view source_name) {
+  CdfgLineParser parser(source_name);
+  io::LineCursor lines(text);
+  while (const auto line = lines.next()) {
+    if (auto d = parser.feed(*line, lines.line_number())) return std::move(*d);
+  }
+  return parser.finish();
+}
+
+io::ParseResult<Graph> parse_cdfg_stream(std::istream& is,
+                                         std::string_view source_name,
+                                         const io::StreamLimits& limits) {
+  CdfgLineParser parser(source_name);
+  io::StreamLineCursor lines(is, limits);
+  while (const auto line = lines.next()) {
+    if (auto d = parser.feed(*line, lines.line_number())) return std::move(*d);
+  }
+  if (lines.error()) {
+    io::Diagnostic d = *lines.error();
+    d.file = std::string(source_name);
+    return d;
+  }
+  return parser.finish();
+}
+
+io::ParseResult<Graph> read_cdfg_file(const std::string& path,
+                                      const io::StreamLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return io::Diagnostic{path, 0, 0, "cannot open file"};
+  }
+  return parse_cdfg_stream(in, path, limits);
 }
 
 Graph read_text(std::istream& is) {

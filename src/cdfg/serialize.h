@@ -22,6 +22,7 @@
 
 #include "cdfg/graph.h"
 #include "io/parse_result.h"
+#include "io/stream_text.h"
 
 namespace lwm::cdfg {
 
@@ -38,6 +39,21 @@ void write_text(const Graph& g, std::ostream& os);
 /// input (and the fuzz targets).
 [[nodiscard]] io::ParseResult<Graph> parse_cdfg(
     std::string_view text, std::string_view source_name = "<cdfg>");
+
+/// Streaming parse: consumes the stream in fixed-size chunks through a
+/// line window, so memory stays O(chunk + longest line) no matter how
+/// large the file — this is the entry point for mega-design graph files
+/// past the io::read_file 16 MiB cap.  Accepts exactly the language
+/// parse_cdfg accepts (shared per-line core) with identical
+/// file:line:col diagnostics.
+[[nodiscard]] io::ParseResult<Graph> parse_cdfg_stream(
+    std::istream& is, std::string_view source_name = "<cdfg>",
+    const io::StreamLimits& limits = {});
+
+/// Opens `path` and streaming-parses it; open failure comes back as a
+/// Diagnostic naming the path.
+[[nodiscard]] io::ParseResult<Graph> read_cdfg_file(
+    const std::string& path, const io::StreamLimits& limits = {});
 
 /// Parses the text format.  Throws io::ParseError (a std::runtime_error
 /// carrying the Diagnostic) on any malformed input.

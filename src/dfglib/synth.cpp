@@ -149,6 +149,89 @@ Graph make_dsp_design(const std::string& name, int critical_path,
   return g;
 }
 
+namespace {
+
+OpKind draw_mix_kind(std::mt19937_64& rng, const OpMix& mix) {
+  const int total_weight = mix.alu + mix.mul + mix.mem + mix.branch;
+  int r = static_cast<int>(rng() % static_cast<unsigned>(total_weight));
+  if ((r -= mix.alu) < 0) {
+    constexpr OpKind kAluKinds[] = {OpKind::kAdd, OpKind::kSub, OpKind::kAnd,
+                                    OpKind::kOr,  OpKind::kXor, OpKind::kCmp,
+                                    OpKind::kShift};
+    return kAluKinds[rng() % std::size(kAluKinds)];
+  }
+  if ((r -= mix.mul) < 0) return OpKind::kMul;
+  if ((r -= mix.mem) < 0) return (rng() % 4 == 0) ? OpKind::kStore : OpKind::kLoad;
+  return OpKind::kBranch;
+}
+
+int operand_count(OpKind kind) {
+  return (kind == OpKind::kNot || kind == OpKind::kShift ||
+          kind == OpKind::kLoad || kind == OpKind::kBranch)
+             ? 1
+             : 2;
+}
+
+/// Appends exactly `ops` executable nodes in random-width layers.  Operand
+/// candidates are the flat `recent` pool — the last up-to-3 layers,
+/// rebuilt once per layer, so the whole pass is O(V + E) instead of
+/// make_layered_dag's O(V * width) pool concatenation per node.  Nodes
+/// with no in-DAG candidate (and a 1-in-5 refresh draw) read from
+/// `fallback` (primary inputs, or the previous block's tail when
+/// stitching).  Returns the final pool for the caller to stitch on.
+std::vector<NodeId> append_layers(Graph& g, std::mt19937_64& rng, int ops,
+                                  int width, const OpMix& mix,
+                                  const std::vector<NodeId>& fallback) {
+  std::vector<std::vector<NodeId>> last3;
+  std::vector<NodeId> recent;
+  int placed = 0;
+  while (placed < ops) {
+    const int w = std::min<int>(
+        ops - placed,
+        1 + static_cast<int>(rng() % static_cast<unsigned>(2 * width)));
+    std::vector<NodeId> layer;
+    layer.reserve(static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) {
+      const OpKind kind = draw_mix_kind(rng, mix);
+      const NodeId n = g.add_node(kind);
+      const int operands = operand_count(kind);
+      for (int o = 0; o < operands; ++o) {
+        const NodeId src = recent.empty() || (rng() % 5 == 0)
+                               ? fallback[rng() % fallback.size()]
+                               : recent[rng() % recent.size()];
+        g.add_edge(src, n);
+      }
+      layer.push_back(n);
+      ++placed;
+    }
+    last3.push_back(std::move(layer));
+    if (last3.size() > 3) last3.erase(last3.begin());
+    recent.clear();
+    for (const std::vector<NodeId>& l : last3) {
+      recent.insert(recent.end(), l.begin(), l.end());
+    }
+  }
+  return recent;
+}
+
+/// Adds a kOutput consumer for every dangling executable value
+/// (validator: stores and branches may dangle, values may not).
+void terminate_dangling(Graph& g) {
+  int outs = 0;
+  std::vector<NodeId> dangling;
+  for (NodeId n : g.nodes()) {
+    const cdfg::Node& node = g.node(n);
+    if (!cdfg::is_executable(node.kind)) continue;
+    if (node.kind == OpKind::kStore || node.kind == OpKind::kBranch) continue;
+    if (g.fanout(n).empty()) dangling.push_back(n);
+  }
+  for (NodeId n : dangling) {
+    g.add_edge(n, g.add_node(OpKind::kOutput, "out" + std::to_string(outs++)));
+  }
+}
+
+}  // namespace
+
 Graph make_layered_dag(const std::string& name, int operations, int width,
                        const OpMix& mix, std::uint64_t seed) {
   if (operations < 1 || width < 1) {
@@ -226,6 +309,108 @@ Graph make_layered_dag(const std::string& name, int operations, int width,
   }
 
   cdfg::validate_or_throw(g);
+  return g;
+}
+
+Graph make_mega_design(const MegaConfig& config) {
+  if (config.operations < 1 || config.width < 1) {
+    throw std::invalid_argument(
+        "make_mega_design('" + config.name + "'): need operations >= 1 and "
+        "width >= 1, got operations=" + std::to_string(config.operations) +
+        ", width=" + std::to_string(config.width));
+  }
+  const OpMix& mix = config.mix;
+  if (mix.alu < 0 || mix.mul < 0 || mix.mem < 0 || mix.branch < 0 ||
+      mix.alu + mix.mul + mix.mem + mix.branch <= 0) {
+    throw std::invalid_argument("make_mega_design('" + config.name +
+                                "'): op mix weights must be non-negative "
+                                "with a positive total");
+  }
+
+  std::mt19937_64 rng(config.seed);
+  Graph g(config.name);
+
+  std::vector<NodeId> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(g.add_node(OpKind::kInput, "in" + std::to_string(i)));
+  }
+  auto any_input = [&] { return inputs[rng() % inputs.size()]; };
+
+  switch (config.shape) {
+    case MegaShape::kLayeredDeep: {
+      append_layers(g, rng, config.operations, config.width, mix, inputs);
+      terminate_dangling(g);
+      break;
+    }
+    case MegaShape::kUnrolledKernel: {
+      // `lanes` parallel MAC chains + a (lanes-1)-add reduction tree must
+      // fit the exact op budget: lanes lane-seeds + lanes-1 reduction adds
+      // <= operations  =>  lanes <= (operations + 1) / 2.
+      const int lanes = std::min(config.width, (config.operations + 1) / 2);
+      int remaining = config.operations - (lanes - 1);  // ops left for lanes
+      std::vector<NodeId> lane_out;
+      lane_out.reserve(static_cast<std::size_t>(lanes));
+      for (int lane = 0; lane < lanes; ++lane) {
+        // Near-even split of the remaining budget over the remaining lanes.
+        int budget = remaining / (lanes - lane);
+        remaining -= budget;
+        NodeId acc = g.add_node(OpKind::kAdd);
+        g.add_edge(any_input(), acc);
+        g.add_edge(any_input(), acc);
+        --budget;
+        while (budget >= 2) {
+          const NodeId m = g.add_node(OpKind::kMul);
+          g.add_edge(any_input(), m);
+          g.add_edge(any_input(), m);
+          const NodeId a = g.add_node(OpKind::kAdd);
+          g.add_edge(acc, a);
+          g.add_edge(m, a);
+          acc = a;
+          budget -= 2;
+        }
+        if (budget == 1) {
+          const NodeId a = g.add_node(OpKind::kAdd);
+          g.add_edge(acc, a);
+          g.add_edge(any_input(), a);
+          acc = a;
+        }
+        lane_out.push_back(acc);
+      }
+      NodeId sum = lane_out[0];
+      for (int lane = 1; lane < lanes; ++lane) {
+        const NodeId a = g.add_node(OpKind::kAdd);
+        g.add_edge(sum, a);
+        g.add_edge(lane_out[static_cast<std::size_t>(lane)], a);
+        sum = a;
+      }
+      g.add_edge(sum, g.add_node(OpKind::kOutput, "y"));
+      break;
+    }
+    case MegaShape::kStitchedClones: {
+      const int block_ops = config.block_operations > 0
+                                ? config.block_operations
+                                : 8 * config.width;
+      std::vector<NodeId> boundary = inputs;
+      int remaining = config.operations;
+      while (remaining > 0) {
+        const int b = std::min(block_ops, remaining);
+        std::vector<NodeId> tail =
+            append_layers(g, rng, b, config.width, mix, boundary);
+        if (!tail.empty()) boundary = std::move(tail);
+        remaining -= b;
+      }
+      terminate_dangling(g);
+      break;
+    }
+  }
+
+  cdfg::validate_or_throw(g);
+  if (g.operation_count() != static_cast<std::size_t>(config.operations)) {
+    throw std::logic_error(
+        "make_mega_design: generator missed op target for '" + config.name +
+        "' (ops=" + std::to_string(g.operation_count()) + ", want " +
+        std::to_string(config.operations) + ")");
+  }
   return g;
 }
 

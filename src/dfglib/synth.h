@@ -46,4 +46,41 @@ struct OpMix {
                                            int operations, int width,
                                            const OpMix& mix, std::uint64_t seed);
 
+/// Shape of a mega-design (the 100k–1M-node scale workloads).
+enum class MegaShape {
+  /// Deep layered random DAG — the direct scale-up of make_layered_dag.
+  kLayeredDeep,
+  /// Loop-unrolled MAC kernel: `width` parallel accumulator lanes, each a
+  /// serial multiply-accumulate chain, joined by a final adder reduction —
+  /// the maximally serial shape (critical path ~ operations / width).
+  kUnrolledKernel,
+  /// Stitched clones of a MediaBench-sized layered block: consecutive
+  /// blocks share values through their boundary layers, modeling a large
+  /// system assembled from many compiled kernels.
+  kStitchedClones,
+};
+
+/// Parameters of one mega-design.  The seed fully determines the graph;
+/// `operations` is hit exactly (executable nodes; inputs/outputs extra).
+struct MegaConfig {
+  std::string name = "mega";
+  MegaShape shape = MegaShape::kLayeredDeep;
+  int operations = 100'000;
+  /// Mean layer width (kLayeredDeep), accumulator lane count
+  /// (kUnrolledKernel), or block width (kStitchedClones).
+  int width = 64;
+  /// Executable ops per stitched block (kStitchedClones only; <= 0 means
+  /// 8 * width, a MediaBench-app-sized block).
+  int block_operations = 0;
+  OpMix mix{};
+  std::uint64_t seed = 1;
+};
+
+/// Builds a mega-design in O(V + E): no quadratic operand-pool rebuilds,
+/// so 1M-node graphs construct in seconds.  Throws std::invalid_argument
+/// on infeasible parameters (operations < 1, width < 1, empty op mix).
+/// The result passes cdfg::validate and has exactly `config.operations`
+/// executable nodes.
+[[nodiscard]] cdfg::Graph make_mega_design(const MegaConfig& config);
+
 }  // namespace lwm::dfglib

@@ -14,9 +14,13 @@ ParseResult<std::string> read_stream(std::istream& is,
     is.read(buf, sizeof buf);
     const std::size_t got = static_cast<std::size_t>(is.gcount());
     if (got > limits.max_bytes - out.size()) {
-      return Diagnostic{std::string(source_name), 0, 0,
-                        "input exceeds " + std::to_string(limits.max_bytes) +
-                            "-byte limit"};
+      return Diagnostic{
+          std::string(source_name), 0, 0,
+          "input exceeds the " + std::to_string(limits.max_bytes) +
+              "-byte whole-file cap (io::ReadLimits::max_bytes); large CDFG "
+              "graph files should use the streaming parser "
+              "(cdfg::read_cdfg_file / cdfg::parse_cdfg_stream), which reads "
+              "a line window instead of buffering the file"};
     }
     out.append(buf, got);
   }

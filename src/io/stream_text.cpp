@@ -1,0 +1,65 @@
+#include "io/stream_text.h"
+
+#include <istream>
+
+namespace lwm::io {
+
+StreamLineCursor::StreamLineCursor(std::istream& is, const StreamLimits& limits)
+    : is_(is), limits_(limits) {
+  window_.reserve(limits_.chunk_bytes);
+}
+
+bool StreamLineCursor::refill() {
+  if (eof_) return false;
+  // Compact: drop consumed bytes so the window holds at most the current
+  // partial line plus one chunk.
+  if (pos_ > 0) {
+    window_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const std::size_t old = window_.size();
+  window_.resize(old + limits_.chunk_bytes);
+  is_.read(window_.data() + old, static_cast<std::streamsize>(limits_.chunk_bytes));
+  const std::size_t got = static_cast<std::size_t>(is_.gcount());
+  window_.resize(old + got);
+  if (got < limits_.chunk_bytes) {
+    eof_ = true;
+    if (is_.bad()) {
+      error_ = Diagnostic{"", lineno_ + 1, 0, "read error"};
+      return false;
+    }
+  }
+  return got > 0;
+}
+
+std::optional<std::string_view> StreamLineCursor::next() {
+  if (error_) return std::nullopt;
+  std::size_t nl;
+  while ((nl = window_.find('\n', pos_)) == std::string::npos) {
+    if (window_.size() - pos_ > limits_.max_line_bytes) {
+      error_ = Diagnostic{"", lineno_ + 1, 0,
+                          "line exceeds " +
+                              std::to_string(limits_.max_line_bytes) +
+                              "-byte limit"};
+      return std::nullopt;
+    }
+    if (!refill()) {
+      if (error_) return std::nullopt;
+      break;  // end of input: the remaining tail is the final line
+    }
+  }
+  std::string_view line;
+  if (nl == std::string::npos) {
+    if (pos_ >= window_.size()) return std::nullopt;
+    line = std::string_view(window_).substr(pos_);
+    pos_ = window_.size();
+  } else {
+    line = std::string_view(window_).substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  ++lineno_;
+  return line;
+}
+
+}  // namespace lwm::io

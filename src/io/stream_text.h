@@ -1,0 +1,68 @@
+// stream_text.h — chunked line scanning over an istream.
+//
+// LineCursor (text.h) walks a string that is already in memory, which
+// means the whole artifact passed through the read_file/read_stream size
+// cap first.  Mega-design CDFGs blow that cap by design (a 1M-node graph
+// serializes to ~60 MiB), so StreamLineCursor keeps only a sliding
+// window in memory: a carry buffer holding at most one partial line plus
+// one refill chunk.  Line numbers and the LineLexer column model are
+// identical to LineCursor, so diagnostics from a streaming parse point
+// at the same file:line:col an in-memory parse would report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "io/parse_result.h"
+
+namespace lwm::io {
+
+struct StreamLimits {
+  /// Refill granularity.  Larger chunks amortize istream calls; the
+  /// window never holds more than one chunk plus one partial line.
+  std::size_t chunk_bytes = std::size_t{256} << 10;
+  /// Cap on a single line.  A "line" this long is not a CDFG directive,
+  /// it is a malformed or adversarial file — refuse it instead of
+  /// buffering without bound (the streaming parser has no file cap, so
+  /// the per-line cap is its only memory guard).
+  std::size_t max_line_bytes = std::size_t{1} << 20;
+};
+
+/// Splits an istream into lines ('\n' separated, trailing '\r'
+/// stripped), reading in chunks.  The view returned by next() points
+/// into the internal window and is invalidated by the following next()
+/// call.  After next() returns nullopt, check error(): a read failure or
+/// an over-long line yields a Diagnostic (file left empty — the caller
+/// names the source), otherwise the input simply ended.
+class StreamLineCursor {
+ public:
+  explicit StreamLineCursor(std::istream& is, const StreamLimits& limits = {});
+
+  /// Returns the next line without its terminator, or nullopt at end of
+  /// input or on error.
+  std::optional<std::string_view> next();
+
+  /// 1-based line number of the line most recently returned by next().
+  [[nodiscard]] int line_number() const noexcept { return lineno_; }
+
+  /// Set when next() stopped on a failure rather than end of input.
+  [[nodiscard]] const std::optional<Diagnostic>& error() const noexcept {
+    return error_;
+  }
+
+ private:
+  bool refill();
+
+  std::istream& is_;
+  StreamLimits limits_;
+  std::string window_;
+  std::size_t pos_ = 0;  ///< start of the unconsumed region of window_
+  int lineno_ = 0;
+  bool eof_ = false;
+  std::optional<Diagnostic> error_;
+};
+
+}  // namespace lwm::io

@@ -56,17 +56,23 @@ struct Registry::Impl {
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
   std::map<std::string, std::unique_ptr<SpanSite>> span_sites;
   std::vector<std::unique_ptr<ThreadLog>> logs;
+  std::vector<std::unique_ptr<ThreadState>> thread_states;
 
   ThreadState* register_thread() {
-    auto* state = new ThreadState;  // leaked: outlives the thread
+    // Registry-owned so the state (and its trace log) outlives the
+    // thread without tripping leak checkers; the registry itself is
+    // immortal.
+    auto state = std::make_unique<ThreadState>();
     state->tid = next_tid.fetch_add(1, std::memory_order_relaxed);
     state->shard = state->tid % kShards;
     auto log = std::make_unique<ThreadLog>();
     log->tid = state->tid;
     state->log = log.get();
+    ThreadState* out = state.get();
     std::lock_guard<std::mutex> lock(mutex);
     logs.push_back(std::move(log));
-    return state;
+    thread_states.push_back(std::move(state));
+    return out;
   }
 };
 

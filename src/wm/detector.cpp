@@ -21,6 +21,18 @@ std::vector<NodeId> executable_roots(const Graph& g) {
   return roots;
 }
 
+/// Carve-skipping prefilter.  The locality ordering puts the root LAST
+/// in d.selected: the root is the unique level-0 node of its cone (every
+/// other member has level >= 1) and the C1 sort is level-descending, so
+/// any successful structural gate implies record.subtree_ops.back() ==
+/// functional_id(candidate root).  Checking that one int before carving
+/// skips the expensive keyed BFS at every root whose operation cannot
+/// possibly close the gate — the common case when scanning a mega-design
+/// for a handful of records.
+bool root_may_match(const SchedRecord& record, int root_fid) {
+  return !record.subtree_ops.empty() && record.subtree_ops.back() == root_fid;
+}
+
 }  // namespace
 
 SchedRecord SchedRecord::from(const SchedWatermark& wm, const cdfg::Graph& g) {
@@ -84,6 +96,8 @@ SchedDetectionReport detect_sched_watermark(const Graph& suspect,
   LWM_SPAN("wm/detect_scan");
   const std::vector<NodeId> roots = executable_roots(suspect);
   LWM_COUNT("wm/roots_scanned", roots.size());
+  const std::size_t shards = exec::suggested_chunks(pool, roots.size());
+  LWM_COUNT("wm/detect_root_shards", shards);
 
   // One partial scan per chunk of roots; merging in chunk order keeps the
   // serial semantics: best_root is the earliest root with the strictly
@@ -94,12 +108,21 @@ SchedDetectionReport detect_sched_watermark(const Graph& suspect,
     NodeId best_root{};
   };
   const Part merged = exec::parallel_reduce(
-      pool, roots.size(), exec::suggested_chunks(pool, roots.size()), Part{},
+      pool, roots.size(), shards, Part{},
       [&](std::size_t begin, std::size_t end) {
         Part part;
         for (std::size_t i = begin; i < end; ++i) {
-          const SchedHit hit = verify_sched_watermark_at(suspect, schedule,
-                                                         sig, record, roots[i]);
+          SchedHit hit;
+          if (root_may_match(record,
+                             cdfg::functional_id(suspect.node(roots[i]).kind))) {
+            hit = verify_sched_watermark_at(suspect, schedule, sig, record,
+                                            roots[i]);
+          } else {
+            // Same zero-hit verify_sched_watermark_at returns on a failed
+            // structural gate, minus the carve.
+            hit.root = roots[i];
+            LWM_COUNT("wm/detect_prefilter_skips", 1);
+          }
           if (hit.full()) part.hits.push_back(hit);
           if (hit.satisfied > part.best_satisfied) {
             part.best_satisfied = hit.satisfied;
@@ -157,6 +180,8 @@ std::vector<SchedDetectionReport> detect_sched_watermarks(
 
   const std::vector<NodeId> roots = executable_roots(suspect);
   LWM_COUNT("wm/roots_scanned", roots.size() * records.size());
+  const std::size_t shards = exec::suggested_chunks(pool, roots.size());
+  LWM_COUNT("wm/detect_root_shards", shards);
 
   // Per-chunk partials, one slot per record; merged in chunk order so the
   // per-record hits and best-root tie-breaks match the serial scan.
@@ -170,7 +195,7 @@ std::vector<SchedDetectionReport> detect_sched_watermarks(
   init.best_satisfied.assign(records.size(), -1);
   init.best_root.resize(records.size());
   const Part merged = exec::parallel_reduce(
-      pool, roots.size(), exec::suggested_chunks(pool, roots.size()), init,
+      pool, roots.size(), shards, init,
       [&](std::size_t begin, std::size_t end) {
         Part part;
         part.hits.resize(records.size());
@@ -178,10 +203,27 @@ std::vector<SchedDetectionReport> detect_sched_watermarks(
         part.best_root.resize(records.size());
         for (std::size_t r = begin; r < end; ++r) {
           const NodeId n = roots[r];
+          const int root_fid = cdfg::functional_id(suspect.node(n).kind);
           for (const Group& grp : groups) {
+            // Prefilter before the carve: a record whose memorized
+            // subtree doesn't end in this root's operation cannot pass
+            // the structural gate (the root always sorts last).  If no
+            // record in the group survives, the carve itself is skipped.
+            bool any_candidate = false;
+            for (const std::size_t i : grp.record_idx) {
+              if (root_may_match(records[i], root_fid)) {
+                any_candidate = true;
+                break;
+              }
+            }
+            if (!any_candidate) {
+              LWM_COUNT("wm/detect_prefilter_skips", 1);
+              continue;
+            }
             const Domain d = select_domain(suspect, n, sig, grp.key);
             for (const std::size_t i : grp.record_idx) {
               const SchedRecord& record = records[i];
+              if (!root_may_match(record, root_fid)) continue;
               // Structural gate (same checks as verify_sched_watermark_at).
               if (d.selected.size() != record.subtree_ops.size()) continue;
               bool structural = true;

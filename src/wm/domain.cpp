@@ -53,25 +53,50 @@ std::vector<NodeId> order_locality(const Graph& g, NodeId root, int tau) {
   for (const cdfg::ConeNode& c : cone_nodes) cone.insert(c.node);
 
   // C1: levels — longest path from root over in-cone fan-in edges.
-  // Process in reverse topological order of g restricted to the cone.
+  // Computed entirely inside the cone: a Kahn pass over the transposed
+  // induced subgraph (edges consumer -> producer, rooted at n_o) visits
+  // every node after all of its in-cone consumers, which is exactly the
+  // order the old reverse-global-topo sweep established — but without
+  // walking the whole CDFG per candidate root, which detection cannot
+  // afford at mega-design scale (one carve per scanned root).
   std::unordered_map<NodeId, int> level;
-  level[root] = 0;
-  const std::vector<NodeId> order =
-      cdfg::topo_order(g, cdfg::EdgeFilter::specification());
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const NodeId n = *it;
-    if (cone.count(n) == 0 || n == root) continue;
-    int lv = -1;
-    for (EdgeId e : g.fanout(n)) {
+  level.reserve(cone_nodes.size());
+  std::unordered_map<NodeId, int> pending;  // unprocessed in-cone consumers
+  pending.reserve(cone_nodes.size());
+  for (const cdfg::ConeNode& c : cone_nodes) pending[c.node] = 0;
+  // Count in-cone consumer edges from the fan-in side: cone members have
+  // bounded fan-in, but a hub node (a broadcast value in a mega-design)
+  // can have fan-out in the thousands, and iterating it once per carve
+  // at every scanned root dominated detection.
+  for (const cdfg::ConeNode& c : cone_nodes) {
+    for (EdgeId e : g.fanin(c.node)) {
       const cdfg::Edge& ed = g.edge(e);
       if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
-      const auto li = level.find(ed.dst);
-      if (li != level.end() && cone.count(ed.dst) != 0) {
-        lv = std::max(lv, li->second + 1);
-      }
+      const auto it = pending.find(ed.src);
+      if (it != pending.end()) ++it->second;
     }
-    // Every cone node reaches the root inside the cone by construction.
-    level[n] = lv;
+  }
+  // The root is the unique transposed source: a cone member consuming the
+  // root would close a cycle, and every other cone node has at least one
+  // in-cone consumer (its BFS parent toward the root).
+  std::deque<NodeId> ready{root};
+  level[root] = 0;
+  while (!ready.empty()) {
+    const NodeId n = ready.front();
+    ready.pop_front();
+    const int next = level.at(n) + 1;
+    for (EdgeId e : g.fanin(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
+      if (cone.count(ed.src) == 0) continue;
+      const auto li = level.find(ed.src);
+      if (li == level.end()) {
+        level[ed.src] = next;
+      } else if (next > li->second) {
+        li->second = next;
+      }
+      if (--pending.at(ed.src) == 0) ready.push_back(ed.src);
+    }
   }
 
   // C2/C3: bounded in-cone fan-in sweeps per node.

@@ -67,16 +67,27 @@ double edge_order_probability(const cdfg::TimingInfo& timing, const Graph& g,
   const int lb = timing.asap[dst.value];
   const int hb = timing.alap[dst.value];
   const int da = g.node(src).delay;
-  long long favorable = 0;
   const long long total =
       static_cast<long long>(ha - la + 1) * (hb - lb + 1);
-  for (int ta = la; ta <= ha; ++ta) {
-    const int min_tb = ta + da;
-    if (min_tb <= lb) {
-      favorable += hb - lb + 1;
-    } else if (min_tb <= hb) {
-      favorable += hb - min_tb + 1;
-    }
+  // Favorable (ta, tb) pairs: tb >= ta + da.  As a function of ta this
+  // is a clipped ramp — the full dst window while ta + da <= lb, then an
+  // arithmetic ramp down to zero — so the sum collapses to two terms.
+  // Integer arithmetic throughout: bit-identical to the per-step loop.
+  long long favorable = 0;
+  // Saturated region: ta in [la, min(ha, lb - da)] sees the whole window.
+  const long long flat_hi = std::min<long long>(ha, static_cast<long long>(lb) - da);
+  if (flat_hi >= la) {
+    favorable += (flat_hi - la + 1) * (hb - lb + 1);
+  }
+  // Ramp region: ta in [max(la, lb - da + 1), min(ha, hb - da)]
+  // contributes hb - (ta + da) + 1 each, an arithmetic series.
+  const long long ramp_lo = std::max<long long>(la, static_cast<long long>(lb) - da + 1);
+  const long long ramp_hi = std::min<long long>(ha, static_cast<long long>(hb) - da);
+  if (ramp_hi >= ramp_lo) {
+    const long long n = ramp_hi - ramp_lo + 1;
+    const long long first = static_cast<long long>(hb) - da + 1 - ramp_lo;
+    const long long last = static_cast<long long>(hb) - da + 1 - ramp_hi;
+    favorable += n * (first + last) / 2;
   }
   return static_cast<double>(favorable) / static_cast<double>(total);
 }
@@ -102,6 +113,41 @@ PcEstimate sched_pc_window_model(const Graph& g,
     }
   }
   return est;
+}
+
+PcEstimate sched_pc_poisson(const Graph& g,
+                            std::span<const SchedWatermark> marks) {
+  LWM_SPAN("wm/pc_poisson");
+  const cdfg::TimingInfo timing =
+      cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
+  PcEstimate est;
+  est.exact = false;
+  double lambda = 0.0;
+  for (const SchedWatermark& wm : marks) {
+    for (const TemporalConstraint& c : wm.constraints) {
+      const double p = edge_order_probability(timing, g, c.src, c.dst);
+      if (p <= 0.0) {
+        // Unsatisfiable by a free schedule: a full expected violation.
+        est.degenerate = true;
+        lambda += 1.0;
+        continue;
+      }
+      lambda += 1.0 - p;
+    }
+  }
+  est.log10_pc = -lambda / std::log(10.0);
+  return est;
+}
+
+PcEstimate sched_pc_auto(const Graph& g, const SchedWatermark& wm,
+                         const SchedPcAutoOptions& opts) {
+  if (g.node_count() > opts.poisson_node_threshold) {
+    LWM_COUNT("wm/pc_auto_poisson", 1);
+    const SchedWatermark marks[] = {wm};
+    return sched_pc_poisson(g, marks);
+  }
+  LWM_COUNT("wm/pc_auto_exact", 1);
+  return sched_pc_exact(g, wm, opts.enumeration);
 }
 
 PcEstimate sched_pc_sampled(const Graph& g,

@@ -75,7 +75,43 @@ struct PcEstimate {
                                           int latency = -1,
                                           exec::ThreadPool* pool = nullptr);
 
+/// Poisson large-design model (the paper's own large-N approximation):
+/// the number of violated temporal constraints in a random schedule is
+/// treated as Poisson with mean lambda = sum_i (1 - p_i), where p_i is
+/// the window-model order probability of edge i, so P_c = P(0
+/// violations) = e^-lambda and log10_pc = -lambda / ln 10.  Compared to
+/// the full window model this never multiplies per-edge probabilities —
+/// only the O(E_wm) lambda sum and one O(V+E) timing pass — and it is
+/// the estimator sched_pc_auto switches to above its node threshold,
+/// where exhaustive psi enumeration is hopeless.  For edges with high
+/// p_i the two agree to first order (e^-(1-p) ~ p near 1); an
+/// unsatisfiable edge (p_i = 0) adds a full expected violation and marks
+/// the estimate degenerate.
+[[nodiscard]] PcEstimate sched_pc_poisson(const cdfg::Graph& g,
+                                          std::span<const SchedWatermark> marks);
+
+struct SchedPcAutoOptions {
+  /// Above this many graph nodes, exhaustive psi enumeration is skipped
+  /// outright in favor of the Poisson model.  At or below it, the exact
+  /// path runs (with its own saturation fallback).  2048 keeps every
+  /// design of the original experiment suite (<= ~1.8k ops) on the exact
+  /// path while mega-designs go straight to the closed form.
+  std::size_t poisson_node_threshold = 2048;
+  sched::EnumerationOptions enumeration{};
+};
+
+/// Size-dispatched P_c for one scheduling watermark: sched_pc_exact
+/// below the threshold, sched_pc_poisson above.  The dispatch is
+/// observable: `wm/pc_auto_exact` and `wm/pc_auto_poisson` count the
+/// branch taken (lwm::obs).
+[[nodiscard]] PcEstimate sched_pc_auto(const cdfg::Graph& g,
+                                       const SchedWatermark& wm,
+                                       const SchedPcAutoOptions& opts = {});
+
 /// Per-edge window-model probability (exposed for tests and ablations).
+/// Closed form, O(1): the favorable-draw count is a clipped arithmetic
+/// series over src's window, evaluated exactly in integers — bit-
+/// identical to the original per-step summation at any window size.
 [[nodiscard]] double edge_order_probability(const cdfg::TimingInfo& timing,
                                             const cdfg::Graph& g,
                                             cdfg::NodeId src, cdfg::NodeId dst);

@@ -1,12 +1,15 @@
 #include "wm/sched_constraints.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <cmath>
 #include <unordered_map>
 
 #include "cdfg/analysis.h"
 #include "cdfg/timing_cache.h"
+#include "exec/parallel.h"
 #include "obs/obs.h"
 #include "sched/kpaths.h"
 
@@ -16,9 +19,34 @@ using cdfg::EdgeKind;
 using cdfg::Graph;
 using cdfg::NodeId;
 
-std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
-                                                   const crypto::Signature& sig,
-                                                   const SchedWmOptions& opts) {
+PlanContext PlanContext::build(const Graph& g, const SchedWmOptions& opts) {
+  PlanContext ctx;
+  ctx.timing = cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
+  const std::vector<NodeId> order =
+      cdfg::topo_order(g, cdfg::EdgeFilter::all());
+  ctx.topo_rank.assign(g.node_capacity(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ctx.topo_rank[order[i].value] = static_cast<std::uint32_t>(i);
+  }
+  if (opts.avoid_k_worst > 0) {
+    ctx.on_worst_path.assign(g.node_capacity(), 0);
+    for (const NodeId n : sched::k_worst_path_nodes(
+             g, opts.avoid_k_worst, cdfg::EdgeFilter::specification())) {
+      ctx.on_worst_path[n.value] = 1;
+    }
+  }
+  for (const NodeId n : g.nodes()) {
+    if (cdfg::is_executable(g.node(n).kind)) ctx.ops.push_back(n);
+  }
+  return ctx;
+}
+
+namespace {
+
+std::optional<SchedWatermark> plan_impl(const Graph& g, NodeId root,
+                                        const crypto::Signature& sig,
+                                        const SchedWmOptions& opts,
+                                        const PlanContext* ctx) {
   if (opts.k <= 0 || opts.epsilon <= 0.0) {
     throw std::invalid_argument("plan_sched_watermark: need k > 0 and epsilon > 0");
   }
@@ -26,22 +54,27 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
   const Domain domain = select_domain(g, root, sig, opts.domain);
 
   // Timing of the *original specification*: the filters of Fig. 2 are
-  // evaluated before any constraint is added.
-  const cdfg::TimingInfo timing =
-      cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
+  // evaluated before any constraint is added.  With a context this is
+  // precomputed; per-root work stays proportional to the locality.
+  std::optional<cdfg::TimingInfo> own_timing;
+  if (ctx == nullptr) {
+    own_timing = cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
+  }
+  const cdfg::TimingInfo& timing = ctx ? ctx->timing : *own_timing;
   const double laxity_bound = timing.critical_path * (1.0 - opts.epsilon);
 
   // Optional k-worst-path exclusion: under bounded delays the laxity
   // filter alone can admit a node that sits on a worst-case-critical
   // spine; mask those spines out of T' entirely.
-  std::vector<char> on_worst_path;
-  if (opts.avoid_k_worst > 0) {
-    on_worst_path.assign(g.node_capacity(), 0);
+  std::vector<char> own_worst;
+  if (ctx == nullptr && opts.avoid_k_worst > 0) {
+    own_worst.assign(g.node_capacity(), 0);
     for (const NodeId n : sched::k_worst_path_nodes(
              g, opts.avoid_k_worst, cdfg::EdgeFilter::specification())) {
-      on_worst_path[n.value] = 1;
+      own_worst[n.value] = 1;
     }
   }
+  const std::vector<char>& on_worst_path = ctx ? ctx->on_worst_path : own_worst;
 
   // T': slack-rich executable nodes of T with an overlap partner.
   std::vector<NodeId> t_prime;
@@ -97,13 +130,23 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
   // Draw temporal edges: each n_i targets a later T'' member with an
   // overlapping window; adding n_i -> n_k must not close a cycle through
   // graph edges, earlier embedded watermarks, or the edges planned so
-  // far.  The TimingCache transitive closure answers each cycle check
-  // with an O(V/64) bitset probe, and every planned edge is folded into
-  // the closure once — no per-query traversal of graph ∪ planned edges.
-  cdfg::TimingCache closure(g, -1, cdfg::EdgeFilter::all(),
-                            /*with_reachability=*/true);
+  // far.  Without a context, the TimingCache transitive closure answers
+  // each cycle check with an O(V/64) bitset probe and every planned edge
+  // is folded into the closure once.  With a context, the check is the
+  // topo-rank guard: rank(n_i) < rank(n_k) keeps every planned edge (in
+  // this locality and every concurrently planned one) consistent with
+  // one fixed topological order, so the union is acyclic with no closure
+  // state at all.
+  std::unique_ptr<cdfg::TimingCache> closure;
+  if (ctx == nullptr) {
+    closure = std::make_unique<cdfg::TimingCache>(g, -1, cdfg::EdgeFilter::all(),
+                                                  /*with_reachability=*/true);
+  }
   auto creates_cycle = [&](NodeId from, NodeId to) {
-    return closure.reaches(to, from);
+    if (ctx != nullptr) {
+      return ctx->topo_rank[from.value] >= ctx->topo_rank[to.value];
+    }
+    return closure->reaches(to, from);
   };
 
   for (std::size_t i = 0; i < t_second.size(); ++i) {
@@ -120,7 +163,7 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
         partners[stream.next_uint(static_cast<std::uint32_t>(partners.size()))];
     wm.constraints.push_back(
         TemporalConstraint{ni, nk, position.at(ni), position.at(nk)});
-    closure.add_extra_edge(ni, nk);
+    if (closure) closure->add_extra_edge(ni, nk);
   }
   if (static_cast<int>(wm.constraints.size()) < std::max(1, opts.min_edges)) {
     LWM_COUNT("wm/plans_rejected", 1);
@@ -129,6 +172,21 @@ std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
   LWM_COUNT("wm/localities_planned", 1);
   LWM_COUNT("wm/constraints_planned", wm.constraints.size());
   return wm;
+}
+
+}  // namespace
+
+std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
+                                                   const crypto::Signature& sig,
+                                                   const SchedWmOptions& opts) {
+  return plan_impl(g, root, sig, opts, nullptr);
+}
+
+std::optional<SchedWatermark> plan_sched_watermark(const Graph& g, NodeId root,
+                                                   const crypto::Signature& sig,
+                                                   const SchedWmOptions& opts,
+                                                   const PlanContext& ctx) {
+  return plan_impl(g, root, sig, opts, &ctx);
 }
 
 std::optional<SchedWatermark> embed_sched_watermark(Graph& g, NodeId root,
@@ -160,6 +218,65 @@ std::vector<SchedWatermark> embed_local_watermarks(Graph& g,
     used[root.value] = true;
     std::optional<SchedWatermark> wm = embed_sched_watermark(g, root, sig, opts);
     if (wm) marks.push_back(std::move(*wm));
+  }
+  return marks;
+}
+
+std::vector<SchedWatermark> embed_local_watermarks_parallel(
+    Graph& g, const crypto::Signature& sig, int count,
+    const SchedWmOptions& opts, exec::ThreadPool* pool, int max_attempts) {
+  std::vector<SchedWatermark> marks;
+  if (count <= 0) return marks;
+  LWM_SPAN("wm/embed_parallel");
+  const PlanContext ctx = PlanContext::build(g, opts);
+  if (ctx.ops.empty()) {
+    throw std::invalid_argument(
+        "embed_local_watermarks_parallel: graph has no operations");
+  }
+
+  // Candidate roots, drawn serially: the same "lwm/roots" stream and
+  // first-hit dedupe as the serial embedder, but against the context's
+  // precomputed op list instead of an O(V) pick_root scan per attempt.
+  crypto::Bitstream roots = sig.stream("lwm/roots");
+  std::vector<bool> used(g.node_capacity(), false);
+  std::vector<NodeId> candidates;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const NodeId root =
+        ctx.ops[roots.next_uint(static_cast<std::uint32_t>(ctx.ops.size()))];
+    if (used[root.value]) continue;
+    used[root.value] = true;
+    candidates.push_back(root);
+  }
+
+  // Plan in waves: each wave maps candidate -> optional plan concurrently
+  // (pure in g and ctx), then merges serially in candidate order until
+  // `count` marks are accepted.  Wave boundaries depend only on `count`
+  // and the candidate sequence, so records and edges are bit-identical
+  // at every thread count.
+  const std::size_t wave_size =
+      std::max<std::size_t>(64, 2 * static_cast<std::size_t>(count));
+  std::vector<std::optional<SchedWatermark>> planned;
+  for (std::size_t base = 0;
+       base < candidates.size() && static_cast<int>(marks.size()) < count;
+       base += wave_size) {
+    const std::size_t n = std::min(wave_size, candidates.size() - base);
+    LWM_COUNT("wm/embed_plan_waves", 1);
+    LWM_COUNT("wm/embed_plan_candidates", n);
+    planned.assign(n, std::nullopt);
+    exec::parallel_for(pool, n, [&](std::size_t i) {
+      planned[i] =
+          plan_sched_watermark(g, candidates[base + i], sig, opts, ctx);
+    });
+    for (std::size_t i = 0;
+         i < n && static_cast<int>(marks.size()) < count; ++i) {
+      if (!planned[i]) continue;
+      for (const TemporalConstraint& c : planned[i]->constraints) {
+        if (!g.has_edge(c.src, c.dst, EdgeKind::kTemporal)) {
+          g.add_edge(c.src, c.dst, EdgeKind::kTemporal);
+        }
+      }
+      marks.push_back(std::move(*planned[i]));
+    }
   }
   return marks;
 }

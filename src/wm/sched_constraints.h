@@ -21,12 +21,18 @@
 // reproduce the literal text instead.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "cdfg/analysis.h"
 #include "cdfg/graph.h"
 #include "crypto/signature.h"
 #include "wm/domain.h"
+
+namespace lwm::exec {
+class ThreadPool;
+}
 
 namespace lwm::wm {
 
@@ -75,12 +81,47 @@ struct SchedWatermark {
   std::vector<cdfg::NodeId> subtree;
 };
 
+/// Whole-graph state precomputed once and shared across many
+/// plan_sched_watermark calls against the same (unmutated) graph.  Two
+/// things make per-root planning O(cone) instead of O(V):
+///
+///   * `timing` — the specification TimingInfo the Fig. 2 filters read,
+///     computed once instead of per root;
+///   * `topo_rank` — one fixed topological order of the full graph
+///     (EdgeFilter::all()).  With a context, the cycle check for a
+///     temporal edge n_i -> n_k becomes rank(n_i) < rank(n_k): every
+///     accepted edge is consistent with the *same* topological order, so
+///     any set of edges planned by any number of concurrent planners is
+///     jointly acyclic by construction — no transitive-closure bitset
+///     (V^2/64 bytes is ~125 GB at 1M nodes) and no cross-locality
+///     coordination.  The guard is more conservative than a reachability
+///     probe (it refuses order-opposing edges a closure would admit), so
+///     context-planned marks can differ from closure-planned marks; what
+///     it preserves is determinism and acyclicity at any thread count.
+struct PlanContext {
+  cdfg::TimingInfo timing;
+  std::vector<std::uint32_t> topo_rank;  ///< indexed by NodeId::value
+  std::vector<char> on_worst_path;       ///< nonempty iff avoid_k_worst > 0
+  std::vector<cdfg::NodeId> ops;         ///< executable nodes, id order
+
+  [[nodiscard]] static PlanContext build(const cdfg::Graph& g,
+                                         const SchedWmOptions& opts);
+};
+
 /// Plans a watermark rooted at `root` without mutating `g`.  Returns
 /// nullopt if the locality is unusable (|T'| < tau_prime_min, or no
 /// overlap partners remain) — the caller then retries another root.
 [[nodiscard]] std::optional<SchedWatermark> plan_sched_watermark(
     const cdfg::Graph& g, cdfg::NodeId root, const crypto::Signature& sig,
     const SchedWmOptions& opts);
+
+/// Context-backed planning: identical filters and bitstream draws, but
+/// all whole-graph work comes from `ctx` and the cycle check is the
+/// topo-rank guard.  Pure with respect to `g` and `ctx` — safe to call
+/// from many threads at once.
+[[nodiscard]] std::optional<SchedWatermark> plan_sched_watermark(
+    const cdfg::Graph& g, cdfg::NodeId root, const crypto::Signature& sig,
+    const SchedWmOptions& opts, const PlanContext& ctx);
 
 /// Plans and embeds: adds the K temporal edges to `g`.
 [[nodiscard]] std::optional<SchedWatermark> embed_sched_watermark(
@@ -92,6 +133,22 @@ struct SchedWatermark {
 [[nodiscard]] std::vector<SchedWatermark> embed_local_watermarks(
     cdfg::Graph& g, const crypto::Signature& sig, int count,
     const SchedWmOptions& opts, int max_attempts = 1000);
+
+/// Locality-parallel embedding for mega-designs: draws the candidate
+/// root sequence serially (same "lwm/roots" stream and dedupe rule as
+/// embed_local_watermarks), plans localities concurrently over `pool`
+/// against the pristine graph using a shared PlanContext, then merges
+/// serially in candidate order, accepting planned marks until `count`.
+/// Candidates are planned in fixed-size waves so a satisfied count stops
+/// the scan early; wave boundaries are a pure function of the candidate
+/// sequence, so the result — every accepted record and every temporal
+/// edge — is bit-identical at any thread count (pool == nullptr
+/// included).  Acyclicity across concurrently planned marks is
+/// guaranteed by the context's topo-rank guard.
+[[nodiscard]] std::vector<SchedWatermark> embed_local_watermarks_parallel(
+    cdfg::Graph& g, const crypto::Signature& sig, int count,
+    const SchedWmOptions& opts, exec::ThreadPool* pool,
+    int max_attempts = 1000);
 
 /// Embeds local watermarks until at least `target_edges` temporal
 /// constraints are in place (the Table I parameterization: constrain a

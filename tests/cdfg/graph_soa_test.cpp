@@ -118,6 +118,27 @@ TEST(GraphSoaTest, TombstonedNodesAreSkipped) {
   check_all_filters(g);
 }
 
+TEST(GraphSoaTest, CsrLimitGuardRejectsOverflowingCounts) {
+  // Graphs at the 32-bit CSR limits are too large to construct, so the
+  // guard is exercised directly: counts past either limit must throw a
+  // length_error naming the exceeded bound, never truncate.
+  constexpr std::uint64_t kMax = 0xFFFF'FFFFull;
+  EXPECT_NO_THROW(GraphSoA::check_csr_limits(0, 0));
+  EXPECT_NO_THROW(GraphSoA::check_csr_limits(GraphSoA::kInvalid - 1, kMax));
+  try {
+    GraphSoA::check_csr_limits(GraphSoA::kInvalid, 0);
+    FAIL() << "node overflow must throw";
+  } catch (const std::length_error& e) {
+    EXPECT_NE(std::string(e.what()).find("node"), std::string::npos);
+  }
+  try {
+    GraphSoA::check_csr_limits(1, kMax + 1);
+    FAIL() << "edge-entry overflow must throw";
+  } catch (const std::length_error& e) {
+    EXPECT_NE(std::string(e.what()).find("edge entries"), std::string::npos);
+  }
+}
+
 TEST(GraphSoaTest, FuzzCorpusRoundTrip) {
   const std::filesystem::path dir = LWM_FUZZ_CORPUS_DIR;
   ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;

@@ -116,7 +116,13 @@ TEST(SourceTest, ReadStreamEnforcesSizeLimit) {
   const auto refused = read_stream(big, "<test>", ReadLimits{100});
   ASSERT_FALSE(refused.ok());
   EXPECT_EQ(refused.diag().file, "<test>");
-  EXPECT_NE(refused.diag().message.find("100-byte limit"), std::string::npos);
+  EXPECT_NE(refused.diag().message.find("100-byte whole-file cap"),
+            std::string::npos);
+  // The refusal must teach the fix: name the cap's knob and the
+  // streaming alternative.
+  EXPECT_NE(refused.diag().message.find("max_bytes"), std::string::npos);
+  EXPECT_NE(refused.diag().message.find("parse_cdfg_stream"),
+            std::string::npos);
 }
 
 TEST(SourceTest, ReadFileReportsOpenFailureAndRoundTrips) {

@@ -1,0 +1,169 @@
+// StreamLineCursor and the streaming CDFG parser: line semantics must
+// match LineCursor exactly (same line numbers, same '\r' handling, no
+// phantom empty line after a trailing '\n'), the per-line cap and read
+// failures must surface as Diagnostics, and a CDFG bigger than the
+// whole-file read cap must stream-parse byte-exactly while read_file
+// refuses it with a message that names the cap and the streaming entry
+// point.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cdfg/serialize.h"
+#include "dfglib/synth.h"
+#include "io/source.h"
+#include "io/stream_text.h"
+#include "io/text.h"
+
+namespace lwm::io {
+namespace {
+
+std::vector<std::string> stream_lines(const std::string& text,
+                                      const StreamLimits& limits = {}) {
+  std::istringstream in(text);
+  StreamLineCursor cursor(in, limits);
+  std::vector<std::string> out;
+  while (const auto line = cursor.next()) out.emplace_back(*line);
+  EXPECT_FALSE(cursor.error().has_value());
+  return out;
+}
+
+std::vector<std::string> memory_lines(const std::string& text) {
+  LineCursor cursor(text);
+  std::vector<std::string> out;
+  while (const auto line = cursor.next()) out.emplace_back(*line);
+  return out;
+}
+
+TEST(StreamLineCursorTest, MatchesLineCursorOnEdgeCases) {
+  const std::string cases[] = {
+      "",
+      "\n",
+      "one line no newline",
+      "a\nb\nc\n",
+      "a\nb\nc",
+      "\n\n\n",
+      "crlf\r\nlines\r\n",
+      "mixed\r\nunix\nlast\r",
+  };
+  for (const std::string& text : cases) {
+    EXPECT_EQ(stream_lines(text), memory_lines(text)) << '"' << text << '"';
+  }
+}
+
+TEST(StreamLineCursorTest, LineNumbersMatchLineCursor) {
+  const std::string text = "a\nb\n\nd";
+  std::istringstream in(text);
+  StreamLineCursor stream(in);
+  LineCursor memory(text);
+  while (true) {
+    const auto s = stream.next();
+    const auto m = memory.next();
+    ASSERT_EQ(s.has_value(), m.has_value());
+    if (!s) break;
+    EXPECT_EQ(*s, *m);
+    EXPECT_EQ(stream.line_number(), memory.line_number());
+  }
+}
+
+TEST(StreamLineCursorTest, LinesSpanningChunkBoundaries) {
+  // Tiny chunks force every line to straddle at least one refill.
+  StreamLimits limits;
+  limits.chunk_bytes = 7;
+  std::string text;
+  std::vector<std::string> want;
+  for (int i = 0; i < 50; ++i) {
+    want.push_back("line-" + std::to_string(i) + std::string(i % 13, 'x'));
+    text += want.back() + "\n";
+  }
+  EXPECT_EQ(stream_lines(text, limits), want);
+}
+
+TEST(StreamLineCursorTest, OverLongLineIsAnError) {
+  StreamLimits limits;
+  limits.chunk_bytes = 16;
+  limits.max_line_bytes = 32;
+  std::istringstream in("short\n" + std::string(100, 'y') + "\nafter\n");
+  StreamLineCursor cursor(in, limits);
+  ASSERT_TRUE(cursor.next().has_value());
+  EXPECT_FALSE(cursor.next().has_value());
+  ASSERT_TRUE(cursor.error().has_value());
+  EXPECT_NE(cursor.error()->message.find("32"), std::string::npos)
+      << cursor.error()->message;
+  EXPECT_EQ(cursor.error()->line, 2);
+}
+
+TEST(StreamParseTest, AcceptsSameLanguageAsInMemoryParser) {
+  const cdfg::Graph g =
+      dfglib::make_layered_dag("parity", 200, 8, dfglib::OpMix{}, 5);
+  const std::string text = cdfg::to_text(g);
+  std::istringstream in(text);
+  auto streamed = cdfg::parse_cdfg_stream(in, "parity.cdfg");
+  auto memory = cdfg::parse_cdfg(text, "parity.cdfg");
+  ASSERT_TRUE(streamed.ok());
+  ASSERT_TRUE(memory.ok());
+  EXPECT_EQ(cdfg::to_text(streamed.value()), cdfg::to_text(memory.value()));
+  EXPECT_EQ(cdfg::to_text(streamed.value()), text);
+}
+
+TEST(StreamParseTest, DiagnosticsMatchInMemoryParser) {
+  const std::string broken = "cdfg bad\nnode n0 add\nedge n0 -> n9 data\n";
+  std::istringstream in(broken);
+  const auto streamed = cdfg::parse_cdfg_stream(in, "bad.cdfg");
+  const auto memory = cdfg::parse_cdfg(broken, "bad.cdfg");
+  ASSERT_FALSE(streamed.ok());
+  ASSERT_FALSE(memory.ok());
+  EXPECT_EQ(streamed.diag().to_string(), memory.diag().to_string());
+}
+
+TEST(StreamParseTest, MissingHeaderAndOpenFailure) {
+  std::istringstream empty("");
+  EXPECT_FALSE(cdfg::parse_cdfg_stream(empty, "empty.cdfg").ok());
+  const auto missing = cdfg::read_cdfg_file("/nonexistent/x.cdfg");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.diag().message.find("cannot open"), std::string::npos);
+}
+
+TEST(StreamParseTest, OversizeFileStreamsButRefusesWholeFileRead) {
+  // A graph whose serialization exceeds the 16 MiB read_file cap: the
+  // legacy path must refuse it (naming the cap and the streaming entry
+  // point), the streaming path must round-trip it byte-exactly.
+  dfglib::MegaConfig cfg;
+  cfg.name = "big";
+  cfg.operations = 260'000;
+  cfg.width = 64;
+  cfg.seed = 99;
+  const cdfg::Graph g = dfglib::make_mega_design(cfg);
+  const std::string text = cdfg::to_text(g);
+  ASSERT_GT(text.size(), ReadLimits{}.max_bytes);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lwm_big_stream_test.cdfg")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    ASSERT_TRUE(out.good());
+  }
+
+  const auto refused = read_file(path);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.diag().message.find("16777216"), std::string::npos)
+      << refused.diag().message;
+  EXPECT_NE(refused.diag().message.find("parse_cdfg_stream"),
+            std::string::npos)
+      << refused.diag().message;
+
+  auto streamed = cdfg::read_cdfg_file(path);
+  ASSERT_TRUE(streamed.ok()) << streamed.diag().to_string();
+  EXPECT_EQ(cdfg::to_text(streamed.value()), text);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lwm::io

@@ -1,0 +1,211 @@
+// sched_pc_poisson parity and the sched_pc_auto size dispatch.
+//
+// The Poisson estimator is an approximation with an exact analytic
+// relationship to the window model it replaces: per temporal edge with
+// order probability p, the log-factor gap is
+//     0 <= -ln p - (1 - p) <= (1 - p)^2 / (2 p),
+// so over a whole mark set  window <= poisson <= window + B  where
+// B = sum_i (1-p_i)^2 / (2 p_i) / ln 10.  That bound is asserted on
+// every design of the experiment suite (dfglib kernels + the eight
+// MediaBench apps).  Against exhaustive-psi sched_pc_exact — a different
+// state space (subtree schedules, not independent windows) — the
+// documented tolerance is two decades: |poisson - exact| <= 2.0 on every
+// design where enumeration completes (observed max gap 1.4, JPEG.c).
+#include "wm/pc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "cdfg/analysis.h"
+#include "dfglib/iir4.h"
+#include "dfglib/kernels.h"
+#include "dfglib/mediabench.h"
+#include "dfglib/synth.h"
+#include "obs/obs.h"
+
+namespace lwm::wm {
+namespace {
+
+using cdfg::Graph;
+
+crypto::Signature alice() { return {"alice", "alice-design-key-2001"}; }
+
+SchedWmOptions suite_options() {
+  SchedWmOptions opts;
+  opts.domain.tau = 6;
+  opts.domain.keep_num = 1;
+  opts.domain.keep_den = 1;
+  opts.k = 2;
+  opts.epsilon = 0.3;
+  return opts;
+}
+
+std::vector<std::pair<std::string, Graph>> experiment_suite() {
+  std::vector<std::pair<std::string, Graph>> suite;
+  suite.emplace_back("iir4", dfglib::iir4_parallel());
+  suite.emplace_back("fir16", dfglib::make_fir(16));
+  suite.emplace_back("fft8", dfglib::make_fft(8));
+  suite.emplace_back("biquad4", dfglib::make_biquad_cascade(4));
+  for (const dfglib::MediabenchApp& app : dfglib::mediabench_table()) {
+    suite.emplace_back(app.name, dfglib::make_mediabench_app(app));
+  }
+  return suite;
+}
+
+/// The second-order remainder bound on poisson - window (log10 decades).
+double analytic_gap_bound(const Graph& g,
+                          std::span<const SchedWatermark> marks) {
+  const cdfg::TimingInfo timing =
+      cdfg::compute_timing(g, -1, cdfg::EdgeFilter::specification());
+  double bound = 0.0;
+  for (const SchedWatermark& m : marks) {
+    for (const TemporalConstraint& c : m.constraints) {
+      const double p = edge_order_probability(timing, g, c.src, c.dst);
+      if (p > 0.0) bound += (1.0 - p) * (1.0 - p) / (2.0 * p);
+    }
+  }
+  return bound / std::log(10.0);
+}
+
+TEST(SchedPcPoissonTest, WithinAnalyticBoundOfWindowModelOnEveryDesign) {
+  int covered = 0;
+  for (auto& [name, g] : experiment_suite()) {
+    const auto marks = embed_local_watermarks(g, alice(), 2, suite_options());
+    if (marks.empty()) continue;  // fir16: a zero-laxity tap chain
+    ++covered;
+    g.strip_temporal_edges();
+    const PcEstimate window = sched_pc_window_model(g, marks);
+    const PcEstimate poisson = sched_pc_poisson(g, marks);
+    EXPECT_FALSE(poisson.exact);
+    EXPECT_LT(poisson.log10_pc, 0.0) << name;
+    // window <= poisson <= window + B, B the second-order remainder.
+    EXPECT_LE(window.log10_pc, poisson.log10_pc + 1e-12) << name;
+    EXPECT_LE(poisson.log10_pc,
+              window.log10_pc + analytic_gap_bound(g, marks) + 1e-12)
+        << name;
+  }
+  EXPECT_GE(covered, 10) << "suite designs must actually carry marks";
+}
+
+TEST(SchedPcPoissonTest, WithinTwoDecadesOfExactOnEveryDesign) {
+  // A tight saturation budget keeps the exhaustive counts fast; marks
+  // whose psi-space is larger simply fall out of the comparison (the
+  // whole reason sched_pc_auto exists).
+  sched::EnumerationOptions eopts;
+  eopts.limit = 100'000;
+  int compared = 0;
+  for (auto& [name, g] : experiment_suite()) {
+    const auto marks = embed_local_watermarks(g, alice(), 2, suite_options());
+    if (marks.empty()) continue;
+    g.strip_temporal_edges();
+    for (const SchedWatermark& m : marks) {
+      const PcEstimate exact = sched_pc_exact(g, m, eopts);
+      if (!exact.exact) continue;  // enumeration saturated
+      ++compared;
+      const SchedWatermark one[] = {m};
+      const PcEstimate poisson = sched_pc_poisson(g, one);
+      EXPECT_NEAR(poisson.log10_pc, exact.log10_pc, 2.0) << name;
+    }
+  }
+  EXPECT_GE(compared, 5) << "the exact path must cover a real sample";
+}
+
+TEST(SchedPcPoissonTest, AdditiveOverMarksAndDegenerateOnImpossibleEdge) {
+  Graph g = dfglib::make_dsp_design("poi_add", 12, 200, 31);
+  SchedWmOptions opts;
+  opts.domain.tau = 5;
+  opts.k = 2;
+  opts.epsilon = 0.3;
+  const auto marks = embed_local_watermarks(g, alice(), 3, opts);
+  ASSERT_GE(marks.size(), 2u);
+  g.strip_temporal_edges();
+  const double all = sched_pc_poisson(g, marks).log10_pc;
+  double sum = 0.0;
+  for (const SchedWatermark& m : marks) {
+    const SchedWatermark one[] = {m};
+    sum += sched_pc_poisson(g, one).log10_pc;
+  }
+  EXPECT_NEAR(all, sum, 1e-9) << "lambda sums over edges";
+
+  // An order-impossible edge (dst strictly precedes src) has p = 0: one
+  // full expected violation and a degenerate estimate.
+  SchedWatermark bad = marks[0];
+  bad.constraints.clear();
+  const cdfg::TimingInfo t = cdfg::compute_timing(g);
+  cdfg::NodeId lo, hi;
+  bool found = false;
+  for (const cdfg::NodeId n : g.node_ids()) {
+    if (!cdfg::is_executable(g.node(n).kind)) continue;
+    for (const cdfg::NodeId m2 : g.node_ids()) {
+      if (!cdfg::is_executable(g.node(m2).kind)) continue;
+      if (t.alap[m2.value] + g.node(m2).delay <= t.asap[n.value]) {
+        lo = m2;
+        hi = n;
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  ASSERT_TRUE(found);
+  bad.constraints.push_back({hi, lo, 0, 1});  // hi must precede lo: impossible
+  const SchedWatermark badset[] = {bad};
+  const PcEstimate est = sched_pc_poisson(g, badset);
+  EXPECT_TRUE(est.degenerate);
+  EXPECT_LE(est.log10_pc, -1.0 / std::log(10.0) + 1e-12);
+}
+
+TEST(SchedPcAutoTest, DispatchesBySizeAndLogsTheBranch) {
+  // Small design: under the default 2048-node threshold -> exact path.
+  Graph small = dfglib::iir4_parallel();
+  const auto small_marks =
+      embed_local_watermarks(small, alice(), 1, suite_options());
+  ASSERT_FALSE(small_marks.empty());
+  small.strip_temporal_edges();
+
+  // Mega design: over the threshold -> Poisson path.
+  dfglib::MegaConfig cfg;
+  cfg.name = "auto_mega";
+  cfg.operations = 4000;
+  cfg.width = 32;
+  cfg.seed = 17;
+  Graph mega = dfglib::make_mega_design(cfg);
+  SchedWmOptions mopts;
+  mopts.domain.tau = 4;
+  mopts.k = 3;
+  const auto mega_marks = embed_local_watermarks(mega, alice(), 1, mopts);
+  ASSERT_FALSE(mega_marks.empty());
+  mega.strip_temporal_edges();
+  ASSERT_GT(mega.node_count(), SchedPcAutoOptions{}.poisson_node_threshold);
+
+#if LWM_OBS_ENABLED
+  obs::Registry::instance().reset();
+#endif
+  const PcEstimate small_est = sched_pc_auto(small, small_marks[0]);
+  EXPECT_TRUE(small_est.exact);
+  EXPECT_DOUBLE_EQ(small_est.log10_pc,
+                   sched_pc_exact(small, small_marks[0]).log10_pc);
+
+  const PcEstimate mega_est = sched_pc_auto(mega, mega_marks[0]);
+  EXPECT_FALSE(mega_est.exact);
+  const SchedWatermark one[] = {mega_marks[0]};
+  EXPECT_DOUBLE_EQ(mega_est.log10_pc, sched_pc_poisson(mega, one).log10_pc);
+
+  // Forcing the threshold below the small design proves the fallback
+  // engages on size alone, not on some property of mega-designs.
+  SchedPcAutoOptions tiny;
+  tiny.poisson_node_threshold = 4;
+  EXPECT_FALSE(sched_pc_auto(small, small_marks[0], tiny).exact);
+
+#if LWM_OBS_ENABLED
+  EXPECT_EQ(obs::Registry::instance().counter("wm/pc_auto_exact").total(), 1u);
+  EXPECT_EQ(obs::Registry::instance().counter("wm/pc_auto_poisson").total(),
+            2u);
+#endif
+}
+
+}  // namespace
+}  // namespace lwm::wm

@@ -18,6 +18,11 @@ tag both files must agree on:
   delay: unit_build_per_s / bounded_build_per_s (TimingCache
       construction throughput at the exact and table delay models) and
       kpaths_per_s (k-worst path enumeration throughput).
+  scale: embed_ops_per_s / detect_ops_per_s (mega-design pipeline
+      throughput at the largest size swept), plus the per-size
+      embed_ops_per_s_<tag> / detect_ops_per_s_<tag> keys and
+      stream_parse_mb_per_s when both artifacts carry them (a --smoke
+      artifact stops at 10k, so the 100k/1m keys are optional).
 
 Intended use: run the bench on the pre-change and post-change trees,
 then diff the artifacts —
@@ -48,6 +53,14 @@ SCHEMAS = {
         "required": ["unit_build_per_s", "bounded_build_per_s",
                      "kpaths_per_s"],
         "optional": [],
+    },
+    "scale": {
+        "required": ["embed_ops_per_s", "detect_ops_per_s"],
+        "optional": ["stream_parse_mb_per_s",
+                     "embed_ops_per_s_1k", "detect_ops_per_s_1k",
+                     "embed_ops_per_s_10k", "detect_ops_per_s_10k",
+                     "embed_ops_per_s_100k", "detect_ops_per_s_100k",
+                     "embed_ops_per_s_1m", "detect_ops_per_s_1m"],
     },
 }
 
