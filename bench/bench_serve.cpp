@@ -1,0 +1,239 @@
+// bench_serve — request throughput of the resident watermark service.
+//
+// The service's performance claim is amortization: a resident design
+// answers detect/embed requests from its cached TimingCache +
+// PlanContext, while a cold request pays parse + timing + planning
+// every time.  This bench drives the in-process Service (the same
+// handler the daemon and `lwm-scan` use) with mega designs at 1k ops
+// (and 100k ops outside --smoke) and times four request mixes:
+//   * resident detect — design + schedule resident, detect frames only;
+//   * cold detect     — evict + load-design + load-schedule + detect
+//                       per request (the first-request experience);
+//   * resident embed  — embed frames against the resident PlanContext;
+//   * cold embed      — evict + load-design + embed per request.
+// The JSON artifact carries the *_per_s keys tools/bench_compare.py
+// gates on plus detect_speedup (resident / cold, ≥ 5x required on the
+// 100k-op design by the PR 9 acceptance bar).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_io.h"
+#include "cdfg/serialize.h"
+#include "dfglib/synth.h"
+#include "exec/thread_pool.h"
+#include "serve/service.h"
+#include "table.h"
+
+using namespace lwm;
+using serve::Frame;
+using serve::MsgType;
+using serve::PayloadReader;
+using serve::PayloadWriter;
+
+namespace {
+
+constexpr const char* kKey = "bench-serve-key";
+
+Frame load_design_frame(const std::string& text) {
+  PayloadWriter w;
+  w.put_str(text);
+  return Frame{MsgType::kLoadDesign, std::move(w).take()};
+}
+
+Frame load_schedule_frame(std::uint64_t design_id, const std::string& text) {
+  PayloadWriter w;
+  w.put_u64(design_id);
+  w.put_str(text);
+  return Frame{MsgType::kLoadSchedule, std::move(w).take()};
+}
+
+Frame embed_frame(std::uint64_t design_id) {
+  PayloadWriter w;
+  w.put_u64(design_id);
+  w.put_str(kKey);
+  w.put_u32(4);   // marks
+  w.put_u32(8);   // tau
+  w.put_u32(3);   // k
+  w.put_f64(0.25);
+  return Frame{MsgType::kEmbed, std::move(w).take()};
+}
+
+Frame detect_frame(std::uint64_t design_id, std::uint64_t sched_id,
+                   const std::string& records) {
+  PayloadWriter w;
+  w.put_u64(design_id);
+  w.put_u64(sched_id);
+  w.put_str(kKey);
+  w.put_str(records);
+  return Frame{MsgType::kDetect, std::move(w).take()};
+}
+
+Frame evict_frame(std::uint64_t design_id) {
+  PayloadWriter w;
+  w.put_u64(design_id);
+  return Frame{MsgType::kEvict, std::move(w).take()};
+}
+
+Frame expect(serve::Service& service, const Frame& req, MsgType want) {
+  Frame r = service.handle(req);
+  if (r.type != want) {
+    serve::ErrorInfo info;
+    (void)serve::parse_error_frame(r, info);
+    std::fprintf(stderr, "bench_serve: unexpected response: %s\n",
+                 info.diag.to_string().c_str());
+    std::exit(1);
+  }
+  return r;
+}
+
+struct SizeRow {
+  std::string label;
+  std::size_t ops = 0;
+  double resident_detect_per_s = 0.0;
+  double cold_detect_per_s = 0.0;
+  double resident_embed_per_s = 0.0;
+  double cold_embed_per_s = 0.0;
+  [[nodiscard]] double detect_speedup() const {
+    return cold_detect_per_s > 0.0 ? resident_detect_per_s / cold_detect_per_s
+                                   : 0.0;
+  }
+};
+
+double per_s(int reps, double total_ms) {
+  return total_ms > 0.0 ? 1000.0 * reps / total_ms : 0.0;
+}
+
+SizeRow run_size(const std::string& label, int ops, exec::ThreadPool& pool,
+                 int resident_reps, int cold_reps) {
+  dfglib::MegaConfig cfg;
+  cfg.name = "serve_" + label;
+  cfg.operations = ops;
+  cfg.width = 32;
+  cfg.seed = 42;
+  const std::string text = cdfg::to_text(dfglib::make_mega_design(cfg));
+
+  serve::ServiceOptions opts;
+  opts.pool = &pool;
+  serve::Service service(opts);
+
+  // Warm setup: load, embed once for records + marked schedule, make
+  // the schedule resident.
+  const Frame loaded = expect(service, load_design_frame(text),
+                              MsgType::kDesignLoaded);
+  PayloadReader lr(loaded.payload);
+  const std::uint64_t design_id = lr.get_u64();
+
+  const Frame embedded =
+      expect(service, embed_frame(design_id), MsgType::kEmbedded);
+  PayloadReader er(embedded.payload);
+  const std::uint32_t marks = er.get_u32();
+  (void)er.get_u32();
+  (void)er.get_f64();
+  const std::string records(er.get_str());
+  const std::string sched_text(er.get_str());
+  if (marks == 0) {
+    std::fprintf(stderr, "bench_serve: embedded 0 marks at %s\n",
+                 label.c_str());
+    std::exit(1);
+  }
+
+  const Frame sched = expect(service, load_schedule_frame(design_id, sched_text),
+                             MsgType::kScheduleLoaded);
+  PayloadReader sr(sched.payload);
+  const std::uint64_t sched_id = sr.get_u64();
+  const Frame detect_req = detect_frame(design_id, sched_id, records);
+
+  SizeRow row;
+  row.label = label;
+  row.ops = static_cast<std::size_t>(ops);
+
+  {
+    const bench::Stopwatch sw;
+    for (int r = 0; r < resident_reps; ++r) {
+      (void)expect(service, detect_req, MsgType::kDetected);
+    }
+    row.resident_detect_per_s = per_s(resident_reps, sw.elapsed_ms());
+  }
+  {
+    const bench::Stopwatch sw;
+    for (int r = 0; r < resident_reps; ++r) {
+      (void)expect(service, embed_frame(design_id), MsgType::kEmbedded);
+    }
+    row.resident_embed_per_s = per_s(resident_reps, sw.elapsed_ms());
+  }
+  {
+    const bench::Stopwatch sw;
+    for (int r = 0; r < cold_reps; ++r) {
+      (void)expect(service, evict_frame(design_id), MsgType::kEvicted);
+      (void)expect(service, load_design_frame(text), MsgType::kDesignLoaded);
+      (void)expect(service, load_schedule_frame(design_id, sched_text),
+                   MsgType::kScheduleLoaded);
+      (void)expect(service, detect_req, MsgType::kDetected);
+    }
+    row.cold_detect_per_s = per_s(cold_reps, sw.elapsed_ms());
+  }
+  {
+    const bench::Stopwatch sw;
+    for (int r = 0; r < cold_reps; ++r) {
+      (void)expect(service, evict_frame(design_id), MsgType::kEvicted);
+      (void)expect(service, load_design_frame(text), MsgType::kDesignLoaded);
+      (void)expect(service, embed_frame(design_id), MsgType::kEmbedded);
+    }
+    row.cold_embed_per_s = per_s(cold_reps, sw.elapsed_ms());
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_serve.json");
+  const bench::Stopwatch wall;
+
+  std::printf("== bench_serve: resident vs cold request throughput ==\n");
+  std::printf("threads: %d%s\n\n", args.threads, args.smoke ? " (smoke)" : "");
+  exec::ThreadPool pool(args.threads);
+
+  std::vector<SizeRow> rows;
+  rows.push_back(run_size("1k", 1'000, pool, args.smoke ? 10 : 50,
+                          args.smoke ? 3 : 10));
+  if (!args.smoke) {
+    rows.push_back(run_size("100k", 100'000, pool, 10, 3));
+  }
+
+  bench::Table out({"design", "ops", "resident det/s", "cold det/s",
+                    "det speedup", "resident emb/s", "cold emb/s"});
+  for (const SizeRow& r : rows) {
+    out.add_row({r.label, std::to_string(r.ops),
+                 bench::fmt("%.2f", r.resident_detect_per_s),
+                 bench::fmt("%.2f", r.cold_detect_per_s),
+                 bench::fmt("%.1fx", r.detect_speedup()),
+                 bench::fmt("%.2f", r.resident_embed_per_s),
+                 bench::fmt("%.2f", r.cold_embed_per_s)});
+  }
+  out.print();
+
+  // The headline keys (bench_compare gates) come from the largest size
+  // measured — the regime the service exists for.
+  const SizeRow& head = rows.back();
+  bench::JsonObject json;
+  json.add("bench", std::string("serve"));
+  json.add("threads", args.threads);
+  json.add("resident_detect_per_s", head.resident_detect_per_s);
+  json.add("cold_detect_per_s", head.cold_detect_per_s);
+  json.add("resident_embed_per_s", head.resident_embed_per_s);
+  json.add("cold_embed_per_s", head.cold_embed_per_s);
+  json.add("detect_speedup", head.detect_speedup());
+  for (const SizeRow& r : rows) {
+    json.add("resident_detect_per_s_" + r.label, r.resident_detect_per_s);
+    json.add("cold_detect_per_s_" + r.label, r.cold_detect_per_s);
+    json.add("detect_speedup_" + r.label, r.detect_speedup());
+    json.add("resident_embed_per_s_" + r.label, r.resident_embed_per_s);
+    json.add("cold_embed_per_s_" + r.label, r.cold_embed_per_s);
+  }
+  json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
+  json.write(args.json_path);
+  return 0;
+}

@@ -1,0 +1,206 @@
+#include "serve/frame.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace lwm::serve {
+
+namespace {
+
+void append_u32_le(std::uint32_t v, std::string& out) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+[[nodiscard]] std::uint32_t read_u32_le(const char* p) {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+[[nodiscard]] io::Diagnostic frame_diag(std::string_view source_name,
+                                        std::size_t offset, std::string msg) {
+  io::Diagnostic d;
+  d.file = std::string(source_name);
+  d.line = 0;
+  d.column = static_cast<int>(offset) + 1;  // 1-based byte offset
+  d.message = std::move(msg);
+  return d;
+}
+
+}  // namespace
+
+bool known_type(std::uint8_t type) noexcept {
+  if (type == static_cast<std::uint8_t>(MsgType::kError)) return true;
+  const std::uint8_t req = type & 0x7Fu;
+  return req >= 0x01 && req <= 0x08;
+}
+
+void append_frame(const Frame& f, std::string& out) {
+  if (f.payload.size() > kMaxPayload) {
+    throw std::length_error("serve::append_frame: payload exceeds kMaxPayload");
+  }
+  out.append(kMagic, sizeof kMagic);
+  out.push_back(static_cast<char>(f.type));
+  out.append(3, '\0');  // reserved
+  append_u32_le(static_cast<std::uint32_t>(f.payload.size()), out);
+  out.append(f.payload);
+}
+
+std::string encode_frame(const Frame& f) {
+  std::string out;
+  out.reserve(kHeaderSize + f.payload.size());
+  append_frame(f, out);
+  return out;
+}
+
+DecodeResult decode_frame(std::string_view bytes, std::string_view source_name) {
+  DecodeResult r;
+  // Validate the magic byte-by-byte so a wrong byte is flagged even when
+  // fewer than 4 bytes have arrived — a stream that starts "HTTP" is
+  // hopeless at byte 0, not after 12 bytes of waiting.
+  const std::size_t magic_avail = bytes.size() < 4 ? bytes.size() : 4;
+  for (std::size_t i = 0; i < magic_avail; ++i) {
+    if (bytes[i] != kMagic[i]) {
+      r.status = DecodeResult::Status::kError;
+      r.diag = frame_diag(source_name, i, "bad magic: expected \"LWM1\"");
+      return r;
+    }
+  }
+  if (bytes.size() >= 5 + 3) {
+    for (std::size_t i = 5; i < 8; ++i) {
+      if (bytes[i] != '\0') {
+        r.status = DecodeResult::Status::kError;
+        r.diag = frame_diag(source_name, i, "reserved header bytes must be zero");
+        return r;
+      }
+    }
+  }
+  if (bytes.size() >= kHeaderSize) {
+    const std::uint32_t len = read_u32_le(bytes.data() + 8);
+    if (len > kMaxPayload) {
+      r.status = DecodeResult::Status::kError;
+      r.diag = frame_diag(source_name, 8,
+                          "payload length " + std::to_string(len) +
+                              " exceeds the 16 MiB frame cap");
+      return r;
+    }
+    if (bytes.size() >= kHeaderSize + len) {
+      r.status = DecodeResult::Status::kOk;
+      r.frame.type = static_cast<MsgType>(static_cast<std::uint8_t>(bytes[4]));
+      r.frame.payload.assign(bytes.data() + kHeaderSize, len);
+      r.consumed = kHeaderSize + len;
+      return r;
+    }
+  }
+  r.status = DecodeResult::Status::kNeedMore;
+  return r;
+}
+
+// --- PayloadWriter ------------------------------------------------------
+
+void PayloadWriter::put_u8(std::uint8_t v) {
+  bytes_.push_back(static_cast<char>(v));
+}
+
+void PayloadWriter::put_u32(std::uint32_t v) { append_u32_le(v, bytes_); }
+
+void PayloadWriter::put_u64(std::uint64_t v) {
+  append_u32_le(static_cast<std::uint32_t>(v & 0xFFFFFFFFu), bytes_);
+  append_u32_le(static_cast<std::uint32_t>(v >> 32), bytes_);
+}
+
+void PayloadWriter::put_f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void PayloadWriter::put_str(std::string_view s) {
+  if (s.size() > kMaxPayload) {
+    throw std::length_error("serve::PayloadWriter: string exceeds kMaxPayload");
+  }
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+// --- PayloadReader ------------------------------------------------------
+
+bool PayloadReader::take(std::size_t n) noexcept {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t PayloadReader::get_u8() {
+  if (!take(1)) return 0;
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t PayloadReader::get_u32() {
+  if (!take(4)) return 0;
+  const std::uint32_t v = read_u32_le(bytes_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::get_u64() {
+  if (!take(8)) return 0;
+  const std::uint64_t lo = read_u32_le(bytes_.data() + pos_);
+  const std::uint64_t hi = read_u32_le(bytes_.data() + pos_ + 4);
+  pos_ += 8;
+  return lo | (hi << 32);
+}
+
+double PayloadReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string_view PayloadReader::get_str() {
+  const std::uint32_t len = get_u32();
+  if (!take(len)) return {};
+  const std::string_view s = bytes_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+// --- Error frames -------------------------------------------------------
+
+Frame make_error_frame(const ErrorInfo& info) {
+  PayloadWriter w;
+  w.put_u32(info.code);
+  w.put_str(info.diag.file);
+  w.put_u32(static_cast<std::uint32_t>(info.diag.line < 0 ? 0 : info.diag.line));
+  w.put_u32(
+      static_cast<std::uint32_t>(info.diag.column < 0 ? 0 : info.diag.column));
+  w.put_str(info.diag.message);
+  return Frame{MsgType::kError, std::move(w).take()};
+}
+
+bool parse_error_frame(const Frame& f, ErrorInfo& out) {
+  if (f.type != MsgType::kError) return false;
+  PayloadReader r(f.payload);
+  const std::uint32_t code = r.get_u32();
+  const std::string_view file = r.get_str();
+  const std::uint32_t line = r.get_u32();
+  const std::uint32_t col = r.get_u32();
+  const std::string_view message = r.get_str();
+  if (!r.complete() || code > 0xFFFF) return false;
+  out.code = static_cast<std::uint16_t>(code);
+  out.diag.file = std::string(file);
+  out.diag.line = static_cast<int>(line);
+  out.diag.column = static_cast<int>(col);
+  out.diag.message = std::string(message);
+  return true;
+}
+
+}  // namespace lwm::serve

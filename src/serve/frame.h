@@ -1,0 +1,193 @@
+// frame.h — the service wire format: length-prefixed binary frames.
+//
+// Exactly one codec implements the protocol: the daemon (`lwm-serve`),
+// the bulk scanner (`lwm-scan`), the integration tests, and the fuzz
+// target all encode and decode through this header.  The format is
+// normatively specified in docs/service.md; this header is the
+// implementation of that spec, not a second source of truth.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "LWM1" (the trailing digit is the protocol version)
+//   4       1     message type (MsgType)
+//   5       3     reserved, must be zero
+//   8       4     payload length N (u32, <= kMaxPayload)
+//   12      N     payload
+//
+// Frames cross the same trust boundary the text parsers do: a malformed
+// frame never throws and never crashes — decode_frame() reports a
+// located io::Diagnostic (line 0, column = 1-based byte offset of the
+// first offending byte) exactly like the PR 5 parse cores.  Truncation
+// is not an error at this layer: a partial socket read yields
+// Status::kNeedMore and the caller reads more bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "io/parse_result.h"
+
+namespace lwm::serve {
+
+/// Magic + version.  Incompatible protocol changes bump the digit; a
+/// decoder refuses frames whose magic it does not speak.
+inline constexpr char kMagic[4] = {'L', 'W', 'M', '1'};
+inline constexpr std::size_t kHeaderSize = 12;
+
+/// Payload cap, mirroring the io::ReadLimits front-door cap: the service
+/// refuses to buffer a larger request for the same reason read_file
+/// refuses a larger file.
+inline constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+/// Message types.  Requests occupy 0x01..0x7F; the matching response is
+/// request | 0x80; 0xFF is the error frame any request can receive.
+enum class MsgType : std::uint8_t {
+  kPing = 0x01,
+  kLoadDesign = 0x02,
+  kLoadSchedule = 0x03,
+  kEmbed = 0x04,
+  kDetect = 0x05,
+  kPc = 0x06,
+  kStats = 0x07,
+  kEvict = 0x08,
+
+  kPong = 0x81,
+  kDesignLoaded = 0x82,
+  kScheduleLoaded = 0x83,
+  kEmbedded = 0x84,
+  kDetected = 0x85,
+  kPcEstimated = 0x86,
+  kStatsReport = 0x87,
+  kEvicted = 0x88,
+
+  kError = 0xFF,
+};
+
+[[nodiscard]] constexpr MsgType response_type(MsgType request) noexcept {
+  return static_cast<MsgType>(static_cast<std::uint8_t>(request) | 0x80u);
+}
+
+/// True for the type values this protocol version defines (either
+/// direction).  Unknown types still *decode* (the framing is type-
+/// agnostic, so a newer client's frame is skipped cleanly); the service
+/// answers them with kErrUnknownType.
+[[nodiscard]] bool known_type(std::uint8_t type) noexcept;
+
+/// Error codes carried by kError frames (u16 on the wire).
+enum ErrorCode : std::uint16_t {
+  kErrBadFrame = 1,     ///< header malformed (decode_frame refused it)
+  kErrUnknownType = 2,  ///< type byte not in this protocol version
+  kErrParse = 3,        ///< payload or embedded text artifact malformed
+  kErrNotFound = 4,     ///< design/schedule id not resident
+  kErrShed = 5,         ///< in-flight limit reached; retry later
+  kErrTimeout = 6,      ///< peer IO stalled past the deadline
+  kErrInternal = 7,     ///< unexpected server-side failure
+  kErrTooLarge = 8,     ///< request parameter exceeds a service bound
+};
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::string payload;
+};
+
+/// Serializes header + payload.  Precondition: payload fits kMaxPayload
+/// (throws std::length_error otherwise — encoding oversize frames is a
+/// caller bug, not peer input).
+void append_frame(const Frame& f, std::string& out);
+[[nodiscard]] std::string encode_frame(const Frame& f);
+
+struct DecodeResult {
+  enum class Status {
+    kOk,        ///< one complete frame decoded; `consumed` bytes eaten
+    kNeedMore,  ///< prefix of a valid frame; read more bytes
+    kError,     ///< malformed; connection cannot be resynchronized
+  };
+  Status status = Status::kNeedMore;
+  Frame frame;
+  std::size_t consumed = 0;
+  io::Diagnostic diag;  ///< set iff status == kError
+};
+
+/// Decodes the first frame of `bytes`.  Strict: wrong magic, nonzero
+/// reserved bytes, and oversize length are kError with a Diagnostic
+/// whose column is the 1-based offset of the offending byte within the
+/// frame.  A short buffer is kNeedMore (consumed == 0).
+[[nodiscard]] DecodeResult decode_frame(std::string_view bytes,
+                                        std::string_view source_name = "<frame>");
+
+// --- Payload primitives -------------------------------------------------
+//
+// Payloads are sequences of these primitives (all little-endian):
+//   u8, u32, u64; f64 (IEEE-754 bits as u64); str (u32 length + bytes).
+
+/// Appends primitives to a payload under construction.
+class PayloadWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  /// Precondition: s.size() <= kMaxPayload (std::length_error otherwise).
+  void put_str(std::string_view s);
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::string take() && { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Reads primitives back, latching the first error: once a read runs
+/// past the end (or a string length is absurd), every later read
+/// returns a zero value and ok() stays false.  Callers decode the whole
+/// payload unconditionally and check complete() once — no per-field
+/// branching, mirroring how the text parsers accumulate into a
+/// Diagnostic.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] double get_f64();
+  [[nodiscard]] std::string_view get_str();
+
+  /// False once any read overran the payload.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// True iff every read succeeded AND the payload was fully consumed —
+  /// trailing bytes are rejected, like trailing garbage in the text
+  /// formats.
+  [[nodiscard]] bool complete() const noexcept {
+    return ok_ && pos_ == bytes_.size();
+  }
+  /// 0-based offset of the next unread byte (error position reporting).
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n) noexcept;
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Error frames -------------------------------------------------------
+
+/// What a kError payload carries: a code plus the same Diagnostic shape
+/// the text parsers emit, so a client can print "file line L, col C:
+/// message" for a bad embedded artifact exactly as the CLI tools do.
+struct ErrorInfo {
+  std::uint16_t code = kErrInternal;
+  io::Diagnostic diag;
+};
+
+[[nodiscard]] Frame make_error_frame(const ErrorInfo& info);
+/// Decodes a kError payload; nullopt-style via the bool in the pair —
+/// a malformed error frame yields {false, default}.
+[[nodiscard]] bool parse_error_frame(const Frame& f, ErrorInfo& out);
+
+}  // namespace lwm::serve

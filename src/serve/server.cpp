@@ -1,0 +1,351 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace lwm::serve {
+
+namespace {
+
+/// Polls `fd` for `events` up to `deadline_ms`, in 500 ms slices so the
+/// caller's stop flag is observed promptly.  Returns +1 ready, 0 timed
+/// out, -1 socket error/stop.
+int poll_sliced(int fd, short events, int deadline_ms,
+                const std::atomic<bool>* stop) {
+  int waited = 0;
+  while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) return -1;
+    const int slice =
+        deadline_ms < 0 ? 500 : std::min(500, deadline_ms - waited);
+    if (deadline_ms >= 0 && slice <= 0) return 0;
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc > 0) {
+      if (p.revents & (POLLERR | POLLNVAL)) return -1;
+      return 1;
+    }
+    waited += slice;
+  }
+}
+
+/// Writes all of `bytes`, polling before each send.  False on timeout,
+/// peer reset, or stop.
+bool write_all(int fd, std::string_view bytes, int timeout_ms,
+               const std::atomic<bool>* stop) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const int ready = poll_sliced(fd, POLLOUT, timeout_ms, stop);
+    if (ready <= 0) return false;
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_frame(int fd, const Frame& f, int timeout_ms,
+                const std::atomic<bool>* stop) {
+  return write_all(fd, encode_frame(f), timeout_ms, stop);
+}
+
+/// Graceful refusal: half-close the write side and drain whatever the
+/// peer already sent before closing.  Closing with unread bytes in the
+/// receive queue would RST the connection and discard the error frame
+/// we just queued — the peer would see a reset instead of the reason.
+void drain_then_close(int fd, int timeout_ms, const std::atomic<bool>* stop) {
+  ::shutdown(fd, SHUT_WR);
+  char sink[4096];
+  while (poll_sliced(fd, POLLIN, timeout_ms, stop) > 0) {
+    const ssize_t n = ::recv(fd, sink, sizeof sink, 0);
+    if (n <= 0) break;
+  }
+  ::close(fd);
+}
+
+bool bind_path_fits(const std::string& path) {
+  sockaddr_un addr{};
+  return path.size() < sizeof addr.sun_path;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), service_(opts_.service) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running_.load(std::memory_order_acquire)) {
+    return fail("server already running");
+  }
+  if (opts_.socket_path.empty()) return fail("socket path is empty");
+  if (!bind_path_fits(opts_.socket_path)) {
+    return fail("socket path too long for sun_path");
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return fail(std::string("socket(): ") + std::strerror(errno));
+  }
+  ::unlink(opts_.socket_path.c_str());  // stale file from a dead daemon
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return fail(std::string("bind(") + opts_.socket_path +
+                "): " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return fail(std::string("listen(): ") + std::strerror(errno));
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the accept thread with shutdown() only; closing (and writing
+  // listen_fd_) must wait until after the join — the accept loop reads
+  // the fd concurrently until then.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (const auto& c : conns_) {
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  for (const auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  ::unlink(opts_.socket_path.c_str());
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      if ((*it)->fd >= 0) ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int ready = poll_sliced(listen_fd_, POLLIN, -1, &stopping_);
+    if (ready <= 0) break;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;  // listener closed (stop) or unrecoverable
+    }
+    std::lock_guard lock(conns_mutex_);
+    reap_finished_locked();
+    if (static_cast<int>(conns_.size()) >= opts_.max_connections) {
+      // Over the connection cap: shed at accept with an error frame so
+      // the client learns why instead of seeing a silent reset.
+      (void)send_frame(fd,
+                       make_error_frame(ErrorInfo{
+                           kErrShed,
+                           {"<serve>", 0, 0, "connection limit reached"}}),
+                       1000, &stopping_);
+      // Short drain cap: this runs on the accept thread, so a peer
+      // that never closes must not stall new connections for long.
+      drain_then_close(fd, 250, &stopping_);
+      LWM_COUNT("serve/conns_shed", 1);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { connection_loop(raw); });
+    conns_.push_back(std::move(conn));
+    LWM_COUNT("serve/conns_accepted", 1);
+  }
+}
+
+void Server::connection_loop(Connection* conn) {
+  const int fd = conn->fd;
+  std::string buffer;
+  char chunk[64 * 1024];
+  bool alive = true;
+  while (alive && !stopping_.load(std::memory_order_acquire)) {
+    // Drain every complete frame already buffered before reading more.
+    while (alive) {
+      const DecodeResult d = decode_frame(buffer, "<socket>");
+      if (d.status == DecodeResult::Status::kNeedMore) break;
+      if (d.status == DecodeResult::Status::kError) {
+        (void)send_frame(fd, make_error_frame(ErrorInfo{kErrBadFrame, d.diag}),
+                         opts_.io_timeout_ms, &stopping_);
+        alive = false;  // framing lost; cannot resynchronize
+        break;
+      }
+      buffer.erase(0, d.consumed);
+      Frame response;
+      const int inflight = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      if (inflight >= opts_.max_in_flight) {
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        LWM_COUNT("serve/reqs_shed", 1);
+        response = make_error_frame(ErrorInfo{
+            kErrShed, {"<serve>", 0, 0, "in-flight request limit reached"}});
+      } else {
+        response = service_.handle(d.frame);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (!send_frame(fd, response, opts_.io_timeout_ms, &stopping_)) {
+        alive = false;
+      }
+    }
+    if (!alive) break;
+
+    const int ready = poll_sliced(fd, POLLIN, opts_.io_timeout_ms, &stopping_);
+    if (ready < 0) break;
+    if (ready == 0) {
+      if (!buffer.empty()) {
+        // Stalled mid-frame: tell the peer before hanging up.
+        (void)send_frame(
+            fd,
+            make_error_frame(ErrorInfo{
+                kErrTimeout, {"<socket>", 0, 0, "read timed out mid-frame"}}),
+            1000, &stopping_);
+      }
+      break;  // idle past the deadline: close quietly
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      break;  // peer closed or errored
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+// --- Client -------------------------------------------------------------
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client Client::connect(const std::string& socket_path, std::string* error) {
+  Client c;
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    c.close();
+    return std::move(c);
+  };
+  if (!bind_path_fits(socket_path)) {
+    return fail("socket path too long for sun_path");
+  }
+  c.fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (c.fd_ < 0) return fail(std::string("socket(): ") + std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::connect(c.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    return fail(std::string("connect(") + socket_path +
+                "): " + std::strerror(errno));
+  }
+  return c;
+}
+
+std::optional<Frame> Client::call(const Frame& request, int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  if (!write_all(fd_, encode_frame(request), timeout_ms, nullptr)) {
+    close();
+    return std::nullopt;
+  }
+  char chunk[64 * 1024];
+  while (true) {
+    const DecodeResult d = decode_frame(buffer_, "<socket>");
+    if (d.status == DecodeResult::Status::kOk) {
+      buffer_.erase(0, d.consumed);
+      return d.frame;
+    }
+    if (d.status == DecodeResult::Status::kError) {
+      close();
+      return std::nullopt;
+    }
+    const int ready = poll_sliced(fd_, POLLIN, timeout_ms, nullptr);
+    if (ready <= 0) {
+      close();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      close();
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace lwm::serve

@@ -1,0 +1,125 @@
+// server.h — the AF_UNIX frame server wrapping a Service.
+//
+// Transport policy lives here and only here; request semantics live in
+// service.h.  The server is thread-per-connection (connections are
+// long-lived and few; requests within one are sequential), with three
+// protections the ops runbook documents:
+//
+//   * **Bounded in-flight work.**  At most `max_in_flight` requests
+//     execute concurrently across all connections; excess requests are
+//     shed immediately with a kErrShed error frame instead of queueing
+//     without bound.  The connection survives shedding — clients retry.
+//   * **IO timeouts.**  Reads and writes poll with `io_timeout_ms`; a
+//     peer that stalls *mid-frame* gets a kErrTimeout error frame and
+//     the connection is closed.  An idle connection (no partial frame
+//     buffered) is closed quietly after the same deadline.
+//   * **Strict framing.**  A malformed header is answered with a
+//     kErrBadFrame error frame and the connection is closed — after a
+//     framing error the byte stream cannot be resynchronized.
+//
+// stop() is safe from any thread (including a signal-notified main
+// loop): it closes the listener, shuts down every live connection, and
+// joins all threads before returning.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/frame.h"
+#include "serve/service.h"
+
+namespace lwm::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  int max_in_flight = 64;    ///< concurrent request executions before shedding
+  int max_connections = 256; ///< accepted sockets before refusing new ones
+  int io_timeout_ms = 30000; ///< per-poll read/write deadline
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket (unlinking a stale file at the path), starts the
+  /// accept loop, and returns.  On failure returns false with a
+  /// human-readable reason in *error.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Stops accepting, tears down live connections, joins all threads.
+  /// Idempotent.  The socket file is unlinked.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] Service& service() noexcept { return service_; }
+  [[nodiscard]] const ServerOptions& options() const noexcept { return opts_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void connection_loop(Connection* conn);
+  void reap_finished_locked();
+
+  ServerOptions opts_;
+  Service service_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> in_flight_{0};
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+/// Minimal blocking client over the same codec — what `lwm-scan
+/// --socket` and the integration tests speak.  Not thread-safe; one
+/// request in flight at a time (the protocol is request/response per
+/// connection).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a serve socket.  Returns an unconnected Client (check
+  /// connected()) on failure, with the reason in *error if non-null.
+  [[nodiscard]] static Client connect(const std::string& socket_path,
+                                      std::string* error = nullptr);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one frame and blocks for the response.  nullopt on transport
+  /// failure (the connection is closed afterwards); protocol-level
+  /// errors arrive as a kError frame, not nullopt.
+  [[nodiscard]] std::optional<Frame> call(const Frame& request,
+                                          int timeout_ms = 60000);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last decoded frame
+};
+
+}  // namespace lwm::serve

@@ -225,10 +225,19 @@ std::vector<SchedWatermark> embed_local_watermarks(Graph& g,
 std::vector<SchedWatermark> embed_local_watermarks_parallel(
     Graph& g, const crypto::Signature& sig, int count,
     const SchedWmOptions& opts, exec::ThreadPool* pool, int max_attempts) {
+  if (count <= 0) return {};
+  const PlanContext ctx = PlanContext::build(g, opts);
+  return embed_local_watermarks_parallel(g, sig, count, opts, pool, ctx,
+                                         max_attempts);
+}
+
+std::vector<SchedWatermark> embed_local_watermarks_parallel(
+    Graph& g, const crypto::Signature& sig, int count,
+    const SchedWmOptions& opts, exec::ThreadPool* pool, const PlanContext& ctx,
+    int max_attempts) {
   std::vector<SchedWatermark> marks;
   if (count <= 0) return marks;
   LWM_SPAN("wm/embed_parallel");
-  const PlanContext ctx = PlanContext::build(g, opts);
   if (ctx.ops.empty()) {
     throw std::invalid_argument(
         "embed_local_watermarks_parallel: graph has no operations");

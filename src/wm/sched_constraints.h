@@ -150,6 +150,18 @@ struct PlanContext {
     const SchedWmOptions& opts, exec::ThreadPool* pool,
     int max_attempts = 1000);
 
+/// Same embedding against a caller-provided context — the resident-state
+/// entry point (serve::DesignStore keeps one PlanContext per design and
+/// amortizes it across requests).  `ctx` must have been built for a
+/// graph with the same live nodes and NodeIds as `g` (a copy of the
+/// context's graph qualifies) and with options whose `avoid_k_worst`
+/// matches `opts` — everything else in `opts` may vary per call.
+/// Bit-identical to the context-building overload at any thread count.
+[[nodiscard]] std::vector<SchedWatermark> embed_local_watermarks_parallel(
+    cdfg::Graph& g, const crypto::Signature& sig, int count,
+    const SchedWmOptions& opts, exec::ThreadPool* pool,
+    const PlanContext& ctx, int max_attempts = 1000);
+
 /// Embeds local watermarks until at least `target_edges` temporal
 /// constraints are in place (the Table I parameterization: constrain a
 /// fixed fraction of the design's operations).  Stops early when the

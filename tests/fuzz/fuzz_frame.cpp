@@ -1,0 +1,29 @@
+// Fuzz target: the service frame codec *and* the request handler
+// behind it — the service's whole trust boundary in one entry point.
+// Every input is treated as one captured frame (the runbook's
+// replay-a-failing-frame flow uses the same path): decode, then, if it
+// framed, answer it.  The handle() contract is that no byte sequence
+// ever throws or crashes — malformed payloads, hostile embedded
+// artifacts, absurd parameters, and unknown types all come back as
+// kError frames.
+//
+// The static Service keeps a deliberately tiny resident budget so the
+// fuzzer also exercises the eviction path when it happens to construct
+// a valid load-design frame.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "serve/service.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static lwm::serve::Service* service = [] {
+    lwm::serve::ServiceOptions opts;
+    opts.store.max_resident_bytes = std::size_t{1} << 20;
+    return new lwm::serve::Service(opts);
+  }();
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  (void)service->handle_bytes(bytes);
+  return 0;
+}

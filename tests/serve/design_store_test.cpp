@@ -1,0 +1,198 @@
+// DesignStore invariants (DESIGN.md §11): content addressing (same
+// bytes ⇒ same hash ⇒ same shared instance), immutability of resident
+// state, eviction that never invalidates in-flight readers, and the
+// LRU budget that always keeps the just-inserted design.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cdfg/serialize.h"
+#include "dfglib/synth.h"
+#include "sched/schedule_io.h"
+#include "serve/design_store.h"
+
+namespace lwm::serve {
+namespace {
+
+constexpr std::string_view kTinyDesign =
+    "cdfg tiny\n"
+    "node in1 input\n"
+    "node a add\n"
+    "node m mul 3\n"
+    "node out1 output\n"
+    "edge in1 a\n"
+    "edge a m\n"
+    "edge m out1\n";
+
+std::string design_text(int seed, int ops = 120) {
+  dfglib::MegaConfig cfg;
+  cfg.name = "store_" + std::to_string(seed);
+  cfg.operations = ops;
+  cfg.width = 8;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  return cdfg::to_text(dfglib::make_mega_design(cfg));
+}
+
+TEST(ContentHashTest, PinsFnv1a64) {
+  // Standard FNV-1a 64 vectors: the content address must be stable
+  // across processes and platforms forever (ids are client-visible).
+  EXPECT_EQ(content_hash(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(content_hash("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(content_hash("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(DesignStoreTest, SameBytesSameInstance) {
+  DesignStore store;
+  auto a = store.load_design(kTinyDesign);
+  auto b = store.load_design(kTinyDesign);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().get(), b.value().get());  // shared, not re-parsed
+  EXPECT_EQ(a.value()->id, content_hash(kTinyDesign));
+  const DesignStoreStats s = store.stats();
+  EXPECT_EQ(s.designs, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(DesignStoreTest, DifferentBytesDifferentInstance) {
+  DesignStore store;
+  auto a = store.load_design(design_text(1));
+  auto b = store.load_design(design_text(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value()->id, b.value()->id);
+  EXPECT_NE(a.value().get(), b.value().get());
+}
+
+TEST(DesignStoreTest, MalformedTextIsDiagnosedNotStored) {
+  DesignStore store;
+  auto r = store.load_design("cdfg broken\nnode ??", "<suspect>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diag().file, "<suspect>");
+  EXPECT_EQ(store.stats().designs, 0u);
+}
+
+TEST(DesignStoreTest, CyclicPrecedenceIsDiagnosedNotACrash) {
+  // parse_cdfg accepts the edge list; the cycle only surfaces when the
+  // store builds timing state.  That failure must come back as a
+  // Diagnostic, not an escaped exception (the fuzz target relies on it).
+  constexpr std::string_view cyclic =
+      "cdfg cyc\n"
+      "node a add\n"
+      "node b add\n"
+      "edge a b\n"
+      "edge b a\n";
+  DesignStore store;
+  auto r = store.load_design(cyclic, "<cyclic>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diag().file, "<cyclic>");
+  EXPECT_EQ(store.stats().designs, 0u);
+}
+
+TEST(DesignStoreTest, ResidentStateIsBuiltOnce) {
+  DesignStore store;
+  auto r = store.load_design(design_text(3));
+  ASSERT_TRUE(r.ok());
+  const auto& d = *r.value();
+  EXPECT_GT(d.timing.critical_path(), 0);
+  EXPECT_LE(d.timing.critical_path_min(), d.timing.critical_path());
+  EXPECT_FALSE(d.plan.ops.empty());
+}
+
+TEST(DesignStoreTest, SchedulesAreKeyedByDesignAndText) {
+  DesignStore store;
+  auto d = store.load_design(kTinyDesign);
+  ASSERT_TRUE(d.ok());
+  const std::string sched_text =
+      "schedule tiny\nat in1 0\nat a 1\nat m 2\nat out1 5\n";
+  auto s = store.load_schedule(d.value(), sched_text);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value()->id, content_hash(sched_text));
+  EXPECT_EQ(store.find_schedule(d.value()->id, s.value()->id).get(),
+            s.value().get());
+  EXPECT_EQ(store.find_schedule(d.value()->id + 1, s.value()->id), nullptr);
+}
+
+TEST(DesignStoreTest, EvictDropsDesignAndItsSchedules) {
+  DesignStore store;
+  auto d = store.load_design(kTinyDesign);
+  ASSERT_TRUE(d.ok());
+  auto s = store.load_schedule(d.value(),
+                               "schedule tiny\nat in1 0\nat a 1\nat m 2\nat out1 5\n");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(store.evict_design(d.value()->id));
+  EXPECT_EQ(store.find_design(d.value()->id), nullptr);
+  EXPECT_EQ(store.find_schedule(d.value()->id, s.value()->id), nullptr);
+  EXPECT_FALSE(store.evict_design(d.value()->id));  // already gone
+  EXPECT_EQ(store.stats().resident_bytes, 0u);
+}
+
+TEST(DesignStoreTest, EvictionNeverInvalidatesInFlightReaders) {
+  DesignStore store;
+  auto d = store.load_design(design_text(4));
+  ASSERT_TRUE(d.ok());
+  const std::shared_ptr<const StoredDesign> held = d.value();
+  ASSERT_TRUE(store.evict_design(held->id));
+  // The held pointer keeps the design (graph + timing + plan) alive and
+  // fully usable after eviction — the no-use-after-evict guarantee.
+  EXPECT_GT(held->graph.operation_count(), 0u);
+  EXPECT_GT(held->timing.critical_path(), 0);
+  EXPECT_FALSE(held->plan.ops.empty());
+}
+
+TEST(DesignStoreTest, BudgetEvictsLeastRecentlyUsed) {
+  DesignStoreOptions opts;
+  const std::string a = design_text(10), b = design_text(11),
+                    c = design_text(12);
+  opts.max_resident_bytes = a.size() + b.size() + c.size() / 2;
+  DesignStore store(opts);
+  auto ra = store.load_design(a);
+  auto rb = store.load_design(b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  // Touch `a` so `b` is the LRU victim when `c` overflows the budget.
+  EXPECT_NE(store.find_design(ra.value()->id), nullptr);
+  auto rc = store.load_design(c);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_NE(store.find_design(rc.value()->id), nullptr)
+      << "just-inserted design must always stay";
+  EXPECT_EQ(store.find_design(rb.value()->id), nullptr) << "LRU evicted";
+  EXPECT_GE(store.stats().evictions, 1u);
+}
+
+TEST(DesignStoreTest, SingleOverBudgetDesignStaysResident) {
+  DesignStoreOptions opts;
+  opts.max_resident_bytes = 16;  // smaller than any design text
+  DesignStore store(opts);
+  auto r = store.load_design(kTinyDesign);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(store.find_design(r.value()->id), nullptr);
+}
+
+TEST(DesignStoreTest, ConcurrentSameBytesConvergeToOneInstance) {
+  DesignStore store;
+  const std::string text = design_text(20, 200);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const StoredDesign>> seen(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto r = store.load_design(text);
+      ASSERT_TRUE(r.ok());
+      seen[t] = r.value();
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t].get(), seen[0].get());  // first insert won the race
+  }
+  EXPECT_EQ(store.stats().designs, 1u);
+}
+
+}  // namespace
+}  // namespace lwm::serve

@@ -1,0 +1,190 @@
+// Wire-codec tests: frame round-trips, strict header validation with
+// located diagnostics, payload primitive round-trips, and the error
+// frame's own encoding.  docs/service.md's worked byte-level example is
+// pinned here byte for byte.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "serve/frame.h"
+
+namespace lwm::serve {
+namespace {
+
+TEST(FrameTest, RoundTripsEveryRequestType) {
+  for (const MsgType t :
+       {MsgType::kPing, MsgType::kLoadDesign, MsgType::kLoadSchedule,
+        MsgType::kEmbed, MsgType::kDetect, MsgType::kPc, MsgType::kStats,
+        MsgType::kEvict, MsgType::kError}) {
+    const Frame f{t, "payload bytes \x00\x01\xFF"};
+    const std::string wire = encode_frame(f);
+    const DecodeResult d = decode_frame(wire);
+    ASSERT_EQ(d.status, DecodeResult::Status::kOk);
+    EXPECT_EQ(d.frame.type, t);
+    EXPECT_EQ(d.frame.payload, f.payload);
+    EXPECT_EQ(d.consumed, wire.size());
+  }
+}
+
+TEST(FrameTest, WorkedExampleFromTheSpec) {
+  // The exact bytes docs/service.md walks through: a ping request.
+  const std::string wire = encode_frame(Frame{MsgType::kPing, {}});
+  const std::string expected{'L', 'W', 'M', '1', '\x01', 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(wire, expected);
+}
+
+TEST(FrameTest, ShortBufferNeedsMore) {
+  const std::string wire = encode_frame(Frame{MsgType::kPing, "abc"});
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const DecodeResult d = decode_frame(std::string_view(wire).substr(0, n));
+    EXPECT_EQ(d.status, DecodeResult::Status::kNeedMore) << "prefix " << n;
+    EXPECT_EQ(d.consumed, 0u);
+  }
+}
+
+TEST(FrameTest, BadMagicIsLocatedError) {
+  std::string wire = encode_frame(Frame{MsgType::kPing, {}});
+  wire[2] = 'X';
+  const DecodeResult d = decode_frame(wire, "<capture>");
+  ASSERT_EQ(d.status, DecodeResult::Status::kError);
+  EXPECT_EQ(d.diag.file, "<capture>");
+  EXPECT_EQ(d.diag.column, 3);  // 1-based offset of the offending byte
+}
+
+TEST(FrameTest, BadMagicDetectedEvenOnPartialHeader) {
+  // Wrong magic must not hide behind kNeedMore: two bytes suffice.
+  const DecodeResult d = decode_frame(std::string_view("LX", 2));
+  EXPECT_EQ(d.status, DecodeResult::Status::kError);
+}
+
+TEST(FrameTest, NonzeroReservedBytesRejected) {
+  std::string wire = encode_frame(Frame{MsgType::kPing, {}});
+  wire[6] = '\x01';
+  const DecodeResult d = decode_frame(wire);
+  ASSERT_EQ(d.status, DecodeResult::Status::kError);
+  EXPECT_EQ(d.diag.column, 7);
+}
+
+TEST(FrameTest, OversizePayloadLengthRejected) {
+  std::string wire = encode_frame(Frame{MsgType::kPing, {}});
+  const std::uint32_t big = kMaxPayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire[8 + i] = static_cast<char>((big >> (8 * i)) & 0xFF);
+  }
+  const DecodeResult d = decode_frame(wire);
+  ASSERT_EQ(d.status, DecodeResult::Status::kError);
+  EXPECT_EQ(d.diag.column, 9);
+  EXPECT_NE(d.diag.message.find("16 MiB"), std::string::npos);
+}
+
+TEST(FrameTest, UnknownTypeStillDecodes) {
+  // Framing is type-agnostic; semantics reject it later.
+  std::string wire = encode_frame(Frame{MsgType::kPing, {}});
+  wire[4] = '\x40';
+  const DecodeResult d = decode_frame(wire);
+  ASSERT_EQ(d.status, DecodeResult::Status::kOk);
+  EXPECT_FALSE(known_type(0x40));
+  EXPECT_TRUE(known_type(0x01));
+  EXPECT_TRUE(known_type(0x88));
+  EXPECT_TRUE(known_type(0xFF));
+  EXPECT_FALSE(known_type(0x00));
+  EXPECT_FALSE(known_type(0x09));
+  EXPECT_FALSE(known_type(0x89));
+}
+
+TEST(FrameTest, DecodeConsumesExactlyOneFrame) {
+  std::string wire = encode_frame(Frame{MsgType::kPing, "aa"});
+  const std::size_t first = wire.size();
+  wire += encode_frame(Frame{MsgType::kStats, {}});
+  const DecodeResult d = decode_frame(wire);
+  ASSERT_EQ(d.status, DecodeResult::Status::kOk);
+  EXPECT_EQ(d.consumed, first);
+  const DecodeResult d2 = decode_frame(std::string_view(wire).substr(first));
+  ASSERT_EQ(d2.status, DecodeResult::Status::kOk);
+  EXPECT_EQ(d2.frame.type, MsgType::kStats);
+}
+
+TEST(FrameTest, EncodeOversizePayloadIsACallerBug) {
+  Frame f{MsgType::kLoadDesign, {}};
+  f.payload.resize(kMaxPayload + 1);
+  EXPECT_THROW((void)encode_frame(f), std::length_error);
+}
+
+TEST(FrameTest, ResponseTypeSetsHighBit) {
+  EXPECT_EQ(response_type(MsgType::kPing), MsgType::kPong);
+  EXPECT_EQ(response_type(MsgType::kEvict), MsgType::kEvicted);
+}
+
+TEST(PayloadTest, PrimitivesRoundTrip) {
+  PayloadWriter w;
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_f64(-1234.5e-6);
+  w.put_str("hello \x00 world");
+  const std::string bytes = std::move(w).take();
+
+  PayloadReader r(bytes);
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_f64(), -1234.5e-6);
+  EXPECT_EQ(r.get_str(), std::string_view("hello \x00 world"));
+  EXPECT_TRUE(r.complete());
+}
+
+TEST(PayloadTest, TrailingBytesAreNotComplete) {
+  PayloadWriter w;
+  w.put_u8(1);
+  w.put_u8(2);
+  PayloadReader r(w.bytes());
+  (void)r.get_u8();
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.complete());  // one byte unread
+}
+
+TEST(PayloadTest, OverrunLatchesAndZeroes) {
+  PayloadWriter w;
+  w.put_u8(7);
+  PayloadReader r(w.bytes());
+  EXPECT_EQ(r.get_u32(), 0u);  // only 1 byte available
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.get_u64(), 0u);  // latched: everything after is zero
+  EXPECT_EQ(r.get_str(), std::string_view{});
+  EXPECT_FALSE(r.complete());
+}
+
+TEST(PayloadTest, AbsurdStringLengthIsAnError) {
+  PayloadWriter w;
+  w.put_u32(0xFFFFFFFFu);  // claims 4 GiB of string follow
+  PayloadReader r(w.bytes());
+  EXPECT_EQ(r.get_str(), std::string_view{});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ErrorFrameTest, RoundTrips) {
+  const ErrorInfo in{kErrParse,
+                     io::Diagnostic{"<records>", 3, 14, "bad keep ratio"}};
+  const Frame f = make_error_frame(in);
+  EXPECT_EQ(f.type, MsgType::kError);
+  ErrorInfo out;
+  ASSERT_TRUE(parse_error_frame(f, out));
+  EXPECT_EQ(out.code, kErrParse);
+  EXPECT_EQ(out.diag.file, "<records>");
+  EXPECT_EQ(out.diag.line, 3);
+  EXPECT_EQ(out.diag.column, 14);
+  EXPECT_EQ(out.diag.message, "bad keep ratio");
+}
+
+TEST(ErrorFrameTest, RejectsNonErrorAndMalformed) {
+  ErrorInfo out;
+  EXPECT_FALSE(parse_error_frame(Frame{MsgType::kPong, {}}, out));
+  EXPECT_FALSE(parse_error_frame(Frame{MsgType::kError, "xx"}, out));
+  Frame f = make_error_frame(ErrorInfo{kErrShed, {}});
+  f.payload += '\x00';  // trailing byte
+  EXPECT_FALSE(parse_error_frame(f, out));
+}
+
+}  // namespace
+}  // namespace lwm::serve

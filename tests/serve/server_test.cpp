@@ -1,0 +1,330 @@
+// Socket-server integration: real AF_UNIX round-trips through Client,
+// concurrent-client invariance at {1, 2, 8} clients (byte-identical
+// responses), strict framing over the wire, and deterministic shedding.
+// Carries the `tsan` label with the rest of the concurrency suite.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cdfg/serialize.h"
+#include "dfglib/synth.h"
+#include "exec/thread_pool.h"
+#include "serve/server.h"
+
+namespace lwm::serve {
+namespace {
+
+std::string unique_socket_path(const char* tag) {
+  static std::atomic<int> counter{0};
+  return testing::TempDir() + "lwm_" + tag + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+std::string fixture_text() {
+  dfglib::MegaConfig cfg;
+  cfg.name = "srv";
+  cfg.operations = 250;
+  cfg.width = 10;
+  cfg.seed = 11;
+  return cdfg::to_text(dfglib::make_mega_design(cfg));
+}
+
+Frame call_or_die(Client& client, const Frame& request) {
+  auto r = client.call(request);
+  EXPECT_TRUE(r.has_value()) << "transport failure";
+  return r.value_or(Frame{});
+}
+
+struct RunningServer {
+  explicit RunningServer(ServerOptions opts) : server(std::move(opts)) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+  Server server;
+  bool started = false;
+};
+
+TEST(ServerTest, PingOverTheSocket) {
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("ping");
+  RunningServer rs(opts);
+  ASSERT_TRUE(rs.started);
+  Client c = Client::connect(opts.socket_path);
+  ASSERT_TRUE(c.connected());
+  EXPECT_EQ(call_or_die(c, Frame{MsgType::kPing, {}}).type, MsgType::kPong);
+  // The connection supports many sequential requests.
+  EXPECT_EQ(call_or_die(c, Frame{MsgType::kStats, {}}).type,
+            MsgType::kStatsReport);
+}
+
+TEST(ServerTest, StartRejectsOverlongPath) {
+  ServerOptions opts;
+  opts.socket_path = testing::TempDir() + std::string(200, 'x') + ".sock";
+  Server server(opts);
+  std::string error;
+  EXPECT_FALSE(server.start(&error));
+  EXPECT_NE(error.find("too long"), std::string::npos);
+}
+
+TEST(ServerTest, ConcurrentClientInvariance) {
+  exec::ThreadPool pool(4);
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("invariance");
+  opts.service.pool = &pool;
+  RunningServer rs(opts);
+  ASSERT_TRUE(rs.started);
+
+  // One client sets up the resident state and captures the baseline
+  // detect response; N concurrent clients must all get those bytes.
+  Client setup = Client::connect(opts.socket_path);
+  ASSERT_TRUE(setup.connected());
+  PayloadWriter lw;
+  lw.put_str(fixture_text());
+  const Frame loaded =
+      call_or_die(setup, Frame{MsgType::kLoadDesign, std::move(lw).take()});
+  ASSERT_EQ(loaded.type, MsgType::kDesignLoaded);
+  PayloadReader lr(loaded.payload);
+  const std::uint64_t design_id = lr.get_u64();
+
+  PayloadWriter ew;
+  ew.put_u64(design_id);
+  ew.put_str("invariance-key");
+  ew.put_u32(3);
+  ew.put_u32(8);
+  ew.put_u32(3);
+  ew.put_f64(0.25);
+  const Frame embedded =
+      call_or_die(setup, Frame{MsgType::kEmbed, std::move(ew).take()});
+  ASSERT_EQ(embedded.type, MsgType::kEmbedded);
+  PayloadReader er(embedded.payload);
+  ASSERT_GT(er.get_u32(), 0u);  // marks
+  (void)er.get_u32();
+  (void)er.get_f64();
+  const std::string records(er.get_str());
+  const std::string sched_text(er.get_str());
+
+  PayloadWriter sw;
+  sw.put_u64(design_id);
+  sw.put_str(sched_text);
+  const Frame sched =
+      call_or_die(setup, Frame{MsgType::kLoadSchedule, std::move(sw).take()});
+  ASSERT_EQ(sched.type, MsgType::kScheduleLoaded);
+  PayloadReader sr(sched.payload);
+  const std::uint64_t sched_id = sr.get_u64();
+
+  PayloadWriter dw;
+  dw.put_u64(design_id);
+  dw.put_u64(sched_id);
+  dw.put_str("invariance-key");
+  dw.put_str(records);
+  const Frame detect_req{MsgType::kDetect, std::move(dw).take()};
+  const Frame baseline = call_or_die(setup, detect_req);
+  ASSERT_EQ(baseline.type, MsgType::kDetected);
+
+  for (const int clients : {1, 2, 8}) {
+    std::vector<Frame> responses(clients);
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (int i = 0; i < clients; ++i) {
+      workers.emplace_back([&, i] {
+        Client c = Client::connect(opts.socket_path);
+        ASSERT_TRUE(c.connected());
+        auto r = c.call(detect_req);
+        ASSERT_TRUE(r.has_value());
+        responses[i] = std::move(*r);
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (int i = 0; i < clients; ++i) {
+      EXPECT_EQ(responses[i].type, baseline.type) << clients << " clients";
+      EXPECT_EQ(responses[i].payload, baseline.payload)
+          << clients << " clients, client " << i;
+    }
+  }
+}
+
+/// Raw-byte socket for the framing tests Client cannot express (it
+/// only ever sends well-formed frames).  Sends arbitrary bytes and
+/// reads whatever comes back until the peer closes or one frame
+/// decodes.
+class RawConn {
+ public:
+  explicit RawConn(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void send_bytes(std::string_view bytes) const {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  /// Reads until one frame decodes or the peer closes.  Also reports
+  /// whether the peer closed the connection after that frame.
+  [[nodiscard]] std::optional<Frame> read_frame(bool* peer_closed = nullptr) {
+    std::string buffer;
+    char chunk[4096];
+    std::optional<Frame> got;
+    while (true) {
+      if (!got) {
+        const DecodeResult d = decode_frame(buffer);
+        if (d.status == DecodeResult::Status::kOk) {
+          got = d.frame;
+          buffer.erase(0, d.consumed);
+          if (peer_closed == nullptr) return got;
+        } else if (d.status == DecodeResult::Status::kError) {
+          return std::nullopt;
+        }
+      }
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (peer_closed != nullptr) *peer_closed = true;
+        return got;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServerRawStreamTest, BadMagicGetsErrorFrameThenClose) {
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("badmagic");
+  RunningServer rs(opts);
+  ASSERT_TRUE(rs.started);
+
+  std::string wire = encode_frame(Frame{MsgType::kPing, {}});
+  wire[0] = 'X';
+  RawConn conn(opts.socket_path);
+  ASSERT_TRUE(conn.connected());
+  conn.send_bytes(wire);
+  bool closed = false;
+  const auto reply = conn.read_frame(&closed);
+  ASSERT_TRUE(reply.has_value());
+  ErrorInfo info;
+  ASSERT_TRUE(parse_error_frame(*reply, info));
+  EXPECT_EQ(info.code, kErrBadFrame);
+  EXPECT_TRUE(closed) << "a framing error is unrecoverable; close";
+}
+
+TEST(ServerRawStreamTest, OversizeHeaderAnsweredWithBadFrame) {
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("oversize");
+  RunningServer rs(opts);
+  ASSERT_TRUE(rs.started);
+
+  std::string wire = encode_frame(Frame{MsgType::kPing, {}});
+  const std::uint32_t big = kMaxPayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire[8 + i] = static_cast<char>((big >> (8 * i)) & 0xFF);
+  }
+  RawConn conn(opts.socket_path);
+  ASSERT_TRUE(conn.connected());
+  conn.send_bytes(wire);
+  const auto reply = conn.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ErrorInfo info;
+  ASSERT_TRUE(parse_error_frame(*reply, info));
+  EXPECT_EQ(info.code, kErrBadFrame);
+}
+
+TEST(ServerRawStreamTest, MidFrameStallTimesOut) {
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("stall");
+  opts.io_timeout_ms = 600;  // short deadline so the test stays fast
+  RunningServer rs(opts);
+  ASSERT_TRUE(rs.started);
+
+  const std::string wire = encode_frame(Frame{MsgType::kPing, {}});
+  RawConn conn(opts.socket_path);
+  ASSERT_TRUE(conn.connected());
+  conn.send_bytes(std::string_view(wire).substr(0, 6));  // half a header
+  const auto reply = conn.read_frame();  // blocks until server times out
+  ASSERT_TRUE(reply.has_value());
+  ErrorInfo info;
+  ASSERT_TRUE(parse_error_frame(*reply, info));
+  EXPECT_EQ(info.code, kErrTimeout);
+}
+
+TEST(ServerTest, SheddingKeepsTheConnectionAlive) {
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("shed");
+  opts.max_in_flight = 0;  // every request sheds, deterministically
+  RunningServer rs(opts);
+  ASSERT_TRUE(rs.started);
+  Client c = Client::connect(opts.socket_path);
+  ASSERT_TRUE(c.connected());
+  for (int i = 0; i < 3; ++i) {
+    const Frame r = call_or_die(c, Frame{MsgType::kPing, {}});
+    ErrorInfo info;
+    ASSERT_TRUE(parse_error_frame(r, info)) << "request " << i;
+    EXPECT_EQ(info.code, kErrShed);
+  }
+}
+
+TEST(ServerTest, ConnectionCapShedsAtAccept) {
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("conncap");
+  opts.max_connections = 1;
+  RunningServer rs(opts);
+  ASSERT_TRUE(rs.started);
+  Client first = Client::connect(opts.socket_path);
+  ASSERT_TRUE(first.connected());
+  EXPECT_EQ(call_or_die(first, Frame{MsgType::kPing, {}}).type, MsgType::kPong);
+
+  Client second = Client::connect(opts.socket_path);
+  ASSERT_TRUE(second.connected());  // connect() succeeds; accept sheds
+  auto r = second.call(Frame{MsgType::kPing, {}});
+  ASSERT_TRUE(r.has_value());
+  ErrorInfo info;
+  ASSERT_TRUE(parse_error_frame(*r, info));
+  EXPECT_EQ(info.code, kErrShed);
+}
+
+TEST(ServerTest, StopIsIdempotentAndJoinsClients) {
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("stop");
+  auto rs = std::make_unique<RunningServer>(opts);
+  ASSERT_TRUE(rs->started);
+  Client c = Client::connect(opts.socket_path);
+  ASSERT_TRUE(c.connected());
+  EXPECT_EQ(call_or_die(c, Frame{MsgType::kPing, {}}).type, MsgType::kPong);
+  rs->server.stop();
+  rs->server.stop();  // idempotent
+  EXPECT_FALSE(rs->server.running());
+  rs.reset();  // destructor after stop is clean
+  // The socket file is unlinked on stop.
+  EXPECT_NE(Client::connect(opts.socket_path).connected(), true);
+}
+
+}  // namespace
+}  // namespace lwm::serve

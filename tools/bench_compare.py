@@ -23,6 +23,11 @@ tag both files must agree on:
       embed_ops_per_s_<tag> / detect_ops_per_s_<tag> keys and
       stream_parse_mb_per_s when both artifacts carry them (a --smoke
       artifact stops at 10k, so the 100k/1m keys are optional).
+  serve: resident_detect_per_s / cold_detect_per_s (service request
+      throughput with the design resident vs re-loaded per request) and
+      detect_speedup (their ratio), plus the per-size *_1k / *_100k
+      keys when both artifacts carry them (a --smoke artifact stops
+      at 1k).
 
 Intended use: run the bench on the pre-change and post-change trees,
 then diff the artifacts —
@@ -61,6 +66,17 @@ SCHEMAS = {
                      "embed_ops_per_s_10k", "detect_ops_per_s_10k",
                      "embed_ops_per_s_100k", "detect_ops_per_s_100k",
                      "embed_ops_per_s_1m", "detect_ops_per_s_1m"],
+    },
+    "serve": {
+        "required": ["resident_detect_per_s", "cold_detect_per_s",
+                     "detect_speedup"],
+        "optional": ["resident_embed_per_s", "cold_embed_per_s",
+                     "resident_detect_per_s_1k", "cold_detect_per_s_1k",
+                     "detect_speedup_1k",
+                     "resident_embed_per_s_1k", "cold_embed_per_s_1k",
+                     "resident_detect_per_s_100k", "cold_detect_per_s_100k",
+                     "detect_speedup_100k",
+                     "resident_embed_per_s_100k", "cold_embed_per_s_100k"],
     },
 }
 

@@ -1,0 +1,514 @@
+// lwm_scan — bulk watermark scan over a directory of suspect designs.
+//
+//   lwm-scan <dir> --key KEY [--records FILE] [--threads N]
+//            [--socket PATH] [--json PATH]
+//   lwm-scan --make-corpus <dir> --designs N --key KEY
+//            [--ops N] [--marks N] [--seed S] [--threads N]
+//
+// Scan mode: every `<stem>.cdfg` in the directory is loaded, paired
+// with `<stem>.sched` (or a locally computed ASAP schedule when the
+// file is absent) and `<stem>.lwm` records (or the global `--records`
+// archive), and run through the batched detector.  Files are sharded
+// across the `lwm::exec` pool; results are merged in file order, so the
+// report is bit-identical at any thread count.  Exit status 0 iff every
+// record of every design was detected.
+//
+// Every request — in-process by default, or against a running
+// `lwm-serve` daemon with `--socket` — is encoded and decoded through
+// the serve codec (src/serve/frame.h), so the wire format has exactly
+// one implementation.
+//
+// Corpus mode (`--make-corpus`) generates a deterministic scan corpus
+// by driving the same protocol: per design, a synthetic CDFG is loaded
+// and an embed request returns the records and the marked ASAP
+// schedule, which are written alongside the design text.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdfg/analysis.h"
+#include "cdfg/serialize.h"
+#include "dfglib/synth.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "io/source.h"
+#include "io/text.h"
+#include "sched/schedule.h"
+#include "sched/schedule_io.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace fs = std::filesystem;
+using lwm::serve::Frame;
+using lwm::serve::MsgType;
+using lwm::serve::PayloadReader;
+using lwm::serve::PayloadWriter;
+
+namespace {
+
+// --- Request builders (the protocol examples in docs/service.md) -------
+
+Frame make_load_design(std::string_view text) {
+  PayloadWriter w;
+  w.put_str(text);
+  return Frame{MsgType::kLoadDesign, std::move(w).take()};
+}
+
+Frame make_load_schedule(std::uint64_t design_id, std::string_view text) {
+  PayloadWriter w;
+  w.put_u64(design_id);
+  w.put_str(text);
+  return Frame{MsgType::kLoadSchedule, std::move(w).take()};
+}
+
+Frame make_detect(std::uint64_t design_id, std::uint64_t sched_id,
+                  std::string_view key, std::string_view records) {
+  PayloadWriter w;
+  w.put_u64(design_id);
+  w.put_u64(sched_id);
+  w.put_str(key);
+  w.put_str(records);
+  return Frame{MsgType::kDetect, std::move(w).take()};
+}
+
+Frame make_embed(std::uint64_t design_id, std::string_view key,
+                 std::uint32_t marks, std::uint32_t tau, std::uint32_t k,
+                 double epsilon) {
+  PayloadWriter w;
+  w.put_u64(design_id);
+  w.put_str(key);
+  w.put_u32(marks);
+  w.put_u32(tau);
+  w.put_u32(k);
+  w.put_f64(epsilon);
+  return Frame{MsgType::kEmbed, std::move(w).take()};
+}
+
+// --- Transport: in-process Service or a lwm-serve daemon ----------------
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// nullopt on transport failure; protocol errors arrive as kError.
+  [[nodiscard]] virtual std::optional<Frame> call(const Frame& request) = 0;
+};
+
+class InProcessEndpoint final : public Endpoint {
+ public:
+  explicit InProcessEndpoint(lwm::serve::Service& service)
+      : service_(service) {}
+  std::optional<Frame> call(const Frame& request) override {
+    return service_.handle(request);
+  }
+
+ private:
+  lwm::serve::Service& service_;
+};
+
+class SocketEndpoint final : public Endpoint {
+ public:
+  explicit SocketEndpoint(lwm::serve::Client client)
+      : client_(std::move(client)) {}
+  std::optional<Frame> call(const Frame& request) override {
+    return client_.call(request);
+  }
+
+ private:
+  lwm::serve::Client client_;
+};
+
+// --- Scan ---------------------------------------------------------------
+
+struct ScanResult {
+  std::string stem;
+  bool ok = false;
+  std::string error;
+  std::uint32_t records = 0;
+  std::uint32_t detected = 0;
+  std::uint32_t roots_scanned = 0;
+};
+
+std::string describe_error(const Frame& f) {
+  lwm::serve::ErrorInfo info;
+  if (lwm::serve::parse_error_frame(f, info)) {
+    return "error " + std::to_string(info.code) + ": " +
+           info.diag.to_string();
+  }
+  return "unexpected response type";
+}
+
+ScanResult scan_one(Endpoint& ep, const fs::path& cdfg_path,
+                    const std::string& key, const std::string& global_records) {
+  ScanResult res;
+  res.stem = cdfg_path.stem().string();
+  const auto fail = [&](std::string why) {
+    res.error = std::move(why);
+    return res;
+  };
+
+  const auto design_text = lwm::io::read_file(cdfg_path.string());
+  if (!design_text.ok()) return fail(design_text.diag().to_string());
+
+  auto loaded = ep.call(make_load_design(design_text.value()));
+  if (!loaded) return fail("transport failure on load-design");
+  if (loaded->type != MsgType::kDesignLoaded) return fail(describe_error(*loaded));
+  PayloadReader lr(loaded->payload);
+  const std::uint64_t design_id = lr.get_u64();
+  (void)lr.get_u32();  // nodes
+  (void)lr.get_u32();  // ops
+  (void)lr.get_u32();  // critical_path
+  (void)lr.get_u32();  // critical_path_min
+  (void)lr.get_u8();   // already_resident
+  if (!lr.complete()) return fail("malformed load-design response");
+
+  // Suspect schedule: the sibling .sched file, or an ASAP schedule of
+  // the design itself when none was recovered.
+  std::string sched_text;
+  const fs::path sched_path = fs::path(cdfg_path).replace_extension(".sched");
+  if (fs::exists(sched_path)) {
+    const auto t = lwm::io::read_file(sched_path.string());
+    if (!t.ok()) return fail(t.diag().to_string());
+    sched_text = t.value();
+  } else {
+    auto parsed = lwm::cdfg::parse_cdfg(design_text.value(),
+                                        cdfg_path.filename().string());
+    if (!parsed.ok()) return fail(parsed.diag().to_string());
+    const lwm::cdfg::Graph g = std::move(parsed).value();
+    const lwm::cdfg::TimingInfo t =
+        lwm::cdfg::compute_timing(g, -1, lwm::cdfg::EdgeFilter::all());
+    lwm::sched::Schedule s(g);
+    for (const lwm::cdfg::NodeId n : g.nodes()) s.set_start(n, t.asap[n.value]);
+    sched_text = lwm::sched::schedule_to_text(g, s);
+  }
+
+  auto sched_loaded = ep.call(make_load_schedule(design_id, sched_text));
+  if (!sched_loaded) return fail("transport failure on load-schedule");
+  if (sched_loaded->type != MsgType::kScheduleLoaded) {
+    return fail(describe_error(*sched_loaded));
+  }
+  PayloadReader sr(sched_loaded->payload);
+  const std::uint64_t sched_id = sr.get_u64();
+  (void)sr.get_u32();  // schedule length
+  if (!sr.complete()) return fail("malformed load-schedule response");
+
+  // Records: the sibling .lwm archive, or the shared --records file.
+  std::string records_text = global_records;
+  const fs::path records_path = fs::path(cdfg_path).replace_extension(".lwm");
+  if (fs::exists(records_path)) {
+    const auto t = lwm::io::read_file(records_path.string());
+    if (!t.ok()) return fail(t.diag().to_string());
+    records_text = t.value();
+  }
+  if (records_text.empty()) {
+    return fail("no records: neither " + records_path.filename().string() +
+                " nor --records given");
+  }
+
+  auto detected = ep.call(make_detect(design_id, sched_id, key, records_text));
+  if (!detected) return fail("transport failure on detect");
+  if (detected->type != MsgType::kDetected) return fail(describe_error(*detected));
+  PayloadReader dr(detected->payload);
+  res.records = dr.get_u32();
+  for (std::uint32_t i = 0; i < res.records && dr.ok(); ++i) {
+    res.detected += dr.get_u8();
+    (void)dr.get_u32();  // hit count
+    (void)dr.get_u32();  // best root
+  }
+  res.roots_scanned = dr.get_u32();
+  if (!dr.complete()) return fail("malformed detect response");
+  res.ok = true;
+  return res;
+}
+
+// --- Corpus generation --------------------------------------------------
+
+int make_corpus(const std::string& dir, int designs, const std::string& key,
+                int ops, int marks, std::uint64_t seed,
+                lwm::serve::Service& service) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  InProcessEndpoint ep(service);
+  for (int i = 0; i < designs; ++i) {
+    lwm::dfglib::MegaConfig cfg;
+    char name[32];
+    std::snprintf(name, sizeof name, "scan_%03d", i);
+    cfg.name = name;
+    cfg.shape = lwm::dfglib::MegaShape::kLayeredDeep;
+    cfg.operations = ops;
+    cfg.width = 16;
+    cfg.seed = seed + static_cast<std::uint64_t>(i);
+    const std::string text =
+        lwm::cdfg::to_text(lwm::dfglib::make_mega_design(cfg));
+
+    auto loaded = ep.call(make_load_design(text));
+    if (!loaded || loaded->type != MsgType::kDesignLoaded) {
+      std::fprintf(stderr, "lwm-scan: load failed for %s: %s\n", name,
+                   loaded ? describe_error(*loaded).c_str() : "transport");
+      return 1;
+    }
+    PayloadReader lr(loaded->payload);
+    const std::uint64_t design_id = lr.get_u64();
+
+    auto embedded = ep.call(make_embed(design_id, key,
+                                       static_cast<std::uint32_t>(marks),
+                                       /*tau=*/8, /*k=*/3, /*epsilon=*/0.25));
+    if (!embedded || embedded->type != MsgType::kEmbedded) {
+      std::fprintf(stderr, "lwm-scan: embed failed for %s: %s\n", name,
+                   embedded ? describe_error(*embedded).c_str() : "transport");
+      return 1;
+    }
+    PayloadReader er(embedded->payload);
+    const std::uint32_t marks_embedded = er.get_u32();
+    (void)er.get_u32();  // edges
+    (void)er.get_f64();  // log10_pc
+    const std::string records(er.get_str());
+    const std::string sched(er.get_str());
+    if (!er.complete() || marks_embedded == 0) {
+      std::fprintf(stderr, "lwm-scan: no marks embedded for %s\n", name);
+      return 1;
+    }
+
+    const fs::path base = fs::path(dir) / name;
+    for (const auto& [ext, content] :
+         {std::pair<const char*, const std::string*>{".cdfg", &text},
+          {".sched", &sched},
+          {".lwm", &records}}) {
+      std::ofstream os(base.string() + ext, std::ios::binary);
+      os << *content;
+      if (!os) {
+        std::fprintf(stderr, "lwm-scan: cannot write %s%s\n",
+                     base.string().c_str(), ext);
+        return 1;
+      }
+    }
+    std::printf("%s: %u marks embedded\n", name, marks_embedded);
+  }
+  return 0;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <dir> --key KEY [--records FILE] [--threads N]\n"
+      "          [--socket PATH] [--json PATH]\n"
+      "       %s --make-corpus <dir> --designs N --key KEY\n"
+      "          [--ops N] [--marks N] [--seed S]\n",
+      argv0, argv0);
+}
+
+std::optional<int> parse_int(const char* s) {
+  if (s == nullptr) return std::nullopt;
+  const auto v = lwm::io::to_int(s);
+  if (!v || *v < 0) return std::nullopt;
+  return *v;
+}
+
+std::string json_escape_min(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string key;
+  std::string records_file;
+  std::string socket_path;
+  std::string json_path;
+  bool corpus_mode = false;
+  int designs = 0;
+  int ops = 400;
+  int marks = 4;
+  std::uint64_t seed = 1;
+  int threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    const auto take_int = [&](const char* flag) -> std::optional<int> {
+      const auto v = parse_int(value);
+      if (!v) std::fprintf(stderr, "lwm-scan: %s needs a non-negative integer\n", flag);
+      ++i;
+      return v;
+    };
+    if (arg == "--key" && value != nullptr) {
+      key = value;
+      ++i;
+    } else if (arg == "--records" && value != nullptr) {
+      records_file = value;
+      ++i;
+    } else if (arg == "--socket" && value != nullptr) {
+      socket_path = value;
+      ++i;
+    } else if (arg == "--json" && value != nullptr) {
+      json_path = value;
+      ++i;
+    } else if (arg == "--make-corpus" && value != nullptr) {
+      corpus_mode = true;
+      dir = value;
+      ++i;
+    } else if (arg == "--designs") {
+      const auto v = take_int("--designs");
+      if (!v) return 2;
+      designs = *v;
+    } else if (arg == "--ops") {
+      const auto v = take_int("--ops");
+      if (!v) return 2;
+      ops = *v;
+    } else if (arg == "--marks") {
+      const auto v = take_int("--marks");
+      if (!v) return 2;
+      marks = *v;
+    } else if (arg == "--seed") {
+      const auto v = take_int("--seed");
+      if (!v) return 2;
+      seed = static_cast<std::uint64_t>(*v);
+    } else if (arg == "--threads") {
+      const auto v = take_int("--threads");
+      if (!v) return 2;
+      threads = *v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && dir.empty()) {
+      dir = arg;
+    } else {
+      std::fprintf(stderr, "lwm-scan: unknown or incomplete argument '%s'\n",
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (dir.empty() || key.empty() || (corpus_mode && designs <= 0)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  const int concurrency =
+      threads > 0 ? threads : lwm::exec::ThreadPool::hardware_concurrency();
+  lwm::exec::ThreadPool pool(concurrency);
+  lwm::serve::ServiceOptions sopts;
+  sopts.pool = &pool;
+  lwm::serve::Service service(sopts);
+
+  if (corpus_mode) {
+    return make_corpus(dir, designs, key, ops, marks, seed, service);
+  }
+
+  std::string global_records;
+  if (!records_file.empty()) {
+    const auto t = lwm::io::read_file(records_file);
+    if (!t.ok()) {
+      std::fprintf(stderr, "lwm-scan: %s\n", t.diag().to_string().c_str());
+      return 1;
+    }
+    global_records = t.value();
+  }
+
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".cdfg") {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "lwm-scan: cannot read directory %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "lwm-scan: no .cdfg files under %s\n", dir.c_str());
+    return 1;
+  }
+
+  // Shard files across the pool.  In-process, every worker drives the
+  // shared Service (handle() is thread-safe); against a daemon, each
+  // file opens its own client connection.  Results land in file-index
+  // slots, so the merged report is identical at any thread count.
+  std::vector<ScanResult> results(files.size());
+  lwm::exec::parallel_for(&pool, files.size(), [&](std::size_t i) {
+    if (socket_path.empty()) {
+      InProcessEndpoint ep(service);
+      results[i] = scan_one(ep, files[i], key, global_records);
+    } else {
+      std::string error;
+      lwm::serve::Client client = lwm::serve::Client::connect(socket_path, &error);
+      if (!client.connected()) {
+        results[i].stem = files[i].stem().string();
+        results[i].error = error;
+        return;
+      }
+      SocketEndpoint ep(std::move(client));
+      results[i] = scan_one(ep, files[i], key, global_records);
+    }
+  });
+
+  std::uint64_t total_records = 0;
+  std::uint64_t total_detected = 0;
+  bool all_ok = true;
+  for (const ScanResult& r : results) {
+    if (!r.ok) {
+      std::printf("%s: FAILED (%s)\n", r.stem.c_str(), r.error.c_str());
+      all_ok = false;
+      continue;
+    }
+    total_records += r.records;
+    total_detected += r.detected;
+    const bool hit = r.records > 0 && r.detected == r.records;
+    if (!hit) all_ok = false;
+    std::printf("%s: %u/%u records detected (%u roots scanned)%s\n",
+                r.stem.c_str(), r.detected, r.records, r.roots_scanned,
+                hit ? "" : "  <-- MISS");
+  }
+
+  // One stats request on the way out — the live metrics endpoint.
+  std::string stats_json = "{}";
+  {
+    std::unique_ptr<Endpoint> ep;
+    if (socket_path.empty()) {
+      ep = std::make_unique<InProcessEndpoint>(service);
+    } else {
+      lwm::serve::Client client = lwm::serve::Client::connect(socket_path);
+      if (client.connected()) {
+        ep = std::make_unique<SocketEndpoint>(std::move(client));
+      }
+    }
+    if (ep) {
+      const auto stats = ep->call(Frame{MsgType::kStats, {}});
+      if (stats && stats->type == MsgType::kStatsReport) {
+        PayloadReader r(stats->payload);
+        stats_json = std::string(r.get_str());
+      }
+    }
+  }
+
+  std::printf("scanned %zu designs: %llu/%llu records detected (%s)\n",
+              files.size(), static_cast<unsigned long long>(total_detected),
+              static_cast<unsigned long long>(total_records),
+              all_ok ? "ok" : "FAILED");
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::binary);
+    os << "{\"tool\":\"lwm-scan\",\"dir\":\"" << json_escape_min(dir)
+       << "\",\"threads\":" << concurrency << ",\"files\":" << files.size()
+       << ",\"records\":" << total_records
+       << ",\"detected\":" << total_detected
+       << ",\"ok\":" << (all_ok ? "true" : "false")
+       << ",\"stats\":" << stats_json << "}\n";
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+// lwm_serve — the long-running watermark service daemon.
+//
+//   lwm-serve --socket /tmp/lwm.sock [--threads N] [--max-resident-mb N]
+//             [--max-inflight N] [--max-connections N] [--io-timeout-ms N]
+//
+// Binds an AF_UNIX socket and answers the binary frame protocol
+// specified in docs/service.md (requests: ping, load-design,
+// load-schedule, embed, detect, pc, stats, evict).  SIGINT/SIGTERM
+// drain and stop the server; the final store statistics are printed on
+// exit.  Operational guidance (capacity knobs, the stats endpoint,
+// replaying captured frames) lives in the docs/service.md runbook.
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include <unistd.h>
+
+#include "exec/thread_pool.h"
+#include "io/text.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [--threads N] [--max-resident-mb N]\n"
+      "          [--max-inflight N] [--max-connections N] [--io-timeout-ms N]\n"
+      "Serves the lwm binary frame protocol (docs/service.md) on an\n"
+      "AF_UNIX socket until SIGINT/SIGTERM.\n",
+      argv0);
+}
+
+/// Strict positive-int flag value (the same io::to_int the bench CLI
+/// uses — trailing garbage and out-of-range reject).
+std::optional<int> parse_int(const char* s) {
+  if (s == nullptr) return std::nullopt;
+  const auto v = lwm::io::to_int(s);
+  if (!v || *v < 0) return std::nullopt;
+  return *v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int threads = 0;  // 0 = hardware concurrency
+  lwm::serve::ServerOptions opts;
+  std::size_t max_resident_mb = 256;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    const auto take_int = [&](const char* flag) -> std::optional<int> {
+      const auto v = parse_int(value);
+      if (!v) {
+        std::fprintf(stderr, "lwm-serve: %s needs a non-negative integer\n",
+                     flag);
+      }
+      ++i;
+      return v;
+    };
+    if (arg == "--socket" && value != nullptr) {
+      socket_path = value;
+      ++i;
+    } else if (arg == "--threads") {
+      const auto v = take_int("--threads");
+      if (!v) return 2;
+      threads = *v;
+    } else if (arg == "--max-resident-mb") {
+      const auto v = take_int("--max-resident-mb");
+      if (!v) return 2;
+      max_resident_mb = static_cast<std::size_t>(*v);
+    } else if (arg == "--max-inflight") {
+      const auto v = take_int("--max-inflight");
+      if (!v) return 2;
+      opts.max_in_flight = *v;
+    } else if (arg == "--max-connections") {
+      const auto v = take_int("--max-connections");
+      if (!v) return 2;
+      opts.max_connections = *v;
+    } else if (arg == "--io-timeout-ms") {
+      const auto v = take_int("--io-timeout-ms");
+      if (!v) return 2;
+      opts.io_timeout_ms = *v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "lwm-serve: unknown or incomplete argument '%s'\n",
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  const int concurrency =
+      threads > 0 ? threads : lwm::exec::ThreadPool::hardware_concurrency();
+  lwm::exec::ThreadPool pool(concurrency);
+  opts.socket_path = socket_path;
+  opts.service.pool = &pool;
+  opts.service.store.max_resident_bytes = max_resident_mb << 20;
+
+  lwm::serve::Server server(opts);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "lwm-serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::fprintf(stderr,
+               "lwm-serve: listening on %s (threads=%d, max-inflight=%d, "
+               "max-resident-mb=%zu)\n",
+               socket_path.c_str(), concurrency, opts.max_in_flight,
+               max_resident_mb);
+
+  while (g_stop == 0 && server.running()) {
+    ::usleep(200 * 1000);
+  }
+  server.stop();
+
+  const lwm::serve::DesignStoreStats s = server.service().store().stats();
+  std::fprintf(stderr,
+               "lwm-serve: stopped; designs=%zu schedules=%zu "
+               "resident_bytes=%zu hits=%llu misses=%llu evictions=%llu\n",
+               s.designs, s.schedules, s.resident_bytes,
+               static_cast<unsigned long long>(s.hits),
+               static_cast<unsigned long long>(s.misses),
+               static_cast<unsigned long long>(s.evictions));
+  return 0;
+}
