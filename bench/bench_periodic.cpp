@@ -1,0 +1,164 @@
+// bench_periodic — periodic (modulo) scheduling of marked graphs.
+//
+// Closes each dfglib kernel (plus the small MediaBench apps outside
+// --smoke) into a marked graph with a whole-critical-path feedback edge
+// at a few token counts, then drives the II search through the unified
+// backend API (sched::schedule_with("modulo", ...)) twice per design:
+//   * unlimited resources — MinII = RecMII, and the search must close
+//     there, so `minii_hit_rate` is a correctness headline (1.0) as
+//     well as a perf guard;
+//   * a tight 2-mul/2-alu bag — the resource-constrained II climb that
+//     lwm-serve pays when embedding into marked designs.
+// Each schedule is re-checked with verify_periodic_schedule, timed
+// separately.  The JSON artifact carries the throughput keys
+// tools/bench_compare.py gates on under the "periodic" tag:
+// modulo_per_s, res_modulo_per_s, verify_per_s, and minii_hit_rate.
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_io.h"
+#include "cdfg/analysis.h"
+#include "dfglib/iir4.h"
+#include "dfglib/kernels.h"
+#include "dfglib/mediabench.h"
+#include "sched/backend.h"
+#include "sched/modulo.h"
+#include "sched/resources.h"
+#include "table.h"
+
+using namespace lwm;
+
+namespace {
+
+struct DesignRow {
+  std::string name;
+  std::size_t ops = 0;
+  int tokens = 0;
+  int rec_mii = 0;
+  int ii_unres = 0;
+  int ii_res = 0;
+  double modulo_ms = 0.0;
+  double res_modulo_ms = 0.0;
+  double verify_ms = 0.0;
+};
+
+double time_ms(int reps, const auto& fn) {
+  const bench::Stopwatch sw;
+  for (int r = 0; r < reps; ++r) fn();
+  return sw.elapsed_ms() / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_periodic.json");
+  const bench::Stopwatch wall;
+
+  std::printf("== bench_periodic: modulo scheduling of marked graphs ==\n");
+  std::printf("threads: %d%s\n\n", args.threads, args.smoke ? " (smoke)" : "");
+
+  // (name, skeleton, tokens on the closing feedback edge)
+  std::vector<std::pair<std::string, cdfg::Graph>> skeletons;
+  skeletons.emplace_back("iir4", dfglib::iir4_parallel());
+  skeletons.emplace_back("fir16", dfglib::make_fir(16));
+  if (!args.smoke) {
+    skeletons.emplace_back("fir64", dfglib::make_fir(64));
+    skeletons.emplace_back("fft16", dfglib::make_fft(16));
+    skeletons.emplace_back("biquad8", dfglib::make_biquad_cascade(8));
+    for (const auto& app : dfglib::mediabench_table()) {
+      if (app.operations <= 600) {
+        skeletons.emplace_back(app.name, dfglib::make_mediabench_app(app));
+      }
+    }
+  }
+  const std::vector<int> token_counts = args.smoke
+                                            ? std::vector<int>{1, 2}
+                                            : std::vector<int>{1, 2, 4};
+
+  const int reps = args.smoke ? 5 : 25;
+  sched::ResourceSet tight = sched::ResourceSet::unlimited();
+  tight.set_count(cdfg::UnitClass::kMul, 2);
+  tight.set_count(cdfg::UnitClass::kAlu, 2);
+
+  std::vector<DesignRow> rows;
+  double modulo_ms = 0.0, res_modulo_ms = 0.0, verify_ms = 0.0;
+  int minii_hits = 0;
+  for (const auto& [name, skeleton] : skeletons) {
+    for (const int tokens : token_counts) {
+      cdfg::Graph g = skeleton;
+      (void)dfglib::add_feedback(g, tokens);
+
+      DesignRow row;
+      row.name = name;
+      row.ops = g.operation_count();
+      row.tokens = tokens;
+      row.rec_mii = sched::recurrence_min_ii(g);
+
+      sched::BackendRequest unres;
+      sched::BackendResult ru;
+      row.modulo_ms = time_ms(
+          reps, [&] { ru = sched::schedule_with("modulo", g, unres); });
+      row.ii_unres = ru.ii;
+      if (ru.ii == row.rec_mii) ++minii_hits;
+
+      sched::BackendRequest res;
+      res.resources = tight;
+      sched::BackendResult rr;
+      row.res_modulo_ms = time_ms(
+          reps, [&] { rr = sched::schedule_with("modulo", g, res); });
+      row.ii_res = rr.ii;
+
+      row.verify_ms = time_ms(reps, [&] {
+        const sched::ScheduleCheck chk = sched::verify_periodic_schedule(
+            g, rr.schedule, rr.ii, cdfg::EdgeFilter::periodic(), tight);
+        if (!chk.ok) {
+          std::fprintf(stderr, "FATAL: illegal periodic schedule on %s: %s\n",
+                       g.name().c_str(),
+                       chk.errors.empty() ? "?" : chk.errors.front().c_str());
+          std::exit(1);
+        }
+      });
+
+      modulo_ms += row.modulo_ms;
+      res_modulo_ms += row.res_modulo_ms;
+      verify_ms += row.verify_ms;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  bench::Table out({"design", "ops", "tokens", "RecMII", "II", "II(2m2a)",
+                    "sched ms", "res sched ms", "verify ms"});
+  for (const DesignRow& r : rows) {
+    out.add_row({r.name, std::to_string(r.ops), std::to_string(r.tokens),
+                 std::to_string(r.rec_mii), std::to_string(r.ii_unres),
+                 std::to_string(r.ii_res), bench::fmt("%.4f", r.modulo_ms),
+                 bench::fmt("%.4f", r.res_modulo_ms),
+                 bench::fmt("%.4f", r.verify_ms)});
+  }
+  out.print();
+
+  const double hit_rate =
+      rows.empty() ? 0.0
+                   : static_cast<double>(minii_hits) /
+                         static_cast<double>(rows.size());
+  std::printf("\nMinII hit rate (unlimited resources): %.0f%%\n",
+              100.0 * hit_rate);
+
+  const auto per_s = [](double total_ms, std::size_t n) {
+    return total_ms > 0.0 ? 1000.0 * static_cast<double>(n) / total_ms : 0.0;
+  };
+  bench::JsonObject json;
+  json.add("bench", std::string("periodic"));
+  json.add("threads", args.threads);
+  json.add("designs", static_cast<long long>(rows.size()));
+  json.add("modulo_per_s", per_s(modulo_ms, rows.size()));
+  json.add("res_modulo_per_s", per_s(res_modulo_ms, rows.size()));
+  json.add("verify_per_s", per_s(verify_ms, rows.size()));
+  json.add("minii_hit_rate", hit_rate);
+  json.add("wall_ms", wall.elapsed_ms());
+  bench::attach_obs(json, args);
+  json.write(args.json_path);
+  return 0;
+}

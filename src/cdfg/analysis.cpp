@@ -12,7 +12,7 @@ std::vector<NodeId> topo_order(const Graph& g, EdgeFilter filter) {
   std::vector<int> indegree(cap, 0);
   for (NodeId n : g.nodes()) {
     for (EdgeId e : g.fanin(n)) {
-      if (filter.accepts(g.edge(e).kind)) ++indegree[n.value];
+      if (filter.accepts(g.edge(e))) ++indegree[n.value];
     }
   }
   std::deque<NodeId> ready;
@@ -27,15 +27,92 @@ std::vector<NodeId> topo_order(const Graph& g, EdgeFilter filter) {
     order.push_back(n);
     for (EdgeId e : g.fanout(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       if (--indegree[ed.dst.value] == 0) ready.push_back(ed.dst);
     }
   }
   if (order.size() != g.node_count()) {
-    throw std::runtime_error("topo_order: precedence relation is cyclic in '" +
-                             g.name() + "'");
+    // Name a concrete cycle so the offending (back-)edge is identifiable
+    // from logs: a bare "is cyclic" on a 1M-node design is undebuggable.
+    const CycleInfo cycle = find_cycle(g, filter);
+    std::string msg = "topo_order: precedence relation is cyclic in '" +
+                      g.name() + "'";
+    if (cycle.found()) msg += ": " + cycle.describe(g);
+    throw std::runtime_error(msg);
   }
   return order;
+}
+
+std::string CycleInfo::describe(const Graph& g) const {
+  if (nodes.empty()) return "(acyclic)";
+  constexpr std::size_t kMaxNamed = 8;
+  std::string out = "cycle [";
+  const std::size_t shown = std::min(nodes.size(), kMaxNamed);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i != 0) out += " -> ";
+    out += g.node(nodes[i]).name;
+  }
+  if (nodes.size() > kMaxNamed) {
+    out += " -> ... (" + std::to_string(nodes.size() - kMaxNamed) + " more)";
+  }
+  out += " -> " + g.node(nodes.front()).name + "]";
+  return out;
+}
+
+CycleInfo find_cycle(const Graph& g, EdgeFilter filter) {
+  // Iterative DFS with tri-color marking; when a gray node is re-entered
+  // the gray stack from that node onward is the cycle.
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(g.node_capacity(), kWhite);
+  struct Frame {
+    NodeId node;
+    std::size_t next = 0;       // index into fanout(node)
+    EdgeId via;                 // edge that entered this frame
+  };
+  std::vector<Frame> stack;
+  CycleInfo cycle;
+  for (NodeId root : g.nodes()) {
+    if (color[root.value] != kWhite) continue;
+    stack.push_back(Frame{root, 0, EdgeId{}});
+    color[root.value] = kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const std::span<const EdgeId> out = g.fanout(f.node);
+      bool descended = false;
+      while (f.next < out.size()) {
+        const EdgeId e = out[f.next++];
+        const Edge& ed = g.edge(e);
+        if (!filter.accepts(ed)) continue;
+        if (color[ed.dst.value] == kGray) {
+          // Found: unwind the gray stack back to ed.dst's own frame —
+          // the cycle entry itself, not the frame after it (dropping
+          // the entry truncated every reported cycle by one node and
+          // rendered a 2-cycle as a bogus self-loop).
+          std::size_t start = stack.size();
+          while (start > 0 && stack[start - 1].node != ed.dst) --start;
+          for (std::size_t i = start - 1; i < stack.size(); ++i) {
+            cycle.nodes.push_back(stack[i].node);
+            if (i + 1 < stack.size()) cycle.edges.push_back(stack[i + 1].via);
+          }
+          cycle.edges.push_back(e);  // closing edge back to nodes[0]
+          // The closing edge is last and nodes[0] is the cycle entry
+          // (ed.dst) by construction.
+          return cycle;
+        }
+        if (color[ed.dst.value] == kWhite) {
+          color[ed.dst.value] = kGray;
+          stack.push_back(Frame{ed.dst, 0, e});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[f.node.value] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return cycle;
 }
 
 TimingInfo compute_timing(const Graph& g, int latency, EdgeFilter filter) {
@@ -52,7 +129,7 @@ TimingInfo compute_timing(const Graph& g, int latency, EdgeFilter filter) {
     int start = 0;
     for (EdgeId e : g.fanin(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       const NodeId p = ed.src;
       start = std::max(start, t.asap[p.value] + g.node(p).delay);
     }
@@ -76,7 +153,7 @@ TimingInfo compute_timing(const Graph& g, int latency, EdgeFilter filter) {
     int latest = latency - g.node(n).delay;
     for (EdgeId e : g.fanout(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       latest = std::min(latest, t.alap[ed.dst.value] - g.node(n).delay);
     }
     t.alap[n.value] = latest;
@@ -105,7 +182,7 @@ BoundedTimingInfo compute_timing_bounded(const Graph& g, int latency,
     int start = 0;
     for (EdgeId e : g.fanin(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       const NodeId p = ed.src;
       start = std::max(start, t.asap_min[p.value] + g.node(p).delay_min);
     }
@@ -122,7 +199,7 @@ BoundedTimingInfo compute_timing_bounded(const Graph& g, int latency,
     int latest = t.pess.latency - g.node(n).delay_min;
     for (EdgeId e : g.fanout(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       latest = std::min(latest, t.alap_min[ed.dst.value] - g.node(n).delay_min);
     }
     t.alap_min[n.value] = latest;
@@ -152,7 +229,7 @@ std::vector<ConeNode> fanin_cone(const Graph& g, NodeId root, int max_distance,
     if (max_distance >= 0 && dn >= max_distance) continue;
     for (EdgeId e : g.fanin(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       if (dist.emplace(ed.src.value, dn + 1).second) {
         queue.push_back(ed.src);
       }
@@ -194,7 +271,7 @@ std::vector<int> levels_from(const Graph& g, NodeId root, EdgeFilter filter) {
     const NodeId n = *it;
     for (EdgeId e : g.fanout(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       if (level[ed.dst.value] >= 0) {
         level[n.value] = std::max(level[n.value], level[ed.dst.value] + 1);
       }
@@ -214,7 +291,7 @@ bool reaches(const Graph& g, NodeId src, NodeId dst, EdgeFilter filter) {
     queue.pop_front();
     for (EdgeId e : g.fanout(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind) || seen[ed.dst.value]) continue;
+      if (!filter.accepts(ed) || seen[ed.dst.value]) continue;
       if (ed.dst == dst) return true;
       seen[ed.dst.value] = true;
       queue.push_back(ed.dst);

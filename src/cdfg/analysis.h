@@ -18,13 +18,20 @@
 
 namespace lwm::cdfg {
 
-/// Which edge kinds participate in an analysis.  Watermark *selection*
-/// works on the original specification (data + control only), while
-/// scheduling and verification must also honor temporal edges.
+/// Which edges participate in an analysis.  Watermark *selection* works
+/// on the original specification (data + control only), while scheduling
+/// and verification must also honor temporal edges.
+///
+/// Token-carrying edges (marked-graph back-edges, Edge::tokens > 0) are
+/// excluded by default: every DAG analysis in this header sees the
+/// acyclic token-free *skeleton* of a marked graph, which is exactly the
+/// same-iteration precedence relation.  Only periodic-capable consumers
+/// (modulo scheduling, RecMII, periodic timing) opt in via `token`.
 struct EdgeFilter {
   bool data = true;
   bool control = true;
   bool temporal = true;
+  bool token = false;  ///< include loop-carried (tokens > 0) edges
 
   [[nodiscard]] bool accepts(EdgeKind k) const noexcept {
     switch (k) {
@@ -38,16 +45,48 @@ struct EdgeFilter {
     return false;
   }
 
-  /// All edge kinds (the default; used when scheduling a watermarked spec).
-  static constexpr EdgeFilter all() { return {true, true, true}; }
+  /// Kind + token acceptance — the predicate every analysis applies per
+  /// edge.  A token-carrying edge passes only if `token` is set.
+  [[nodiscard]] bool accepts(const Edge& e) const noexcept {
+    return accepts(e.kind) && (e.tokens == 0 || token);
+  }
+
+  /// All edge kinds (the default; used when scheduling a watermarked
+  /// spec).  Token edges excluded: this is the acyclic skeleton.
+  static constexpr EdgeFilter all() { return {true, true, true, false}; }
   /// Original specification only — temporal (watermark) edges ignored.
-  static constexpr EdgeFilter specification() { return {true, true, false}; }
+  static constexpr EdgeFilter specification() { return {true, true, false, false}; }
+  /// Everything including loop-carried edges — the cyclic marked graph
+  /// as the periodic schedulers see it.
+  static constexpr EdgeFilter periodic() { return {true, true, true, true}; }
 };
 
 /// Live nodes in a topological order of the precedence relation restricted
-/// to `filter`.  Throws std::runtime_error if the restriction is cyclic.
+/// to `filter`.  Throws std::runtime_error if the restriction is cyclic;
+/// the message names a concrete cycle (via find_cycle below) so the
+/// offending back-edge is identifiable from logs.
 [[nodiscard]] std::vector<NodeId> topo_order(const Graph& g,
                                              EdgeFilter filter = EdgeFilter::all());
+
+/// A concrete cycle in the precedence relation restricted to `filter`:
+/// `nodes` lists the cycle in edge order (nodes[i] -> nodes[i+1], with a
+/// closing edge nodes.back() -> nodes.front()); `edges` the corresponding
+/// EdgeIds (edges[i] connects nodes[i] to nodes[(i+1) % size]).  Empty
+/// when the restriction is acyclic.
+struct CycleInfo {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+
+  [[nodiscard]] bool found() const noexcept { return !nodes.empty(); }
+
+  /// Human-readable "a -> b -> c -> a" rendering (capped at 8 nodes).
+  [[nodiscard]] std::string describe(const Graph& g) const;
+};
+
+/// Finds one cycle in the restriction of the precedence relation to
+/// `filter`, or an empty CycleInfo when acyclic.  O(V + E) DFS.
+[[nodiscard]] CycleInfo find_cycle(const Graph& g,
+                                   EdgeFilter filter = EdgeFilter::all());
 
 /// ASAP/ALAP windows plus derived quantities.  Vectors are indexed by
 /// NodeId::value; entries for dead ids are -1.

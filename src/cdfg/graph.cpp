@@ -33,15 +33,21 @@ NodeId Graph::add_node(OpKind kind, std::string name, int delay) {
   return id;
 }
 
-EdgeId Graph::add_edge(NodeId src, NodeId dst, EdgeKind kind) {
+EdgeId Graph::add_edge(NodeId src, NodeId dst, EdgeKind kind, int tokens) {
   check_live(src);
   check_live(dst);
-  if (src == dst) {
-    throw std::invalid_argument("Graph::add_edge: self-loop on node '" +
+  if (tokens < 0) {
+    throw std::invalid_argument("Graph::add_edge: negative token count " +
+                                std::to_string(tokens) + " on edge '" +
+                                nodes_[src.value].name + "' -> '" +
+                                nodes_[dst.value].name + "'");
+  }
+  if (src == dst && tokens == 0) {
+    throw std::invalid_argument("Graph::add_edge: token-free self-loop on node '" +
                                 nodes_[src.value].name + "'");
   }
   const EdgeId id{static_cast<std::uint32_t>(edges_.size())};
-  edges_.push_back(Edge{src, dst, kind});
+  edges_.push_back(Edge{src, dst, kind, tokens});
   edge_live_.push_back(true);
   fanout_[src.value].push_back(id);
   fanin_[dst.value].push_back(id);
@@ -92,6 +98,13 @@ void Graph::set_delay_bounds(NodeId n, int dmin, int dmax) {
 bool Graph::has_bounded_delays() const noexcept {
   for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
     if (node_live_[i] && nodes_[i].bounded_delay()) return true;
+  }
+  return false;
+}
+
+bool Graph::has_token_edges() const noexcept {
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    if (edge_live_[i] && edges_[i].carried()) return true;
   }
   return false;
 }

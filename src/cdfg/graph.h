@@ -85,16 +85,29 @@ struct Node {
 };
 
 /// A directed edge between two nodes.
+///
+/// `tokens` is the marked-graph initial-token count (homogeneous SDF):
+/// a value of 0 is an ordinary same-iteration precedence edge, a value
+/// of k > 0 marks a loop-carried dependence whose consumer reads the
+/// producer's value from k iterations earlier.  Under a periodic
+/// schedule with initiation interval II the constraint becomes
+/// start(dst) + k * II >= start(src) + delay(src).  Token-carrying
+/// edges are the only edges allowed to close a cycle.
 struct Edge {
   NodeId src;
   NodeId dst;
   EdgeKind kind = EdgeKind::kData;
+  int tokens = 0;  ///< initial tokens (marked-graph back-edge iff > 0)
+
+  /// True for a loop-carried (inter-iteration) dependence.
+  [[nodiscard]] bool carried() const noexcept { return tokens > 0; }
 };
 
 /// Mutable CDFG.
 ///
 /// Invariants (checked by validate.h):
-///   * the precedence relation over live edges is acyclic;
+///   * the precedence relation over live *token-free* edges is acyclic
+///     (every cycle must pass through at least one edge with tokens > 0);
 ///   * node names are unique;
 ///   * source/sink pseudo-ops have no fan-in / fan-out respectively.
 ///
@@ -115,10 +128,13 @@ class Graph {
   /// generated.  If `delay` is negative the op's default latency is used.
   NodeId add_node(OpKind kind, std::string name = {}, int delay = -1);
 
-  /// Adds a directed edge.  Both endpoints must be live and distinct.
-  /// Duplicate parallel edges are allowed (commutative two-input ops may
-  /// read the same value twice).
-  EdgeId add_edge(NodeId src, NodeId dst, EdgeKind kind = EdgeKind::kData);
+  /// Adds a directed edge.  Both endpoints must be live; they must be
+  /// distinct unless the edge carries tokens (a self-loop models an op
+  /// that consumes its own previous-iteration result).  Duplicate
+  /// parallel edges are allowed (commutative two-input ops may read the
+  /// same value twice).  `tokens` must be non-negative.
+  EdgeId add_edge(NodeId src, NodeId dst, EdgeKind kind = EdgeKind::kData,
+                  int tokens = 0);
 
   /// Tombstones an edge.  Handles to other edges remain valid.
   void remove_edge(EdgeId e);
@@ -141,6 +157,12 @@ class Graph {
   /// (delay_min < delay).  O(node_capacity) scan — callers that need it
   /// repeatedly (TimingCache, GraphSoA) query once at freeze time.
   [[nodiscard]] bool has_bounded_delays() const noexcept;
+
+  /// True if any live edge carries initial tokens (tokens > 0) — i.e.
+  /// the graph is a marked graph with loop-carried dependences and only
+  /// periodic-capable schedulers may run on it unfiltered.  O(edge
+  /// capacity) scan, same caching advice as has_bounded_delays().
+  [[nodiscard]] bool has_token_edges() const noexcept;
 
   /// Removes every temporal edge — the post-synthesis "strip the
   /// watermark constraints from the optimized specification" step.

@@ -55,10 +55,10 @@ GraphSoA::GraphSoA(const Graph& g, EdgeFilter filter) : filter_(filter) {
     cls_[d] = static_cast<std::uint8_t>(cdfg::unit_class(node.kind));
     exec_[d] = cdfg::is_executable(node.kind) ? 1 : 0;
     for (EdgeId e : g.fanin(node_of_[d])) {
-      if (filter.accepts(g.edge(e).kind)) ++in_total;
+      if (filter.accepts(g.edge(e))) ++in_total;
     }
     for (EdgeId e : g.fanout(node_of_[d])) {
-      if (filter.accepts(g.edge(e).kind)) ++out_total;
+      if (filter.accepts(g.edge(e))) ++out_total;
     }
     fanin_off_[d + 1] = static_cast<std::uint32_t>(in_total);
     fanout_off_[d + 1] = static_cast<std::uint32_t>(out_total);
@@ -72,11 +72,11 @@ GraphSoA::GraphSoA(const Graph& g, EdgeFilter filter) : filter_(filter) {
     std::uint32_t in = fanin_off_[d], out = fanout_off_[d];
     for (EdgeId e : g.fanin(node_of_[d])) {
       const Edge& ed = g.edge(e);
-      if (filter.accepts(ed.kind)) fanin_[in++] = dense_of_[ed.src.value];
+      if (filter.accepts(ed)) fanin_[in++] = dense_of_[ed.src.value];
     }
     for (EdgeId e : g.fanout(node_of_[d])) {
       const Edge& ed = g.edge(e);
-      if (filter.accepts(ed.kind)) fanout_[out++] = dense_of_[ed.dst.value];
+      if (filter.accepts(ed)) fanout_[out++] = dense_of_[ed.dst.value];
     }
   }
 }

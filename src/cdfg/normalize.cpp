@@ -11,17 +11,25 @@ int normalize_unit_ops(Graph& g) {
     changed = false;
     for (NodeId n : g.nodes()) {
       if (g.node(n).kind != OpKind::kUnit) continue;
-      // A transparent unit op forwards exactly one data value.
+      // A transparent unit op forwards exactly one data value.  Token-
+      // carrying (loop-carried) edges pin the op in place: collapsing
+      // would have to merge token counts across the bypass, changing
+      // the marking — not worth the ambiguity for a cleanup pass.
       NodeId producer;
       int data_inputs = 0;
+      bool carried = false;
       for (EdgeId e : g.fanin(n)) {
         const Edge& ed = g.edge(e);
+        carried = carried || ed.carried();
         if (ed.kind == EdgeKind::kData) {
           ++data_inputs;
           producer = ed.src;
         }
       }
-      if (data_inputs != 1) continue;
+      for (EdgeId e : g.fanout(n)) {
+        carried = carried || g.edge(e).carried();
+      }
+      if (data_inputs != 1 || carried) continue;
       // Re-feed the consumers, preserving edge kinds.
       std::vector<std::pair<NodeId, EdgeKind>> consumers;
       for (EdgeId e : g.fanout(n)) {

@@ -39,6 +39,22 @@ UnitClass unit_class(OpKind k) noexcept {
   return kOpTable[static_cast<int>(k)].unit;
 }
 
+std::string_view unit_class_name(UnitClass c) noexcept {
+  switch (c) {
+    case UnitClass::kNone:
+      return "none";
+    case UnitClass::kAlu:
+      return "alu";
+    case UnitClass::kMul:
+      return "mul";
+    case UnitClass::kMem:
+      return "mem";
+    case UnitClass::kBranch:
+      return "branch";
+  }
+  return "?";
+}
+
 bool is_executable(OpKind k) noexcept {
   return unit_class(k) != UnitClass::kNone;
 }

@@ -67,6 +67,9 @@ constexpr int functional_id(OpKind k) noexcept { return static_cast<int>(k) + 1;
 /// Functional-unit class required by an operation.
 UnitClass unit_class(OpKind k) noexcept;
 
+/// Human-readable unit-class label ("alu", "mul", ...).
+std::string_view unit_class_name(UnitClass c) noexcept;
+
 /// True for operations that appear as real instructions in a compiled
 /// stream (everything except kInput/kOutput/kConst).
 bool is_executable(OpKind k) noexcept;

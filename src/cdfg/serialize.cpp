@@ -1,5 +1,6 @@
 #include "cdfg/serialize.h"
 
+#include <cctype>
 #include <fstream>
 #include <istream>
 #include <optional>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "cdfg/analysis.h"
 #include "io/source.h"
 #include "io/stream_text.h"
 #include "io/text.h"
@@ -33,6 +35,12 @@ void write_text(const Graph& g, std::ostream& os) {
     os << "edge " << g.node(ed.src).name << " " << g.node(ed.dst).name;
     if (ed.kind != EdgeKind::kData) {
       os << " " << edge_kind_name(ed.kind);
+    }
+    if (ed.tokens > 0) {
+      // Marked-graph back-edge: the token count is the final field (the
+      // kind may be elided for data edges — a bare trailing integer is
+      // unambiguous because no edge kind starts with a digit).
+      os << " " << ed.tokens;
     }
     os << "\n";
   }
@@ -69,6 +77,9 @@ class CdfgLineParser {
   std::string source_;
   Graph g_;
   std::unordered_map<std::string, NodeId> by_name_;
+  /// Source line of every parsed edge, indexed by EdgeId::value — lets
+  /// finish() locate the back-edge that closes an unintended cycle.
+  std::vector<int> edge_lines_;
   bool saw_header_ = false;
 };
 
@@ -152,7 +163,7 @@ std::optional<io::Diagnostic> CdfgLineParser::feed(std::string_view line,
       const auto src = lx.next();
       const auto dst = lx.next();
       if (!src || !dst) {
-        return err(lineno, lx.column(), "edge needs <src> <dst> [kind]");
+        return err(lineno, lx.column(), "edge needs <src> <dst> [kind] [tokens]");
       }
       const auto si = by_name.find(std::string(src->text));
       const auto di = by_name.find(std::string(dst->text));
@@ -162,27 +173,51 @@ std::optional<io::Diagnostic> CdfgLineParser::feed(std::string_view line,
       if (di == by_name.end()) {
         return err(lineno, dst->column, "unknown node '" + std::string(dst->text) + "'");
       }
+      // Optional tail: [kind] [tokens].  A bare integer third field is a
+      // token count on a data edge (no edge kind starts with a digit).
       EdgeKind kind = EdgeKind::kData;
-      if (const auto kind_name = lx.next()) {
-        if (kind_name->text == "data") {
+      int tokens = 0;
+      auto parse_tokens = [&](const io::Token& t)
+          -> std::optional<io::Diagnostic> {
+        const auto v = io::to_int(t.text);
+        if (!v || *v <= 0) {
+          return err(lineno, t.column,
+                     "edge token count must be a positive integer, got '" +
+                         std::string(t.text) + "'");
+        }
+        tokens = *v;
+        return std::nullopt;
+      };
+      if (const auto third = lx.next()) {
+        if (third->text == "data") {
           kind = EdgeKind::kData;
-        } else if (kind_name->text == "control") {
+        } else if (third->text == "control") {
           kind = EdgeKind::kControl;
-        } else if (kind_name->text == "temporal") {
+        } else if (third->text == "temporal") {
           kind = EdgeKind::kTemporal;
+        } else if (!third->text.empty() &&
+                   (std::isdigit(static_cast<unsigned char>(third->text[0])) != 0 ||
+                    third->text[0] == '-' || third->text[0] == '+')) {
+          if (auto d = parse_tokens(*third)) return d;
         } else {
-          return err(lineno, kind_name->column,
-                     "unknown edge kind '" + std::string(kind_name->text) + "'");
+          return err(lineno, third->column,
+                     "unknown edge kind '" + std::string(third->text) + "'");
+        }
+        if (tokens == 0) {
+          if (const auto fourth = lx.next()) {
+            if (auto d = parse_tokens(*fourth)) return d;
+          }
         }
         if (!lx.at_end()) {
-          return err(lineno, lx.column(), "trailing garbage after edge kind");
+          return err(lineno, lx.column(), "trailing garbage after edge tokens");
         }
       }
       try {
-        g.add_edge(si->second, di->second, kind);
+        g.add_edge(si->second, di->second, kind, tokens);
       } catch (const std::invalid_argument& e) {
         return err(lineno, tok->column, e.what());
       }
+      edge_lines_.push_back(lineno);
     } else {
       return err(lineno, tok->column,
                  "unknown directive '" + std::string(tok->text) + "'");
@@ -194,6 +229,25 @@ std::optional<io::Diagnostic> CdfgLineParser::feed(std::string_view line,
 io::ParseResult<Graph> CdfgLineParser::finish() {
   if (!saw_header_) {
     return err(0, 0, "missing 'cdfg <name>' header");
+  }
+  // Reject unintended cycles at the trust boundary: every DAG analysis
+  // downstream assumes the token-free precedence relation is acyclic,
+  // and a hostile or truncated input must fail here with a located
+  // diagnostic, not hang or throw deep inside a scheduler.  Cycles
+  // through token-carrying back-edges are legal marked-graph structure
+  // and pass (EdgeFilter::all() excludes them).
+  const CycleInfo cycle = find_cycle(g_, EdgeFilter::all());
+  if (cycle.found()) {
+    // Blame the cycle edge declared last in the file — the most recently
+    // added constraint is the one that closed the cycle.
+    int line = 0;
+    for (EdgeId e : cycle.edges) {
+      line = std::max(line, edge_lines_[e.value]);
+    }
+    return err(line, 1,
+               "edge closes a token-free cycle: " + cycle.describe(g_) +
+                   " (a loop-carried dependence needs an initial-token "
+                   "count: 'edge <src> <dst> [kind] <tokens>')");
   }
   return std::move(g_);
 }

@@ -30,7 +30,8 @@ Partition extract_partition(const Graph& g, std::span<const NodeId> keep,
     const bool dst_in = keep_set.count(ed.dst) != 0;
     if (ed.kind == EdgeKind::kTemporal && !keep_temporal) continue;
     if (src_in && dst_in) {
-      part.graph.add_edge(part.map.at(ed.src), part.map.at(ed.dst), ed.kind);
+      part.graph.add_edge(part.map.at(ed.src), part.map.at(ed.dst), ed.kind,
+                          ed.tokens);
     } else if (dst_in && ed.kind == EdgeKind::kData) {
       // Severed fan-in: the value now arrives from outside the core.
       const NodeId in = part.graph.add_node(
@@ -57,7 +58,7 @@ NodeMap embed_graph(Graph& host, const Graph& core, const std::string& prefix) {
   }
   for (EdgeId e : core.edges()) {
     const Edge& ed = core.edge(e);
-    host.add_edge(map.at(ed.src), map.at(ed.dst), ed.kind);
+    host.add_edge(map.at(ed.src), map.at(ed.dst), ed.kind, ed.tokens);
   }
   return map;
 }

@@ -49,10 +49,10 @@ TimingCache::TimingCache(const Graph& g, int latency, EdgeFilter filter,
     if (bounded_) delay_min_[v] = g.node(n).delay_min;
     std::uint32_t in = 0, out = 0;
     for (EdgeId e : g.fanin(n)) {
-      if (filter.accepts(g.edge(e).kind)) ++in;
+      if (filter.accepts(g.edge(e))) ++in;
     }
     for (EdgeId e : g.fanout(n)) {
-      if (filter.accepts(g.edge(e).kind)) ++out;
+      if (filter.accepts(g.edge(e))) ++out;
     }
     fanin_off_[v + 1] = in;
     fanout_off_[v + 1] = out;
@@ -71,7 +71,7 @@ TimingCache::TimingCache(const Graph& g, int latency, EdgeFilter filter,
     std::uint32_t in = fanin_off_[v], out = fanout_off_[v];
     for (EdgeId e : g.fanin(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       fanin_node_[in] = ed.src.value;
       fanin_delay_[in] = g.node(ed.src).delay;
       if (bounded_) fanin_delay_min_[in] = g.node(ed.src).delay_min;
@@ -79,7 +79,7 @@ TimingCache::TimingCache(const Graph& g, int latency, EdgeFilter filter,
     }
     for (EdgeId e : g.fanout(n)) {
       const Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       fanout_node_[out++] = ed.dst.value;
     }
   }

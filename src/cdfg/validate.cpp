@@ -10,10 +10,26 @@ namespace lwm::cdfg {
 std::vector<Violation> validate(const Graph& g) {
   std::vector<Violation> out;
 
-  try {
-    (void)topo_order(g, EdgeFilter::all());
-  } catch (const std::runtime_error&) {
-    out.push_back({"precedence relation contains a cycle"});
+  // Token-free cycles are structural corruption; cycles closed by
+  // token-carrying back-edges are legal marked-graph loops.
+  const CycleInfo cycle = find_cycle(g, EdgeFilter::all());
+  if (cycle.found()) {
+    out.push_back({"precedence relation contains a token-free cycle: " +
+                   cycle.describe(g)});
+  }
+  for (EdgeId e : g.edges()) {
+    const Edge& ed = g.edge(e);
+    if (ed.tokens < 0) {
+      out.push_back({"edge '" + g.node(ed.src).name + "' -> '" +
+                     g.node(ed.dst).name + "' has negative token count " +
+                     std::to_string(ed.tokens)});
+    }
+    if (ed.carried() &&
+        (!is_executable(g.node(ed.src).kind) || !is_executable(g.node(ed.dst).kind))) {
+      out.push_back({"token-carrying edge '" + g.node(ed.src).name + "' -> '" +
+                     g.node(ed.dst).name +
+                     "' must connect executable operations"});
+    }
   }
 
   std::unordered_set<std::string> names;

@@ -1,8 +1,10 @@
 #include "dfglib/kernels.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
+#include "cdfg/analysis.h"
 #include "cdfg/builder.h"
 #include "cdfg/validate.h"
 
@@ -134,6 +136,60 @@ Graph make_biquad_cascade(int sections) {
   Graph g = std::move(b).build();
   cdfg::validate_or_throw(g);
   return g;
+}
+
+cdfg::EdgeId add_feedback(cdfg::Graph& g, int tokens) {
+  if (tokens < 1) {
+    throw std::invalid_argument("add_feedback: need tokens >= 1");
+  }
+  const cdfg::TimingInfo t = cdfg::compute_timing(g);
+  // Tail: the latest-finishing executable op (ties to the lowest id) —
+  // its ASAP finish is the critical path length.
+  NodeId tail{};
+  int tail_finish = -1;
+  for (const NodeId n : g.nodes()) {
+    if (!cdfg::is_executable(g.node(n).kind)) continue;
+    const int finish = t.asap[n.value] + g.node(n).delay;
+    if (finish > tail_finish) {
+      tail_finish = finish;
+      tail = n;
+    }
+  }
+  // Head: the executable op with the longest delay-weighted path into
+  // the tail (the first operation of the critical spine), so the cycle
+  // closed below weighs exactly critical_path and RecMII is
+  // ceil(critical_path / tokens).
+  const std::vector<NodeId> topo = cdfg::topo_order(g);
+  std::vector<int> to_tail(g.node_capacity(), -1);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId n = *it;
+    if (n == tail) {
+      to_tail[n.value] = g.node(n).delay;
+      continue;
+    }
+    int best = -1;
+    for (const cdfg::EdgeId e : g.fanout(n)) {
+      const cdfg::Edge& ed = g.edge(e);
+      if (!cdfg::EdgeFilter::all().accepts(ed)) continue;
+      best = std::max(best, to_tail[ed.dst.value]);
+    }
+    if (best >= 0) to_tail[n.value] = g.node(n).delay + best;
+  }
+  NodeId head{};
+  int head_len = -1;
+  for (const NodeId n : g.nodes()) {
+    if (n == tail || !cdfg::is_executable(g.node(n).kind)) continue;
+    if (to_tail[n.value] > head_len) {
+      head_len = to_tail[n.value];
+      head = n;
+    }
+  }
+  if (tail_finish < 0 || head_len < 0) {
+    throw std::invalid_argument(
+        "add_feedback: '" + g.name() +
+        "' needs two executable operations on a common path");
+  }
+  return g.add_edge(tail, head, cdfg::EdgeKind::kData, tokens);
 }
 
 }  // namespace lwm::dfglib

@@ -28,4 +28,16 @@ namespace lwm::dfglib {
 /// Cascade of `sections` direct-form-II biquads; `sections` >= 1.
 [[nodiscard]] cdfg::Graph make_biquad_cascade(int sections);
 
+/// Closes a DAG kernel into a marked graph: adds one loop-carried data
+/// edge with `tokens` initial tokens from the latest-finishing
+/// executable operation (max ASAP finish, ties to the lowest id) back
+/// to the first executable operation of that tail's critical spine (the
+/// op with the longest delay-weighted path into the tail) — the
+/// y[n-tokens] feedback a recursive filter would have.  The closed
+/// cycle weighs exactly the critical path, so RecMII =
+/// ceil(critical_path / tokens).  Returns the new edge's id; throws
+/// std::invalid_argument when the graph has fewer than two executable
+/// operations on a common path or `tokens` < 1.
+cdfg::EdgeId add_feedback(cdfg::Graph& g, int tokens = 1);
+
 }  // namespace lwm::dfglib

@@ -1,0 +1,143 @@
+#include "sched/backend.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "cdfg/analysis.h"
+#include "sched/bnb.h"
+#include "sched/force_directed.h"
+#include "sched/list_sched.h"
+#include "sched/modulo.h"
+
+namespace lwm::sched {
+
+namespace {
+
+BackendResult run_list(const cdfg::Graph& g, const BackendRequest& req) {
+  ListScheduleOptions opts;
+  opts.resources = req.resources;
+  opts.filter = req.filter;
+  opts.pipelined_units = req.pipelined_units;
+  BackendResult r;
+  r.schedule = list_schedule(g, opts);
+  r.latency = r.schedule.length(g);
+  return r;
+}
+
+BackendResult run_fds(const cdfg::Graph& g, const BackendRequest& req) {
+  FdsOptions opts;
+  opts.latency = req.latency;
+  opts.filter = req.filter;
+  opts.pool = req.pool;
+  opts.eps_dg = req.eps_dg;
+  BackendResult r;
+  r.schedule = force_directed_schedule(g, opts);
+  r.latency = r.schedule.length(g);
+  return r;
+}
+
+BackendResult run_bnb(const cdfg::Graph& g, const BackendRequest& req) {
+  BnbOptions opts;
+  opts.resources = req.resources;
+  opts.filter = req.filter;
+  opts.node_limit = req.node_limit;
+  opts.pool = req.pool;
+  const BnbResult b = bnb_min_latency(g, opts);
+  BackendResult r;
+  r.schedule = b.schedule;
+  r.latency = b.latency;
+  r.optimal = b.optimal;
+  return r;
+}
+
+// The counting machinery's witness: the first schedule in the canonical
+// enumeration order.  The enumerator assigns each node the lowest step
+// in its tightened window consistent with already-placed predecessors,
+// which is exactly the ASAP schedule under the latency bound — so the
+// witness is produced in closed form, no search.
+BackendResult run_enumerate(const cdfg::Graph& g, const BackendRequest& req) {
+  const cdfg::TimingInfo t = compute_timing(g, req.latency, req.filter);
+  BackendResult r;
+  r.schedule = Schedule(g);
+  for (cdfg::NodeId n : g.nodes()) {
+    r.schedule.set_start(n, t.asap[n.value]);
+  }
+  r.latency = r.schedule.length(g);
+  r.optimal = true;  // first witness of an exhaustive order is exact
+  return r;
+}
+
+BackendResult run_modulo(const cdfg::Graph& g, const BackendRequest& req) {
+  ModuloOptions opts;
+  opts.resources = req.resources;
+  opts.filter = req.filter;
+  opts.filter.token = true;  // periodic scheduling always sees back-edges
+  opts.pipelined_units = req.pipelined_units;
+  opts.min_ii = req.min_ii;
+  opts.max_ii = req.max_ii;
+  const ModuloResult m = modulo_schedule(g, opts);
+  BackendResult r;
+  r.schedule = m.schedule;
+  r.latency = m.length;
+  r.ii = m.ii;
+  r.optimal = m.achieved_min_ii();
+  return r;
+}
+
+constexpr std::array<Backend, 5> kBackends{{
+    {"list",
+     kCapAcyclic | kCapBoundedDelay | kCapResourceConstrained,
+     &run_list},
+    {"fds",
+     kCapAcyclic | kCapBoundedDelay | kCapTimeConstrained,
+     &run_fds},
+    {"bnb",
+     kCapAcyclic | kCapBoundedDelay | kCapResourceConstrained | kCapExact,
+     &run_bnb},
+    {"enumerate",
+     kCapAcyclic | kCapBoundedDelay | kCapTimeConstrained | kCapExact,
+     &run_enumerate},
+    {"modulo",
+     kCapAcyclic | kCapPeriodic | kCapBoundedDelay | kCapResourceConstrained,
+     &run_modulo},
+}};
+
+}  // namespace
+
+const Backend* find_backend(std::string_view name) noexcept {
+  for (const Backend& b : kBackends) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> backend_names() {
+  std::vector<std::string_view> names;
+  names.reserve(kBackends.size());
+  for (const Backend& b : kBackends) names.push_back(b.name);
+  return names;
+}
+
+BackendResult schedule_with(std::string_view name, const cdfg::Graph& g,
+                            const BackendRequest& req) {
+  const Backend* b = find_backend(name);
+  if (b == nullptr) {
+    std::string known;
+    for (const Backend& k : kBackends) {
+      if (!known.empty()) known += ", ";
+      known += std::string(k.name);
+    }
+    throw std::invalid_argument("schedule_with: unknown backend '" +
+                                std::string(name) + "' (have: " + known + ")");
+  }
+  if (g.has_token_edges() && !b->can(kCapPeriodic)) {
+    throw std::invalid_argument(
+        "schedule_with: '" + std::string(name) + "' is acyclic-only but '" +
+        g.name() +
+        "' is a marked graph with loop-carried token edges — use a "
+        "kCapPeriodic backend (e.g. 'modulo')");
+  }
+  return b->run(g, req);
+}
+
+}  // namespace lwm::sched

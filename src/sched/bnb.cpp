@@ -55,7 +55,7 @@ SearchContext build_context(const Graph& g, cdfg::EdgeFilter filter) {
     }
     for (EdgeId e : g.fanin(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       if (cdfg::is_executable(g.node(ed.src).kind)) {
         preds[n.value].push_back(ed.src);
       } else {

@@ -56,7 +56,7 @@ std::vector<int> separations_from(const Graph& g, NodeId src,
     const int out = sep[n.value] + g.node(n).delay;
     for (EdgeId e : g.fanout(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       sep[ed.dst.value] = std::max(sep[ed.dst.value], out);
     }
     for (const NodeId d : adj.successors[n.value]) {
@@ -72,7 +72,7 @@ std::vector<NodeId> topo_with_extra(const Graph& g, const ExtraAdjacency& adj,
   std::vector<int> indegree(g.node_capacity(), 0);
   for (NodeId n : g.nodes()) {
     for (EdgeId e : g.fanin(n)) {
-      if (filter.accepts(g.edge(e).kind)) ++indegree[n.value];
+      if (filter.accepts(g.edge(e))) ++indegree[n.value];
     }
     indegree[n.value] += static_cast<int>(adj.predecessors[n.value].size());
   }
@@ -91,7 +91,7 @@ std::vector<NodeId> topo_with_extra(const Graph& g, const ExtraAdjacency& adj,
     };
     for (EdgeId e : g.fanout(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (filter.accepts(ed.kind)) relax(ed.dst);
+      if (filter.accepts(ed)) relax(ed.dst);
     }
     for (const NodeId d : adj.successors[n.value]) relax(d);
   }
@@ -250,7 +250,7 @@ EnumerationResult count_schedules(const Graph& g,
     int lo = 0;
     for (EdgeId e : g.fanin(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!opts.filter.accepts(ed.kind)) continue;
+      if (!opts.filter.accepts(ed)) continue;
       lo = std::max(lo, asap[ed.src.value] + g.node(ed.src).delay);
     }
     for (const NodeId p : adj.predecessors[n.value]) {
@@ -276,7 +276,7 @@ EnumerationResult count_schedules(const Graph& g,
     int hi = latency - g.node(n).delay;
     for (EdgeId e : g.fanout(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!opts.filter.accepts(ed.kind)) continue;
+      if (!opts.filter.accepts(ed)) continue;
       hi = std::min(hi, alap[ed.dst.value] - g.node(n).delay);
     }
     for (const NodeId d : adj.successors[n.value]) {

@@ -38,7 +38,7 @@ Windows compute_windows(const Graph& g, const std::vector<NodeId>& order,
     int lo = 0;
     for (EdgeId e : g.fanin(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       lo = std::max(lo, w.lo[ed.src.value] + g.node(ed.src).delay);
     }
     if (pinned[n.value] >= 0) {
@@ -54,7 +54,7 @@ Windows compute_windows(const Graph& g, const std::vector<NodeId>& order,
     int hi = latency - g.node(n).delay;
     for (EdgeId e : g.fanout(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       hi = std::min(hi, w.hi[ed.dst.value] - g.node(n).delay);
     }
     if (pinned[n.value] >= 0) hi = pinned[n.value];
@@ -162,14 +162,14 @@ Schedule force_directed_schedule_reference(const Graph& g,
         double force = self_force(n, t);
         for (EdgeId e : g.fanin(n)) {
           const cdfg::Edge& ed = g.edge(e);
-          if (!opts.filter.accepts(ed.kind)) continue;
+          if (!opts.filter.accepts(ed)) continue;
           const NodeId p = ed.src;
           if (!cdfg::is_executable(g.node(p).kind) || pinned[p.value] >= 0) continue;
           force += clipped_force(p, 0, t - g.node(p).delay);
         }
         for (EdgeId e : g.fanout(n)) {
           const cdfg::Edge& ed = g.edge(e);
-          if (!opts.filter.accepts(ed.kind)) continue;
+          if (!opts.filter.accepts(ed)) continue;
           const NodeId s = ed.dst;
           if (!cdfg::is_executable(g.node(s).kind) || pinned[s.value] >= 0) continue;
           force += clipped_force(s, t + node.delay, latency);

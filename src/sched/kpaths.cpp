@@ -52,6 +52,19 @@ std::vector<CriticalPath> k_worst_paths(const Graph& g, int k,
   std::vector<CriticalPath> out;
   if (g.node_count() == 0) return out;
 
+  // A token-free cycle would make "longest path" unbounded and the
+  // best-first enumeration endless; refuse it up front, in O(V + E),
+  // naming the cycle.  Token-carrying back-edges are fine — the default
+  // filter excludes them, so a marked graph's acyclic skeleton is what
+  // gets enumerated.
+  const cdfg::CycleInfo cycle = cdfg::find_cycle(g, filter);
+  if (cycle.found()) {
+    throw std::invalid_argument(
+        "k_worst_paths: path enumeration is undefined on a cyclic "
+        "precedence relation in '" +
+        g.name() + "': " + cycle.describe(g) +
+        " (annotate loop-carried edges with tokens, or filter them out)");
+  }
   const std::vector<NodeId> topo = cdfg::topo_order(g, filter);
   const std::size_t cap = g.node_capacity();
 
@@ -65,7 +78,7 @@ std::vector<CriticalPath> k_worst_paths(const Graph& g, int k,
     bool sink = true;
     for (EdgeId e : g.fanout(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       sink = false;
       best = std::max(best, tail[ed.dst.value]);
     }
@@ -82,7 +95,7 @@ std::vector<CriticalPath> k_worst_paths(const Graph& g, int k,
   for (NodeId n : topo) {
     bool source = true;
     for (EdgeId e : g.fanin(n)) {
-      if (filter.accepts(g.edge(e).kind)) {
+      if (filter.accepts(g.edge(e))) {
         source = false;
         break;
       }
@@ -127,7 +140,7 @@ std::vector<CriticalPath> k_worst_paths(const Graph& g, int k,
         prefix[static_cast<std::size_t>(f.entry)] + g.node(ent.node).delay;
     for (EdgeId e : g.fanout(ent.node)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       const auto idx = static_cast<std::int32_t>(arena.size());
       arena.push_back(TreeEntry{ed.dst, f.entry});
       prefix.push_back(child_prefix);

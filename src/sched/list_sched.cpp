@@ -25,7 +25,7 @@ Schedule list_schedule(const Graph& g, const ListScheduleOptions& opts) {
   for (NodeId n : g.nodes()) {
     int deps = 0;
     for (EdgeId e : g.fanin(n)) {
-      if (opts.filter.accepts(g.edge(e).kind)) ++deps;
+      if (opts.filter.accepts(g.edge(e))) ++deps;
     }
     pending[n.value] = deps;
   }
@@ -35,7 +35,7 @@ Schedule list_schedule(const Graph& g, const ListScheduleOptions& opts) {
     // Called when n's result is available at `finish_step`.
     for (EdgeId e : g.fanout(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!opts.filter.accepts(ed.kind)) continue;
+      if (!opts.filter.accepts(ed)) continue;
       earliest[ed.dst.value] = std::max(earliest[ed.dst.value], finish_step);
       if (--pending[ed.dst.value] == 0) {
         const cdfg::Node& dnode = g.node(ed.dst);
@@ -121,6 +121,14 @@ Schedule list_schedule(const Graph& g, const ListScheduleOptions& opts) {
           in_use[uci] >= opts.resources.count(uc)) {
         continue;  // class full this step
       }
+      // Occupancy mirrors verify_schedule's model exactly: a pipelined
+      // unit is held for the issue step only (until = step + 1), a
+      // non-pipelined one for the op's full d_max latency (until =
+      // step + delay) — while the *dependence* release below always
+      // waits the full latency, pipelined or not.  One deliberate
+      // asymmetry: a delay-0 op charges this step's in_use slot here
+      // even though the verifier charges an empty interval for it —
+      // conservative in the legal direction (never oversubscribes).
       ++in_use[uci];
       sched.set_start(n, step);
       busy.push_back(Busy{

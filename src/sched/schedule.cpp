@@ -42,7 +42,7 @@ ScheduleCheck verify_schedule(const cdfg::Graph& g, const Schedule& s,
 
   for (cdfg::EdgeId e : g.edges()) {
     const cdfg::Edge& ed = g.edge(e);
-    if (!filter.accepts(ed.kind)) continue;
+    if (!filter.accepts(ed)) continue;
     const cdfg::Node& src = g.node(ed.src);
     const cdfg::Node& dst = g.node(ed.dst);
     if (!cdfg::is_executable(src.kind) || !cdfg::is_executable(dst.kind)) {

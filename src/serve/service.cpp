@@ -10,9 +10,12 @@
 #include "crypto/signature.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "sched/backend.h"
+#include "sched/modulo.h"
 #include "sched/schedule_io.h"
 #include "wm/detector.h"
 #include "wm/pc.h"
+#include "wm/periodic.h"
 #include "wm/records_io.h"
 #include "wm/sched_constraints.h"
 
@@ -226,25 +229,32 @@ Frame Service::handle_embed(const Frame& request) {
     edges += static_cast<std::uint32_t>(m.constraints.size());
     archive.sched.push_back(wm::SchedRecord::from(m, marked));
   }
-  const wm::PcEstimate pc = wm::sched_pc_window_model(marked, marks);
 
-  // The watermarked ASAP schedule: the constraint-honoring schedule a
-  // marked flow would produce, returned so a client can round-trip
-  // straight into detect.  (The marked *graph* is not returned — after
+  // The constraint-honoring witness schedule a marked flow would
+  // produce, returned so a client can round-trip straight into detect.
+  // Dispatched through the backend registry by design shape: a marked
+  // graph (loop-carried token edges) needs the periodic scheduler; an
+  // acyclic design takes the "enumerate" witness, which is the ASAP
+  // schedule in closed form — wire bytes identical to the historical
+  // inline computation.  (The marked *graph* is not returned — after
   // strip_temporal_edges it equals the design the client already has.)
-  const cdfg::TimingInfo t =
-      cdfg::compute_timing(marked, -1, cdfg::EdgeFilter::all());
-  sched::Schedule s(marked);
-  for (const cdfg::NodeId n : marked.nodes()) {
-    s.set_start(n, t.asap[n.value]);
-  }
+  const bool periodic = marked.has_token_edges();
+  const sched::BackendResult br =
+      sched::schedule_with(periodic ? "modulo" : "enumerate", marked);
+
+  // P_c over the schedule space the flow actually drew from: flat
+  // windows for a DAG, modulo-II windows at the achieved interval for a
+  // marked graph.
+  const wm::PcEstimate pc =
+      periodic ? wm::sched_pc_periodic_poisson(marked, marks, br.ii)
+               : wm::sched_pc_window_model(marked, marks);
 
   PayloadWriter w;
   w.put_u32(static_cast<std::uint32_t>(marks.size()));
   w.put_u32(edges);
   w.put_f64(pc.log10_pc);
   w.put_str(wm::to_text(archive));
-  w.put_str(sched::schedule_to_text(marked, s));
+  w.put_str(sched::schedule_to_text(marked, br.schedule));
   return Frame{MsgType::kEmbedded, std::move(w).take()};
 }
 
@@ -306,12 +316,19 @@ Frame Service::handle_pc(const Frame& request) {
                                           design->plan);
 
   // Per-mark size-dispatched estimate (exact psi enumeration on small
-  // designs, Poisson above the threshold); log-probabilities sum.
+  // designs, Poisson above the threshold); log-probabilities sum.  A
+  // marked graph's alternatives are periodic schedules, counted at its
+  // recurrence-minimum II (resources are unconstrained here, so RecMII
+  // is MinII — the interval an unconstrained flow would achieve).
+  wm::SchedPcAutoOptions auto_opts;
+  if (marked.has_token_edges()) {
+    auto_opts.ii = sched::recurrence_min_ii(marked);
+  }
   double log10_pc = 0.0;
   bool exact = !marks.empty();
   bool degenerate = false;
   for (const wm::SchedWatermark& m : marks) {
-    const wm::PcEstimate e = wm::sched_pc_auto(marked, m);
+    const wm::PcEstimate e = wm::sched_pc_auto(marked, m, auto_opts);
     log10_pc += e.log10_pc;
     exact = exact && e.exact;
     degenerate = degenerate || e.degenerate;

@@ -30,7 +30,7 @@ VliwResult vliw_schedule(const Graph& g, const Machine& m,
   for (NodeId n : g.nodes()) {
     int deps = 0;
     for (EdgeId e : g.fanin(n)) {
-      if (filter.accepts(g.edge(e).kind)) ++deps;
+      if (filter.accepts(g.edge(e))) ++deps;
     }
     pending[n.value] = deps;
   }
@@ -38,7 +38,7 @@ VliwResult vliw_schedule(const Graph& g, const Machine& m,
   auto release = [&](NodeId n, int finish, auto&& self) -> void {
     for (EdgeId e : g.fanout(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       earliest[ed.dst.value] = std::max(earliest[ed.dst.value], finish);
       if (--pending[ed.dst.value] == 0) {
         if (cdfg::is_executable(g.node(ed.dst).kind)) {

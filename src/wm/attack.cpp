@@ -74,7 +74,7 @@ PerturbResult perturb_schedule(const Graph& g, const sched::Schedule& s,
     long long hi = kUnboundedStep;
     for (EdgeId e : g.fanin(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       const NodeId p = ed.src;
       if (!result.schedule.is_scheduled(p)) continue;
       lo = std::max(lo, static_cast<long long>(result.schedule.start_of(p)) +
@@ -82,7 +82,7 @@ PerturbResult perturb_schedule(const Graph& g, const sched::Schedule& s,
     }
     for (EdgeId e : g.fanout(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (!filter.accepts(ed.kind)) continue;
+      if (!filter.accepts(ed)) continue;
       const NodeId c = ed.dst;
       if (!result.schedule.is_scheduled(c)) continue;
       hi = std::min(hi, static_cast<long long>(

@@ -25,13 +25,23 @@ struct Features {
   std::vector<long long> cone_phi;  ///< C3: phi(x) for x = 1..tau
 };
 
+/// The edge predicate of the carve: must match the fanin_cone filter
+/// exactly, or a locality would order differently from how it was
+/// discovered.  specification() excludes temporal (watermark) edges and
+/// loop-carried token edges alike — a marked graph carves identically
+/// to its acyclic skeleton, so marks embedded before the feedback edges
+/// were closed stay detectable after.
+bool carve_accepts(const cdfg::Edge& e) {
+  return cdfg::EdgeFilter::specification().accepts(e);
+}
+
 /// In-cone data/control producers of `n`, first-occurrence order.
 std::vector<NodeId> cone_inputs(const Graph& g, NodeId n,
                                 const std::unordered_set<NodeId>& cone) {
   std::vector<NodeId> inputs;
   for (EdgeId e : g.fanin(n)) {
     const cdfg::Edge& ed = g.edge(e);
-    if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
+    if (!carve_accepts(ed)) continue;
     if (cone.count(ed.src) == 0) continue;
     if (std::find(inputs.begin(), inputs.end(), ed.src) == inputs.end()) {
       inputs.push_back(ed.src);
@@ -71,7 +81,7 @@ std::vector<NodeId> order_locality(const Graph& g, NodeId root, int tau) {
   for (const cdfg::ConeNode& c : cone_nodes) {
     for (EdgeId e : g.fanin(c.node)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
+      if (!carve_accepts(ed)) continue;
       const auto it = pending.find(ed.src);
       if (it != pending.end()) ++it->second;
     }
@@ -87,7 +97,7 @@ std::vector<NodeId> order_locality(const Graph& g, NodeId root, int tau) {
     const int next = level.at(n) + 1;
     for (EdgeId e : g.fanin(n)) {
       const cdfg::Edge& ed = g.edge(e);
-      if (ed.kind == cdfg::EdgeKind::kTemporal) continue;
+      if (!carve_accepts(ed)) continue;
       if (cone.count(ed.src) == 0) continue;
       const auto li = level.find(ed.src);
       if (li == level.end()) {

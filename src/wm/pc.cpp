@@ -10,6 +10,7 @@
 #include "exec/thread_pool.h"
 #include "obs/obs.h"
 #include "tmatch/exact_cover.h"
+#include "wm/periodic.h"
 
 namespace lwm::wm {
 
@@ -141,6 +142,17 @@ PcEstimate sched_pc_poisson(const Graph& g,
 
 PcEstimate sched_pc_auto(const Graph& g, const SchedWatermark& wm,
                          const SchedPcAutoOptions& opts) {
+  if (opts.ii > 0) {
+    // Periodic schedule space: count modulo-II alternatives instead of
+    // flat ones (wm/periodic.h).
+    if (g.node_count() > opts.poisson_node_threshold) {
+      LWM_COUNT("wm/pc_auto_periodic_poisson", 1);
+      const SchedWatermark marks[] = {wm};
+      return sched_pc_periodic_poisson(g, marks, opts.ii);
+    }
+    LWM_COUNT("wm/pc_auto_periodic_exact", 1);
+    return sched_pc_periodic(g, wm, opts.ii, opts.enumeration);
+  }
   if (g.node_count() > opts.poisson_node_threshold) {
     LWM_COUNT("wm/pc_auto_poisson", 1);
     const SchedWatermark marks[] = {wm};

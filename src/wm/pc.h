@@ -98,12 +98,20 @@ struct SchedPcAutoOptions {
   /// path while mega-designs go straight to the closed form.
   std::size_t poisson_node_threshold = 2048;
   sched::EnumerationOptions enumeration{};
+  /// Initiation interval of a periodic (marked-graph) schedule.  0 (the
+  /// default) selects the flat estimators; ii > 0 counts *periodic*
+  /// schedules instead — sched_pc_periodic below the threshold,
+  /// sched_pc_periodic_poisson above (wm/periodic.h) — so P_c stays
+  /// meaningful when the watermark was embedded modulo II.
+  int ii = 0;
 };
 
 /// Size-dispatched P_c for one scheduling watermark: sched_pc_exact
 /// below the threshold, sched_pc_poisson above.  The dispatch is
 /// observable: `wm/pc_auto_exact` and `wm/pc_auto_poisson` count the
-/// branch taken (lwm::obs).
+/// branch taken (lwm::obs); with opts.ii > 0 the periodic estimators run
+/// instead and the counters are `wm/pc_auto_periodic_exact` /
+/// `wm/pc_auto_periodic_poisson`.
 [[nodiscard]] PcEstimate sched_pc_auto(const cdfg::Graph& g,
                                        const SchedWatermark& wm,
                                        const SchedPcAutoOptions& opts = {});

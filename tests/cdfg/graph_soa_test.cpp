@@ -30,7 +30,7 @@ std::vector<std::uint32_t> expect_adj(const Graph& g, const GraphSoA& soa,
   std::vector<std::uint32_t> out;
   for (const EdgeId e : fanin ? g.fanin(n) : g.fanout(n)) {
     const Edge& ed = g.edge(e);
-    if (!soa.filter().accepts(ed.kind)) continue;
+    if (!soa.filter().accepts(ed)) continue;  // full predicate: kind + tokens
     out.push_back(soa.dense_of(fanin ? ed.src : ed.dst));
   }
   return out;

@@ -1,0 +1,168 @@
+// backend_test — the unified scheduler-backend API: registry lookup,
+// capability masks, the acyclic-only guard, and the legacy contract
+// that dispatching through schedule_with is bit-identical to calling
+// each scheduler directly.
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.h"
+#include "cdfg/graph.h"
+#include "dfglib/kernels.h"
+#include "dfglib/mediabench.h"
+#include "sched/backend.h"
+#include "sched/bnb.h"
+#include "sched/force_directed.h"
+#include "sched/list_sched.h"
+#include "sched/modulo.h"
+
+namespace lwm::sched {
+namespace {
+
+using cdfg::Graph;
+using cdfg::NodeId;
+
+bool same_schedule(const Graph& g, const Schedule& a, const Schedule& b) {
+  for (const NodeId n : g.nodes()) {
+    if (a.start_of(n) != b.start_of(n)) return false;
+  }
+  return true;
+}
+
+TEST(BackendTest, RegistryListsAllFive) {
+  const auto names = backend_names();
+  ASSERT_EQ(names.size(), 5u);
+  for (const char* expected :
+       {"list", "fds", "bnb", "enumerate", "modulo"}) {
+    EXPECT_NE(find_backend(expected), nullptr) << expected;
+  }
+  EXPECT_EQ(find_backend("simplex"), nullptr);
+}
+
+TEST(BackendTest, CapabilityMasks) {
+  EXPECT_TRUE(find_backend("list")->can(kCapResourceConstrained));
+  EXPECT_FALSE(find_backend("list")->can(kCapPeriodic));
+  EXPECT_TRUE(find_backend("fds")->can(kCapTimeConstrained));
+  EXPECT_TRUE(find_backend("bnb")->can(kCapExact));
+  EXPECT_TRUE(find_backend("enumerate")->can(kCapExact | kCapTimeConstrained));
+  EXPECT_TRUE(find_backend("modulo")->can(kCapPeriodic));
+  for (const auto name : backend_names()) {
+    EXPECT_TRUE(find_backend(name)->can(kCapAcyclic)) << name;
+    EXPECT_TRUE(find_backend(name)->can(kCapBoundedDelay)) << name;
+  }
+}
+
+TEST(BackendTest, UnknownNameThrowsWithKnownList) {
+  const Graph g = dfglib::make_fir(4);
+  try {
+    (void)schedule_with("ilp", g);
+    FAIL() << "unknown backend must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown backend 'ilp'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("modulo"), std::string::npos) << msg;
+  }
+}
+
+TEST(BackendTest, AcyclicOnlyBackendsRefuseMarkedGraphs) {
+  Graph g = dfglib::make_fir(8);
+  (void)dfglib::add_feedback(g, 1);
+  for (const char* name : {"list", "fds", "bnb", "enumerate"}) {
+    SCOPED_TRACE(name);
+    try {
+      (void)schedule_with(name, g);
+      FAIL() << name << " must refuse a marked graph";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("kCapPeriodic"), std::string::npos)
+          << e.what();
+    }
+  }
+  // The periodic backend takes it.
+  const BackendResult r = schedule_with("modulo", g);
+  EXPECT_GE(r.ii, 1);
+}
+
+TEST(BackendTest, ListBitIdenticalThroughApi) {
+  for (Graph g : {dfglib::make_fir(16), dfglib::make_fft(8),
+                  dfglib::make_biquad_cascade(4)}) {
+    BackendRequest req;
+    req.resources.set_count(cdfg::UnitClass::kMul, 2);
+    req.resources.set_count(cdfg::UnitClass::kAlu, 2);
+    ListScheduleOptions direct;
+    direct.resources = req.resources;
+    const BackendResult r = schedule_with("list", g, req);
+    EXPECT_TRUE(same_schedule(g, r.schedule, list_schedule(g, direct)));
+    EXPECT_EQ(r.ii, 0);
+  }
+}
+
+TEST(BackendTest, FdsBitIdenticalThroughApi) {
+  for (Graph g : {dfglib::make_fir(16), dfglib::make_fft(8)}) {
+    const int latency = cdfg::critical_path_length(g) + 2;
+    BackendRequest req;
+    req.latency = latency;
+    const BackendResult r = schedule_with("fds", g, req);
+    FdsOptions direct;
+    direct.latency = latency;
+    EXPECT_TRUE(
+        same_schedule(g, r.schedule, force_directed_schedule(g, direct)));
+  }
+}
+
+TEST(BackendTest, BnbBitIdenticalThroughApi) {
+  Graph g = dfglib::make_fir(8);
+  BackendRequest req;
+  req.resources.set_count(cdfg::UnitClass::kMul, 2);
+  req.resources.set_count(cdfg::UnitClass::kAlu, 1);
+  const BackendResult r = schedule_with("bnb", g, req);
+  BnbOptions direct;
+  direct.resources = req.resources;
+  const BnbResult b = bnb_min_latency(g, direct);
+  EXPECT_TRUE(same_schedule(g, r.schedule, b.schedule));
+  EXPECT_EQ(r.latency, b.latency);
+  EXPECT_EQ(r.optimal, b.optimal);
+}
+
+TEST(BackendTest, EnumerateWitnessIsAsap) {
+  const Graph g = dfglib::make_fft(8);
+  const BackendResult r = schedule_with("enumerate", g);
+  const cdfg::TimingInfo t = cdfg::compute_timing(g);
+  for (const NodeId n : g.nodes()) {
+    EXPECT_EQ(r.schedule.start_of(n), t.asap[n.value]);
+  }
+  EXPECT_TRUE(r.optimal);
+}
+
+TEST(BackendTest, ModuloThroughApiMatchesDirect) {
+  Graph g = dfglib::make_fir(16);
+  (void)dfglib::add_feedback(g, 2);
+  const BackendResult r = schedule_with("modulo", g);
+  const ModuloResult direct = modulo_schedule(g);
+  EXPECT_EQ(r.ii, direct.ii);
+  EXPECT_TRUE(same_schedule(g, r.schedule, direct.schedule));
+  EXPECT_EQ(r.optimal, direct.achieved_min_ii());
+}
+
+TEST(BackendTest, MediabenchSweepStaysLegalAcrossBackends) {
+  // One mid-size real app through every capable backend; the verifier
+  // is the shared oracle.
+  const auto& apps = dfglib::mediabench_table();
+  ASSERT_FALSE(apps.empty());
+  const Graph g = dfglib::make_mediabench_app(apps.front());
+  BackendRequest req;
+  req.resources.set_count(cdfg::UnitClass::kMul, 3);
+  req.resources.set_count(cdfg::UnitClass::kAlu, 3);
+  for (const char* name : {"list", "bnb"}) {
+    SCOPED_TRACE(name);
+    BackendRequest r = req;
+    if (std::string(name) == "bnb") r.node_limit = 200'000;
+    const BackendResult res = schedule_with(name, g, r);
+    const ScheduleCheck chk =
+        verify_schedule(g, res.schedule, r.filter, r.resources);
+    EXPECT_TRUE(chk.ok) << (chk.errors.empty() ? "" : chk.errors.front());
+  }
+}
+
+}  // namespace
+}  // namespace lwm::sched

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -171,6 +172,93 @@ TEST(DesignStoreTest, SingleOverBudgetDesignStaysResident) {
   auto r = store.load_design(kTinyDesign);
   ASSERT_TRUE(r.ok());
   EXPECT_NE(store.find_design(r.value()->id), nullptr);
+}
+
+TEST(DesignStoreTest, MarkedGraphDesignsAreResidentCitizens) {
+  // A marked graph (token back-edge) parses, validates, and builds its
+  // resident timing state on the acyclic skeleton; only token-free
+  // cycles are rejected.
+  constexpr std::string_view marked =
+      "cdfg marked\n"
+      "node in1 input\n"
+      "node a add\n"
+      "node m mul 3\n"
+      "node out1 output\n"
+      "edge in1 a\n"
+      "edge a m\n"
+      "edge m out1\n"
+      "edge m a 2\n";
+  DesignStore store;
+  auto r = store.load_design(marked, "<marked>");
+  ASSERT_TRUE(r.ok()) << r.diag().message;
+  EXPECT_TRUE(r.value()->graph.has_token_edges());
+  EXPECT_GT(r.value()->timing.critical_path(), 0);
+}
+
+TEST(DesignStoreTest, EvictionAccountingSurvivesConcurrentChurn) {
+  // Property test for the budget accounting: many threads concurrently
+  // insert a mixed population (acyclic mega designs, marked graphs,
+  // rejected token-free cycles) and evict at random.  Afterwards the
+  // atomically-maintained resident_bytes must equal the recount over
+  // the designs still findable, and the eviction counter must cover
+  // exactly the inserts that are gone.
+  std::vector<std::string> texts;
+  for (int s = 0; s < 6; ++s) texts.push_back(design_text(100 + s));
+  for (int s = 0; s < 6; ++s) {
+    texts.push_back(
+        "cdfg marked" + std::to_string(s) +
+        "\nnode in1 input\nnode a add\nnode m mul 3\nnode out1 output\n"
+        "edge in1 a\nedge a m\nedge m out1\nedge m a " +
+        std::to_string(s + 1) + "\n");
+  }
+  const std::string rejected =
+      "cdfg cyc\nnode a add\nnode b add\nedge a b\nedge b a\n";
+
+  DesignStoreOptions opts;
+  opts.max_resident_bytes = texts[0].size() * 4;  // forces LRU pressure
+  DesignStore store(opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 64;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::minstd_rand rng(static_cast<unsigned>(97 * t + 13));
+      for (int i = 0; i < kIters; ++i) {
+        const auto pick = rng() % (texts.size() + 2);
+        if (pick < texts.size()) {
+          auto r = store.load_design(texts[pick]);
+          ASSERT_TRUE(r.ok());
+          EXPECT_EQ(r.value()->text_bytes, texts[pick].size());
+        } else if (pick == texts.size()) {
+          auto r = store.load_design(rejected);
+          EXPECT_FALSE(r.ok());  // token-free cycle: diagnosed, not stored
+        } else {
+          (void)store.evict_design(
+              content_hash(texts[rng() % texts.size()]));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const DesignStoreStats s = store.stats();
+  std::size_t recount_bytes = 0;
+  std::size_t recount_designs = 0;
+  for (const std::string& text : texts) {
+    if (const auto d = store.find_design(content_hash(text))) {
+      recount_bytes += d->text_bytes;
+      ++recount_designs;
+    }
+  }
+  EXPECT_EQ(s.designs, recount_designs);
+  EXPECT_EQ(s.resident_bytes, recount_bytes);
+  EXPECT_EQ(s.schedules, 0u);
+  // Every insert either is still resident or was evicted (explicitly or
+  // by the budget): misses counts the true inserts, so the books balance.
+  EXPECT_EQ(s.misses, recount_designs + s.evictions);
+  EXPECT_EQ(store.find_design(content_hash(rejected)), nullptr);
 }
 
 TEST(DesignStoreTest, ConcurrentSameBytesConvergeToOneInstance) {

@@ -8,6 +8,8 @@
 #include <string>
 
 #include "cdfg/serialize.h"
+#include "dfglib/iir4.h"
+#include "dfglib/kernels.h"
 #include "dfglib/synth.h"
 #include "serve/frame.h"
 #include "serve/service.h"
@@ -300,6 +302,74 @@ TEST(ServiceTest, StatsReportsStoreAndObs) {
   EXPECT_TRUE(pr.complete());
   EXPECT_EQ(json.rfind("{\"designs\":1,", 0), 0u) << json.substr(0, 40);
   EXPECT_NE(json.find("\"obs\":"), std::string::npos);
+}
+
+TEST(ServiceTest, MarkedDesignRoundTripsThroughPeriodicScheduler) {
+  // End-to-end over the wire: a marked (cyclic) design loads, embed
+  // dispatches the periodic backend for its witness schedule, the
+  // witness round-trips into detect, and pc counts periodic
+  // alternatives — all through the same frames an acyclic client uses.
+  Service service;
+  cdfg::Graph g = dfglib::iir4_parallel();
+  (void)dfglib::add_feedback(g, 2);
+  ASSERT_TRUE(g.has_token_edges());
+
+  const Frame loaded = service.handle(load_design_frame(cdfg::to_text(g)));
+  ASSERT_EQ(loaded.type, MsgType::kDesignLoaded);
+  PayloadReader lr(loaded.payload);
+  const std::uint64_t design_id = lr.get_u64();
+
+  const Frame embedded =
+      service.handle(embed_frame(design_id, "alice-key", 2, 6));
+  ASSERT_EQ(embedded.type, MsgType::kEmbedded);
+  PayloadReader er(embedded.payload);
+  const std::uint32_t marks = er.get_u32();
+  (void)er.get_u32();  // edges
+  const double log10_pc = er.get_f64();
+  const std::string records(er.get_str());
+  const std::string sched_text(er.get_str());
+  EXPECT_TRUE(er.complete());
+  ASSERT_GT(marks, 0u);
+  EXPECT_TRUE(std::isfinite(log10_pc));
+  EXPECT_LE(log10_pc, 0.0);
+
+  PayloadWriter sw;
+  sw.put_u64(design_id);
+  sw.put_str(sched_text);
+  const Frame sched =
+      service.handle(Frame{MsgType::kLoadSchedule, std::move(sw).take()});
+  ASSERT_EQ(sched.type, MsgType::kScheduleLoaded);
+  PayloadReader sr(sched.payload);
+  const std::uint64_t sched_id = sr.get_u64();
+
+  PayloadWriter dw;
+  dw.put_u64(design_id);
+  dw.put_u64(sched_id);
+  dw.put_str("alice-key");
+  dw.put_str(records);
+  const Frame detected =
+      service.handle(Frame{MsgType::kDetect, std::move(dw).take()});
+  ASSERT_EQ(detected.type, MsgType::kDetected);
+  PayloadReader dr(detected.payload);
+  const std::uint32_t reports = dr.get_u32();
+  ASSERT_EQ(reports, marks);
+  std::uint32_t hits = 0;
+  for (std::uint32_t i = 0; i < reports; ++i) {
+    hits += dr.get_u8();
+    (void)dr.get_u32();  // constraint hits
+    (void)dr.get_u32();  // best_root
+  }
+  EXPECT_EQ(hits, marks)
+      << "every mark must survive its own periodic witness schedule";
+
+  Frame pc_req = embed_frame(design_id, "alice-key", 2, 6);
+  pc_req.type = MsgType::kPc;
+  const Frame pc = service.handle(pc_req);
+  ASSERT_EQ(pc.type, MsgType::kPcEstimated);
+  PayloadReader pr(pc.payload);
+  const double pc_log10 = pr.get_f64();
+  EXPECT_TRUE(std::isfinite(pc_log10));
+  EXPECT_LE(pc_log10, 0.0);
 }
 
 TEST(ServiceTest, DetectIsDeterministicAcrossRepeats) {

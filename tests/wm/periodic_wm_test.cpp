@@ -1,0 +1,217 @@
+// periodic_wm_test — watermarking periodic (marked-graph) schedules:
+// periodic start windows, psi counting against a hand-enumerable
+// oracle, the sched_pc_auto II dispatch, and end-to-end embed ->
+// modulo-schedule -> detect on a token-annotated kernel.
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "cdfg/analysis.h"
+#include "cdfg/graph.h"
+#include "dfglib/iir4.h"
+#include "dfglib/kernels.h"
+#include "sched/modulo.h"
+#include "wm/detector.h"
+#include "wm/pc.h"
+#include "wm/periodic.h"
+
+namespace lwm::wm {
+namespace {
+
+using cdfg::EdgeKind;
+using cdfg::Graph;
+using cdfg::NodeId;
+using cdfg::OpKind;
+
+crypto::Signature alice() { return {"alice", "alice-design-key-2001"}; }
+
+SchedWmOptions iir_options() {
+  SchedWmOptions opts;
+  opts.domain.tau = 6;
+  opts.domain.keep_num = 1;
+  opts.domain.keep_den = 1;
+  opts.k = 3;
+  opts.epsilon = 0.3;
+  return opts;
+}
+
+// Three independent ops — a (add, delay 1), b (add, delay 1),
+// m (mul, delay 3) — plus a loop-carried edge m -> a with one token.
+// Every periodic quantity below is small enough to enumerate by hand.
+struct TinyCase {
+  Graph g;
+  NodeId a, b, m;
+};
+
+TinyCase tiny() {
+  TinyCase t;
+  t.g.set_name("tiny_periodic");
+  t.a = t.g.add_node(OpKind::kAdd, "a");
+  t.b = t.g.add_node(OpKind::kAdd, "b");
+  t.m = t.g.add_node(OpKind::kMul, "m", /*delay=*/3);
+  t.g.add_edge(t.m, t.a, EdgeKind::kData, 1);
+  return t;
+}
+
+TEST(PeriodicTimingTest, WindowsFollowTokenWeightedConstraints) {
+  const TinyCase t = tiny();
+  // At II = 2, the carried edge m -> a (delay 3, one token) demands
+  // start(a) + 2 >= start(m) + 3, i.e. start(a) >= start(m) + 1.
+  const PeriodicTiming pt = compute_periodic_timing(t.g, 2);
+  EXPECT_EQ(pt.ii, 2);
+  EXPECT_EQ(pt.critical_span, 3);  // m alone spans 3 steps
+  EXPECT_EQ(pt.span, 3);
+  EXPECT_EQ(pt.estart[t.m.value], 0);
+  EXPECT_EQ(pt.lstart[t.m.value], 0);
+  EXPECT_EQ(pt.estart[t.a.value], 1);
+  EXPECT_EQ(pt.lstart[t.a.value], 2);
+  EXPECT_EQ(pt.estart[t.b.value], 0);
+  EXPECT_EQ(pt.lstart[t.b.value], 2);
+  EXPECT_EQ(pt.slack(t.b), 2);
+
+  // A larger II relaxes the carried constraint to nothing.
+  const PeriodicTiming wide = compute_periodic_timing(t.g, 3);
+  EXPECT_EQ(wide.estart[t.a.value], 0);
+}
+
+TEST(PeriodicTimingTest, InfeasibleIiThrows) {
+  // a -> b -> a with one token on the back-edge: cycle delay 2 over one
+  // token, so RecMII = 2 and II = 1 admits no periodic schedule.
+  Graph g;
+  g.set_name("two_loop");
+  const NodeId a = g.add_node(OpKind::kAdd, "a");
+  const NodeId b = g.add_node(OpKind::kAdd, "b");
+  g.add_edge(a, b);
+  g.add_edge(b, a, EdgeKind::kData, 1);
+  EXPECT_NO_THROW((void)compute_periodic_timing(g, 2));
+  EXPECT_THROW((void)compute_periodic_timing(g, 1), std::runtime_error);
+  // A span below the minimum feasible makespan is a caller error.
+  EXPECT_THROW((void)compute_periodic_timing(g, 2, 1), std::invalid_argument);
+}
+
+TEST(PeriodicPsiTest, CountsMatchHandEnumeration) {
+  const TinyCase t = tiny();
+  // Windows at II = 2 (previous test): m = {0}, a = {1, 2}, b = {0, 1, 2},
+  // with the pairwise demand start(a) >= start(m) + 1 already folded in:
+  // psi_n = 1 * 2 * 3 = 6.  The temporal constraint a -> b (flat sense,
+  // delay(a) = 1) leaves only (a=1, b=2): psi_w = 1.
+  SchedWatermark wm;
+  wm.root = t.a;
+  wm.subtree = {t.a, t.b, t.m};
+  wm.constraints.push_back({t.a, t.b, 0, 1});
+  const PeriodicPsi psi = periodic_psi_counts(t.g, wm, 2);
+  EXPECT_FALSE(psi.saturated);
+  EXPECT_EQ(psi.psi_n, 6u);
+  EXPECT_EQ(psi.psi_w, 1u);
+
+  const PcEstimate est = sched_pc_periodic(t.g, wm, 2);
+  EXPECT_TRUE(est.exact);
+  EXPECT_NEAR(est.log10_pc, std::log10(1.0 / 6.0), 1e-12);
+}
+
+TEST(PeriodicPsiTest, LoosenedIiGrowsTheSpace) {
+  const TinyCase t = tiny();
+  SchedWatermark wm;
+  wm.root = t.a;
+  wm.subtree = {t.a, t.b, t.m};
+  wm.constraints.push_back({t.a, t.b, 0, 1});
+  // II = 3 frees a's window to [0, 2]: psi_n = 9, and a -> b admits
+  // (0,1), (0,2), (1,2): psi_w = 3.
+  const PeriodicPsi psi = periodic_psi_counts(t.g, wm, 3);
+  EXPECT_EQ(psi.psi_n, 9u);
+  EXPECT_EQ(psi.psi_w, 3u);
+}
+
+TEST(PeriodicPcTest, AutoDispatchesOnIi) {
+  const TinyCase t = tiny();
+  SchedWatermark wm;
+  wm.root = t.a;
+  wm.subtree = {t.a, t.b, t.m};
+  wm.constraints.push_back({t.a, t.b, 0, 1});
+
+  SchedPcAutoOptions opts;
+  opts.ii = 2;
+  const PcEstimate periodic = sched_pc_auto(t.g, wm, opts);
+  const PcEstimate direct = sched_pc_periodic(t.g, wm, 2);
+  EXPECT_DOUBLE_EQ(periodic.log10_pc, direct.log10_pc);
+  EXPECT_EQ(periodic.exact, direct.exact);
+
+  // Forcing the large-design path must select the periodic Poisson
+  // model, which is still a (non-exact) upper-bounded estimate.
+  SchedPcAutoOptions big = opts;
+  big.poisson_node_threshold = 0;
+  const PcEstimate poisson = sched_pc_auto(t.g, wm, big);
+  EXPECT_FALSE(poisson.exact);
+  EXPECT_LE(poisson.log10_pc, 0.0);
+}
+
+TEST(PeriodicWmTest, EmbedScheduleDetectRoundTrip) {
+  // End-to-end on a real kernel: plan the watermark on the acyclic
+  // skeleton, close the graph into a marked one, modulo-schedule the
+  // whole thing, and recover the mark from the periodic schedule's flat
+  // starts with the unmodified detector.
+  Graph g = lwm::dfglib::iir4_parallel();
+  const auto wm = embed_sched_watermark(g, g.find("A9"), alice(), iir_options());
+  ASSERT_TRUE(wm.has_value());
+  ASSERT_FALSE(wm->constraints.empty());
+
+  (void)lwm::dfglib::add_feedback(g, 2);
+  ASSERT_TRUE(g.has_token_edges());
+
+  const sched::ModuloResult r = sched::modulo_schedule(g);
+  EXPECT_GE(r.ii, r.min_ii);
+  const sched::ScheduleCheck chk =
+      sched::verify_periodic_schedule(g, r.schedule, r.ii);
+  ASSERT_TRUE(chk.ok) << (chk.errors.empty() ? "" : chk.errors.front());
+
+  // The temporal edges hold in the flat (modulo-II) sense...
+  for (const TemporalConstraint& c : wm->constraints) {
+    EXPECT_GE(r.schedule.start_of(c.dst),
+              r.schedule.start_of(c.src) + g.node(c.src).delay);
+  }
+  // ...so the flat-start detector recovers the mark unchanged.
+  const SchedRecord record = SchedRecord::from(*wm, g);
+  const SchedDetectionReport report =
+      detect_sched_watermark(g, r.schedule, alice(), record);
+  EXPECT_TRUE(report.detected());
+  EXPECT_EQ(report.best_root, g.find("A9"));
+}
+
+TEST(PeriodicWmTest, CarveIgnoresTokenEdges) {
+  // DAG-assumption regression: the locality carve's fan-in walks used
+  // to skip only temporal edges, so a loop-carried feedback edge inside
+  // a cone reordered the locality between embed (on the skeleton) and
+  // detect (on the marked graph).  Every root must order identically
+  // with and without the feedback edge.
+  Graph skeleton = lwm::dfglib::iir4_parallel();
+  Graph marked = skeleton;
+  (void)lwm::dfglib::add_feedback(marked, 1);
+  for (const NodeId n : skeleton.nodes()) {
+    if (!cdfg::is_executable(skeleton.node(n).kind)) continue;
+    EXPECT_EQ(order_locality(skeleton, n, 6), order_locality(marked, n, 6))
+        << "root " << skeleton.node(n).name;
+  }
+}
+
+TEST(PeriodicWmTest, PeriodicPcIsFiniteAndNegative) {
+  Graph g = lwm::dfglib::iir4_parallel();
+  const auto wm = embed_sched_watermark(g, g.find("A9"), alice(), iir_options());
+  ASSERT_TRUE(wm.has_value());
+  (void)lwm::dfglib::add_feedback(g, 2);
+  const int ii = sched::recurrence_min_ii(g);
+  ASSERT_GE(ii, 1);
+
+  SchedPcAutoOptions opts;
+  opts.ii = ii;
+  const PcEstimate est = sched_pc_auto(g, *wm, opts);
+  EXPECT_LT(est.log10_pc, 0.0) << "constraints must shrink the periodic space";
+
+  const SchedWatermark marks[] = {*wm};
+  const PcEstimate poisson = sched_pc_periodic_poisson(g, marks, ii);
+  EXPECT_FALSE(poisson.exact);
+  EXPECT_LE(poisson.log10_pc, 0.0);
+}
+
+}  // namespace
+}  // namespace lwm::wm

@@ -28,6 +28,12 @@ tag both files must agree on:
       detect_speedup (their ratio), plus the per-size *_1k / *_100k
       keys when both artifacts carry them (a --smoke artifact stops
       at 1k).
+  periodic: modulo_per_s / res_modulo_per_s (modulo-scheduling
+      throughput with unlimited vs tight resources), verify_per_s
+      (periodic legality re-check throughput), and minii_hit_rate (the
+      fraction of unlimited-resource cases where the II search closed
+      at MinII — 1.0 by construction, gated so it can only regress
+      loudly).
 
 Intended use: run the bench on the pre-change and post-change trees,
 then diff the artifacts —
@@ -66,6 +72,11 @@ SCHEMAS = {
                      "embed_ops_per_s_10k", "detect_ops_per_s_10k",
                      "embed_ops_per_s_100k", "detect_ops_per_s_100k",
                      "embed_ops_per_s_1m", "detect_ops_per_s_1m"],
+    },
+    "periodic": {
+        "required": ["modulo_per_s", "res_modulo_per_s", "verify_per_s",
+                     "minii_hit_rate"],
+        "optional": [],
     },
     "serve": {
         "required": ["resident_detect_per_s", "cold_detect_per_s",
